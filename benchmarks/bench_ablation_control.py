@@ -1,0 +1,68 @@
+"""E9 — ablation: RASA-Control scheduling-rule variants.
+
+Two design decisions DESIGN.md calls out get quantified here:
+
+1. WLBP's "we also allow these stages to be overlapped" clause — letting a
+   bypassed FF overlap the previous FS (II 16) instead of waiting for the
+   previous DR (II 47 on the 32-row array).
+2. The incremental value of each control scheme at a fixed data path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.cpu.fast import FastCoreModel
+from repro.engine.config import ControlPolicy, EngineConfig
+from repro.experiments.runner import workload_shapes, _cached_program
+from repro.utils.tables import format_table
+
+
+def run(config: EngineConfig, program) -> int:
+    return FastCoreModel(engine=config).run(program).cycles
+
+
+def test_wlbp_ff_overlap_ablation(benchmark, emit, settings):
+    shape = workload_shapes(settings)["DLRM-1"]
+    program = _cached_program(shape, settings.codegen)
+    full = EngineConfig(control=ControlPolicy.WLBP, wlbp_ff_overlaps_fs=True)
+    restricted = dataclasses.replace(full, wlbp_ff_overlaps_fs=False)
+    base = EngineConfig(control=ControlPolicy.BASE)
+
+    benchmark(run, full, program)
+
+    cycles = {
+        "BASE": run(base, program),
+        "WLBP (FF waits for DR)": run(restricted, program),
+        "WLBP (FF overlaps FS, paper)": run(full, program),
+    }
+    rows = [
+        (name, c, f"{c / cycles['BASE']:.3f}") for name, c in cycles.items()
+    ]
+    assert cycles["WLBP (FF overlaps FS, paper)"] < cycles["WLBP (FF waits for DR)"]
+    assert cycles["WLBP (FF waits for DR)"] < cycles["BASE"]
+    emit(
+        "Ablation E9a — WLBP bypassed-FF overlap rule (DLRM-1)",
+        format_table(["scheduler rule", "cycles", "normalized"], rows),
+    )
+
+
+def test_control_ladder(benchmark, emit, settings):
+    """BASE -> PIPE -> WLBP on the baseline PE: each rule must help."""
+    shape = workload_shapes(settings)["BERT-1"]
+    program = _cached_program(shape, settings.codegen)
+    rows = []
+    cycles = {}
+    for policy in (ControlPolicy.BASE, ControlPolicy.PIPE, ControlPolicy.WLBP):
+        config = EngineConfig(control=policy)
+        cycles[policy] = run(config, program)
+        rows.append(
+            (policy.value, cycles[policy], f"{cycles[policy] / cycles[ControlPolicy.BASE]:.3f}")
+        )
+    benchmark(run, EngineConfig(control=ControlPolicy.PIPE), program)
+    assert cycles[ControlPolicy.PIPE] < cycles[ControlPolicy.BASE]
+    assert cycles[ControlPolicy.WLBP] < cycles[ControlPolicy.PIPE]
+    emit(
+        "Ablation E9b — control ladder on baseline PEs (BERT-1)",
+        format_table(["control", "cycles", "normalized"], rows),
+    )

@@ -1,0 +1,30 @@
+"""E16 — extension: bigger tile registers vs RASA pipelining, per area.
+
+Quantifies Sec. III's argument: matching RASA's engine throughput with a
+*serialized* baseline would take TM in the hundreds — tens of KiB of
+architected tile registers — while RASA gets there with 1 KiB registers and
+~5.5 % array-area overhead.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.register_scaling import (
+    register_scaling_sweep,
+    render_register_scaling,
+)
+
+
+def test_register_scaling(benchmark, emit):
+    points = benchmark(register_scaling_sweep)
+    by_label = {p.label.split(",")[0]: p for p in points}
+    rasa = points[-1]
+    tm16 = points[0]
+
+    # RASA's throughput-per-area must beat every big-register baseline.
+    assert all(rasa.throughput_per_area > p.throughput_per_area for p in points[:-1])
+    # The TM=16 serialized baseline runs at 16/95 of RASA's throughput.
+    assert abs(tm16.macs_per_cycle / rasa.macs_per_cycle - 16 / 95) < 0.01
+    # Even TM=256 (128 KiB of registers) does not reach RASA's throughput.
+    tm256 = next(p for p in points if p.tile_m == 256)
+    assert tm256.macs_per_cycle < rasa.macs_per_cycle
+    emit("Ablation E16 — register scaling counterfactual", render_register_scaling(points))

@@ -1,0 +1,53 @@
+"""E11 — ablation: the register-size wall the paper's Sec. III motivates.
+
+The whole point of RASA is that a CPU cannot raise TM: the tile registers
+fix TM = 16, so a serialized fold runs at 16/95 utilization.  This ablation
+asks the counterfactual the paper argues against hardware-wise: *what if
+the ISA had bigger tile registers?*  It sweeps hypothetical TM values and
+reports (a) the serialized utilization Eq. 1 gives a bigger-register
+baseline, and (b) the register-file bytes that TM would cost — showing
+RASA-DMDB-WLS at TM = 16 already matches the utilization of a ~8x-larger
+register file on the unpipelined baseline.
+"""
+
+from __future__ import annotations
+
+from repro.systolic.timing import fold_latency
+from repro.systolic.utilization import utilization_single_fold
+from repro.utils.tables import format_table
+
+TK, TN = 32, 16
+TM_SWEEP = (16, 32, 64, 128, 256, 512)
+#: RASA-DMDB-WLS steady state: one mm per TM=16 cycles.
+RASA_STEADY_UTILIZATION = 16 / 16
+
+
+def tile_register_bytes(tm: int) -> int:
+    """A/C register capacity needed for a TM-row tile (bytes per register)."""
+    return tm * 64
+
+
+def test_tile_size_counterfactual(benchmark, emit):
+    benchmark(utilization_single_fold, 16, TK, TN)
+    rows = []
+    for tm in TM_SWEEP:
+        util = utilization_single_fold(tm=tm, tk=TK, tn=TN)
+        rows.append(
+            (
+                tm,
+                tile_register_bytes(tm),
+                fold_latency(tk=TK, tm=tm, tn=TN),
+                f"{util:.3f}",
+            )
+        )
+    # The serialized baseline needs TM ~ 128 (an 8 KB tile register) to pass
+    # ~60 % utilization; RASA reaches the TM-bound steady state at 1 KB.
+    assert utilization_single_fold(128, TK, TN) > 0.6
+    assert utilization_single_fold(16, TK, TN) < 0.2
+    emit(
+        "Ablation E11 — serialized utilization vs hypothetical tile size",
+        format_table(
+            ["TM", "tile reg bytes", "fold latency (Eq. 1)", "utilization"], rows
+        )
+        + "\nRASA-DMDB-WLS reaches one mm per 16 cycles at TM = 16 (1 KB registers).",
+    )

@@ -1,0 +1,26 @@
+"""E5 — Sec. V in-text table: area overheads and energy-efficiency gains."""
+
+from __future__ import annotations
+
+from repro.engine.designs import DESIGNS
+from repro.experiments.area_energy import area_energy_report
+from repro.physical.energy import EnergyModel
+
+
+def test_area_energy(benchmark, emit, settings):
+    report = area_energy_report(settings)
+
+    def recompute_areas():
+        from repro.physical.area import ArrayAreaModel
+
+        model = ArrayAreaModel()
+        return [model.array_area_mm2(d.config) for d in DESIGNS.values()]
+
+    benchmark(recompute_areas)
+
+    assert abs(report.area_overhead["RASA-DB"] - 0.031) < 0.003
+    assert abs(report.area_overhead["RASA-DM"] - 0.026) < 0.003
+    assert abs(report.area_overhead["RASA-DMDB"] - 0.055) < 0.003
+    assert abs(report.area_mm2["RASA-DMDB"] - 0.847) < 0.005
+    assert report.efficiency["RASA-DMDB"] > report.efficiency["RASA-DM"]
+    emit("Sec. V — area overhead and energy efficiency", report.render())

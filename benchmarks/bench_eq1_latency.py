@@ -1,0 +1,38 @@
+"""E4 — Eq. 1: analytic fold latency vs the cycle-accurate array.
+
+``L_baseline = 95`` for the evaluation configuration, and the closed form
+``2·TK + TM + TN − 1`` must match the measured latency of the functional
+array for every geometry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.systolic.array import SystolicArray
+from repro.systolic.timing import fold_latency
+from repro.utils.tables import format_table
+
+CONFIGS = [(2, 2, 2), (8, 8, 8), (16, 16, 16), (32, 16, 16), (32, 32, 32)]
+
+
+def measure(tk: int, tn: int, tm: int) -> int:
+    rng = np.random.default_rng(7)
+    a = rng.standard_normal((tm, tk)).astype(np.float32)
+    b = rng.standard_normal((tk, tn)).astype(np.float32)
+    return SystolicArray(tk, tn).execute(b, a).total_cycles
+
+
+def test_eq1_latency(benchmark, emit):
+    benchmark(measure, 32, 16, 16)
+    rows = []
+    for tk, tn, tm in CONFIGS:
+        analytic = fold_latency(tk=tk, tm=tm, tn=tn)
+        measured = measure(tk, tn, tm)
+        assert measured == analytic
+        rows.append((f"{tk}x{tn}", tm, analytic, measured))
+    assert fold_latency(tk=32, tm=16, tn=16) == 95  # Sec. V's L_baseline
+    emit(
+        "Eq. 1 — fold latency, analytic vs cycle-accurate",
+        format_table(["array", "TM", "analytic (Eq. 1)", "measured"], rows),
+    )

@@ -1,0 +1,15 @@
+"""E1 — Fig. 1: the 2x2 weight-stationary toy walkthrough (28.6 %)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.toy import fig1_toy_example
+
+
+def test_fig1_toy(benchmark, emit):
+    result = benchmark(fig1_toy_example)
+    assert result.utilization == 8 / 28
+    assert result.total_cycles == 7
+    assert np.array_equal(result.output, result.expected_output)
+    emit("Fig. 1 — toy 2x2 WS walkthrough", result.render())

@@ -1,0 +1,23 @@
+"""E2 — Fig. 2: PE utilization vs TM for several array dimensions."""
+
+from __future__ import annotations
+
+from repro.experiments.utilization_sweep import fig2_utilization
+from repro.utils.plot import ascii_plot
+
+
+def test_fig2_utilization(benchmark, emit):
+    sweep = benchmark(fig2_utilization)
+    # The CPU's pinned TM = 16 on the paper's 32x16 array: 16/95.
+    series = sweep.series[(32, 16)]
+    tm16 = sweep.tm_values.index(16)
+    assert abs(series[tm16] - 16 / 95) < 1e-12
+    plot = ascii_plot(
+        {f"{tk}x{tn}": values for (tk, tn), values in sweep.series.items()},
+        x_labels=list(sweep.tm_values),
+        height=14,
+        y_min=0.0,
+        y_max=1.0,
+        title="utilization vs TM (one serialized fold)",
+    )
+    emit("Fig. 2 — PE utilization vs TM", sweep.render() + "\n\n" + plot)

@@ -1,0 +1,26 @@
+"""E6 — Fig. 5: runtime of every RASA design normalized to the baseline.
+
+Regenerates the paper's headline figure: 8 designs x 9 Table I layers.
+The benchmark timer measures one representative design-on-workload
+simulation; the printed table is the full grid.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import run_design, workload_shapes
+from repro.experiments.runtime_sweep import fig5_normalized_runtime
+
+
+def test_fig5_runtime(benchmark, emit, settings):
+    shapes = workload_shapes(settings)
+    benchmark(run_design, "rasa-dmdb-wls", shapes["DLRM-2"], settings)
+
+    sweep = fig5_normalized_runtime(settings)
+    # The paper's qualitative claims must hold in the regenerated figure.
+    avg = sweep.averages
+    assert avg["rasa-pipe"] < 1.0
+    assert avg["rasa-wlbp"] < avg["rasa-pipe"]
+    assert avg["rasa-dm-wlbp"] < avg["rasa-wlbp"]
+    assert avg["rasa-db-wls"] < avg["rasa-dm-wlbp"]
+    assert abs(avg["rasa-dmdb-wls"] - avg["rasa-db-wls"]) < 0.05  # "similar"
+    emit("Fig. 5 — normalized runtime (8 designs x 9 layers)", sweep.render())

@@ -1,0 +1,20 @@
+"""E7 — Fig. 6: performance per area of the RASA-Data optimizations."""
+
+from __future__ import annotations
+
+from repro.engine.designs import DESIGNS
+from repro.experiments.ppa_sweep import fig6_performance_per_area
+from repro.physical.area import ArrayAreaModel
+
+
+def test_fig6_ppa(benchmark, emit, settings):
+    model = ArrayAreaModel()
+    benchmark(model.array_area_mm2, DESIGNS["rasa-dmdb-wls"].config)
+
+    sweep = fig6_performance_per_area(settings)
+    avg = sweep.averages
+    # Fig. 6's trend: DMDB-WLS ~ DB-WLS >> DM-WLBP (area deltas are small,
+    # so PPA tracks the runtime ordering).
+    assert avg["rasa-dmdb-wls"] > avg["rasa-dm-wlbp"]
+    assert avg["rasa-db-wls"] > avg["rasa-dm-wlbp"]
+    emit("Fig. 6 — performance per area (normalized)", sweep.render())

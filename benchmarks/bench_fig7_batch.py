@@ -1,0 +1,34 @@
+"""E8 — Fig. 7: batch-size sensitivity of RASA-DMDB-WLS.
+
+Sweeps the six FC layers over batch 1..1024 and checks the two published
+observations: a flat region for batch <= 16 and convergence toward the
+perfect-pipelining asymptote 16/95 = 0.168.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.batch_sweep import ASYMPTOTE, fig7_batch_sensitivity
+from repro.experiments.runner import run_design, workload_shapes
+from repro.utils.plot import ascii_plot
+
+
+def test_fig7_batch(benchmark, emit, settings):
+    shapes = workload_shapes(settings)
+    benchmark(run_design, "rasa-dmdb-wls", shapes["BERT-1"], settings)
+
+    sweep = fig7_batch_sensitivity(settings)
+    for name, series in sweep.series.items():
+        flat = [series[b] for b in (1, 2, 4, 8, 16)]
+        assert max(flat) - min(flat) < 1e-9, name      # observation 1
+        assert abs(series[1024] - ASYMPTOTE) < 0.05, name  # observation 2
+    plot = ascii_plot(
+        {name: [series[b] for b in sweep.batches] for name, series in sweep.series.items()},
+        x_labels=list(sweep.batches),
+        height=12,
+        y_min=0.0,
+        title="normalized runtime vs batch (asymptote 16/95 = 0.168)",
+    )
+    emit(
+        "Fig. 7 — batch-size sensitivity (RASA-DMDB-WLS)",
+        sweep.render() + "\n\n" + plot,
+    )

@@ -1,0 +1,55 @@
+"""E15 — extension: whole-model GEMM suites, not just three layers apiece.
+
+Simulates the complete GEMM portion of ResNet-50, BERT-base (one encoder
+layer — all layers are identical) and the DLRM MLPs, and reports the
+end-to-end normalized runtime per model.  Because the paper's per-layer
+result is workload-independent, the whole-model numbers should land at the
+same ~0.17-0.21 the Fig. 5 geomean shows — this bench verifies that the
+three-layer sample was representative.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.fast import FastCoreModel
+from repro.engine.designs import DESIGNS
+from repro.experiments.runner import _cached_program
+from repro.utils.tables import format_table
+from repro.workloads.models import bert_encoder_gemms, dlrm_gemms, resnet50_gemms
+
+MODELS = {
+    # Reduced batch and one encoder layer keep the bench quick; per-layer
+    # normalized results are batch-insensitive past one tile row block.
+    "resnet50 (convs)": lambda scale: resnet50_gemms(batch=1),
+    "bert-base (1 encoder)": lambda scale: bert_encoder_gemms(layers=1),
+    "dlrm (MLPs)": lambda scale: dlrm_gemms(batch=128),
+}
+
+
+def test_full_models(benchmark, emit, settings):
+    rows = []
+    sample = None
+    for model_name, factory in MODELS.items():
+        totals = {"baseline": 0, "rasa-dmdb-wls": 0}
+        layer_count = 0
+        for shape in factory(settings.scale).values():
+            scaled = shape.scaled(settings.scale * 2)
+            program = _cached_program(scaled, settings.codegen)
+            if sample is None:
+                sample = program
+            for key in totals:
+                totals[key] += FastCoreModel(engine=DESIGNS[key].config).run(program).cycles
+            layer_count += 1
+        norm = totals["rasa-dmdb-wls"] / totals["baseline"]
+        rows.append(
+            (model_name, layer_count, totals["baseline"], totals["rasa-dmdb-wls"], f"{norm:.3f}")
+        )
+        assert norm < 0.25, model_name
+
+    benchmark(FastCoreModel(engine=DESIGNS["rasa-dmdb-wls"].config).run, sample)
+    emit(
+        "Extension E15 — whole-model GEMM suites (RASA-DMDB-WLS vs baseline)",
+        format_table(
+            ["model", "GEMM layers", "baseline cyc", "DMDB-WLS cyc", "normalized"],
+            rows,
+        ),
+    )

@@ -1,0 +1,14 @@
+"""E3 — Table I: evaluated layer dimensions and their lowered GEMMs."""
+
+from __future__ import annotations
+
+from repro.experiments.layer_table import table1_report
+from repro.workloads.layers import TABLE1_LAYERS
+
+
+def test_table1(benchmark, emit):
+    text = benchmark(table1_report)
+    assert len(TABLE1_LAYERS) == 9
+    for name in TABLE1_LAYERS:
+        assert name in text
+    emit("Table I — layer dimensions", text)

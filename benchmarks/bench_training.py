@@ -1,0 +1,53 @@
+"""E14 — extension: RASA on training-pass GEMMs.
+
+Sec. V notes the concept "is not limited to inference since GEMM is also a
+key building block for training".  This bench runs the forward, dgrad and
+wgrad GEMMs of two Table I FC layers across designs.  The expected shape:
+forward/dgrad (M = batch, small) gain the full RASA factor; wgrad
+(M = NIN, large) already amortizes fill/drain on the baseline, so the gain
+there is closer to the pure II ratio with less to recover.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.fast import FastCoreModel
+from repro.engine.designs import DESIGNS
+from repro.experiments.runner import _cached_program
+from repro.utils.tables import format_table
+from repro.workloads.layers import TABLE1_LAYERS
+from repro.workloads.training import TrainingStep
+
+LAYERS = ("DLRM-1", "BERT-1")
+
+
+def test_training_passes(benchmark, emit, settings):
+    rows = []
+    sample = None
+    for layer_name in LAYERS:
+        step = TrainingStep(TABLE1_LAYERS[layer_name])
+        for pass_name, shape in step.gemms().items():
+            scaled = shape.scaled(settings.scale)
+            program = _cached_program(scaled, settings.codegen)
+            if sample is None:
+                sample = program
+            base = FastCoreModel(engine=DESIGNS["baseline"].config).run(program)
+            best = FastCoreModel(engine=DESIGNS["rasa-dmdb-wls"].config).run(program)
+            rows.append(
+                (
+                    f"{layer_name} {pass_name}",
+                    f"{scaled.m}x{scaled.n}x{scaled.k}",
+                    base.cycles,
+                    best.cycles,
+                    f"{best.cycles / base.cycles:.3f}",
+                )
+            )
+    benchmark(FastCoreModel(engine=DESIGNS["rasa-dmdb-wls"].config).run, sample)
+    # Every training pass must still gain substantially.
+    assert all(float(r[4]) < 0.25 for r in rows)
+    emit(
+        "Extension E14 — training-pass GEMMs (RASA-DMDB-WLS vs baseline)",
+        format_table(
+            ["layer / pass", "GEMM", "baseline cyc", "DMDB-WLS cyc", "normalized"],
+            rows,
+        ),
+    )

@@ -1,0 +1,35 @@
+"""Shared benchmark-harness configuration.
+
+Every benchmark regenerates one paper artifact and *prints* the same
+rows/series the paper reports (forced past pytest's capture so the output
+lands in bench logs).  The Table I layers run scaled down by
+``REPRO_BENCH_SCALE`` (default 4 — see DESIGN.md: normalized runtimes
+converge quickly with size); set ``REPRO_BENCH_SCALE=1`` for full-size runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.runner import ExperimentSettings
+
+BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "4"))
+
+
+@pytest.fixture(scope="session")
+def settings() -> ExperimentSettings:
+    return ExperimentSettings(scale=BENCH_SCALE)
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print a rendered artifact so it survives pytest's output capture."""
+
+    def _emit(title: str, text: str) -> None:
+        with capsys.disabled():
+            print(f"\n{'=' * 72}\n{title} (scale={BENCH_SCALE})\n{'=' * 72}")
+            print(text)
+
+    return _emit

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one GEMM on the baseline and every RASA design.
+
+Builds a LIBXSMM-style RASA instruction stream for a 512x512x512 GEMM,
+checks it computes the right answer on the functional engine, then times it
+on the Skylake-like CPU model for all eight design points of the paper.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    DESIGNS,
+    FastCoreModel,
+    GemmShape,
+    MatrixEngine,
+    TileMemory,
+    build_gemm_kernel,
+    gemm_reference,
+    get_design,
+)
+
+
+def main() -> None:
+    # --- 1. Functional sanity on a small kernel ---------------------------------
+    rng = np.random.default_rng(0)
+    small = GemmShape(m=64, n=64, k=128, name="sanity")
+    kernel = build_gemm_kernel(small)
+    a = rng.standard_normal((small.m, small.k)).astype(np.float32)
+    b = rng.standard_normal((small.k, small.n)).astype(np.float32)
+    memory = TileMemory()
+    kernel.write_inputs(memory, a, b)
+    engine = MatrixEngine(get_design("rasa-dmdb-wls").config, memory=memory)
+    engine.run(kernel.program)
+    out = kernel.read_result(memory)
+    expected = gemm_reference(a, b, chains=2)
+    assert np.array_equal(out, expected), "functional mismatch!"
+    print(f"functional check: C = A@B bit-exact on {small} "
+          f"({kernel.program.stats.matmuls} rasa_mm)")
+
+    # --- 2. Timing sweep over every design ----------------------------------------
+    shape = GemmShape(m=512, n=512, k=512, name="quickstart")
+    program = build_gemm_kernel(shape).program
+    print(f"\nsimulating {program!r}")
+    print(f"\n{'design':18s} {'cycles':>10s} {'norm':>7s} {'bypass':>7s} {'ms @2GHz':>9s}")
+    baseline_cycles = None
+    for key, design in DESIGNS.items():
+        result = FastCoreModel(engine=design.config).run(program)
+        if baseline_cycles is None:
+            baseline_cycles = result.cycles
+        print(
+            f"{design.label:18s} {result.cycles:10d} "
+            f"{result.cycles / baseline_cycles:7.3f} "
+            f"{result.bypass_rate:7.2f} {result.seconds * 1e3:9.3f}"
+        )
+    print(
+        "\npaper headline: RASA-DMDB-WLS reduces runtime ~79% vs the serialized"
+        "\nbaseline; perfect pipelining bound = 16/95 = 0.168 (Sec. V)."
+    )
+
+
+if __name__ == "__main__":
+    main()

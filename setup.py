@@ -1,0 +1,11 @@
+"""Thin setup.py shim.
+
+The environment's setuptools lacks the ``wheel`` package, so PEP-517
+editable installs (which build a wheel) fail; this shim enables the legacy
+``pip install -e . --no-use-pep517`` path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,78 @@
+"""RASA: Register-Aware Systolic Array Matrix Engine for CPU — reproduction.
+
+A from-scratch Python implementation of the full system described in
+G. Jeong et al., *"RASA: Efficient Register-Aware Systolic Array Matrix
+Engine for CPU"* (DAC 2021): the AMX-like tile ISA, the weight-stationary
+systolic array (functional and cycle-accurate), the RASA sub-stage
+pipelining engine with its control (PIPE/WLBP/WLS) and data (DB/DM/DMDB)
+optimizations, a Skylake-like trace-driven out-of-order CPU model, the
+LIBXSMM-style GEMM/convolution code generator, and Nangate-15nm-calibrated
+area/energy models — plus experiment drivers regenerating every table and
+figure in the paper's evaluation.
+
+Quickstart::
+
+    from repro import GemmShape, get_design, FastCoreModel, generate_gemm_program
+
+    shape = GemmShape(m=256, n=256, k=256, name="demo")
+    program = generate_gemm_program(shape)
+    baseline = FastCoreModel(engine=get_design("baseline").config).run(program)
+    rasa = FastCoreModel(engine=get_design("rasa-dmdb-wls").config).run(program)
+    print(rasa.cycles / baseline.cycles)   # ~0.17-0.2: the paper's headline
+"""
+
+from repro.cpu import CoreConfig, FastCoreModel, OutOfOrderCore, SimResult
+from repro.engine import (
+    BASELINE_DESIGN,
+    ControlPolicy,
+    DESIGNS,
+    DesignPoint,
+    EngineConfig,
+    MatrixEngine,
+    get_design,
+)
+from repro.isa import Program, ProgramBuilder, assemble, disassemble
+from repro.systolic import SystolicArray
+from repro.tile import TileMemory, TileRegisterFile
+from repro.workloads import (
+    CodegenOptions,
+    ConvLayer,
+    FCLayer,
+    GemmShape,
+    TABLE1_LAYERS,
+    gemm_reference,
+    generate_gemm_program,
+)
+from repro.workloads.codegen import build_gemm_kernel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CoreConfig",
+    "FastCoreModel",
+    "OutOfOrderCore",
+    "SimResult",
+    "ControlPolicy",
+    "EngineConfig",
+    "MatrixEngine",
+    "DesignPoint",
+    "DESIGNS",
+    "BASELINE_DESIGN",
+    "get_design",
+    "Program",
+    "ProgramBuilder",
+    "assemble",
+    "disassemble",
+    "SystolicArray",
+    "TileMemory",
+    "TileRegisterFile",
+    "GemmShape",
+    "ConvLayer",
+    "FCLayer",
+    "TABLE1_LAYERS",
+    "CodegenOptions",
+    "generate_gemm_program",
+    "build_gemm_kernel",
+    "gemm_reference",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""Analysis utilities over engine schedules (PE occupancy, utilization)."""
+
+from repro.analysis.occupancy import (
+    OccupancyReport,
+    occupancy_timeline,
+    schedule_utilization,
+    single_mm_active_pes,
+)
+
+__all__ = [
+    "single_mm_active_pes",
+    "occupancy_timeline",
+    "schedule_utilization",
+    "OccupancyReport",
+]

@@ -1,0 +1,209 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``designs``                       list the registered design points
+- ``table1``                        print Table I (+ lowered GEMMs)
+- ``fig {1,2,5,6,7}``               regenerate a paper figure
+- ``area``                          the Sec. V area/energy report
+- ``simulate``                      run one GEMM on one design
+- ``sweep``                         run one GEMM on every design
+- ``asm`` / ``disasm``              assemble ``.rasa`` text <-> JSONL traces
+
+Every command prints to stdout and returns a process exit code, so the CLI
+is unit-testable by calling :func:`main` directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.cpu.fast import FastCoreModel
+from repro.engine.designs import DESIGNS, get_design
+from repro.errors import ReproError
+from repro.experiments.area_energy import area_energy_report
+from repro.experiments.batch_sweep import fig7_batch_sensitivity
+from repro.experiments.layer_table import table1_report
+from repro.experiments.ppa_sweep import fig6_performance_per_area
+from repro.experiments.runner import ExperimentSettings
+from repro.experiments.runtime_sweep import fig5_normalized_runtime
+from repro.experiments.toy import fig1_toy_example
+from repro.experiments.utilization_sweep import fig2_utilization
+from repro.isa.assembler import assemble, disassemble
+from repro.isa.trace import load_trace, save_trace
+from repro.utils.tables import format_table
+from repro.workloads.codegen import generate_gemm_program
+from repro.workloads.gemm import GemmShape
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RASA (DAC 2021) reproduction: simulators, experiments, tools.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("designs", help="list the registered design points")
+    sub.add_parser("table1", help="print Table I")
+
+    fig = sub.add_parser("fig", help="regenerate a paper figure")
+    fig.add_argument("number", type=int, choices=(1, 2, 5, 6, 7))
+    fig.add_argument("--scale", type=int, default=4,
+                     help="divide each GEMM dimension by this factor (default 4)")
+
+    area = sub.add_parser("area", help="Sec. V area/energy report")
+    area.add_argument("--scale", type=int, default=4)
+
+    report = sub.add_parser("report", help="full reproduction report (markdown)")
+    report.add_argument("--scale", type=int, default=4)
+    report.add_argument("-o", "--output", type=Path, default=None,
+                        help="write to a file instead of stdout")
+
+    sim = sub.add_parser("simulate", help="run one GEMM on one design")
+    sim.add_argument("--design", default="rasa-dmdb-wls", choices=sorted(DESIGNS))
+    sim.add_argument("--m", type=int, required=True)
+    sim.add_argument("--n", type=int, required=True)
+    sim.add_argument("--k", type=int, required=True)
+
+    sweep = sub.add_parser("sweep", help="run one GEMM on every design")
+    sweep.add_argument("--m", type=int, required=True)
+    sweep.add_argument("--n", type=int, required=True)
+    sweep.add_argument("--k", type=int, required=True)
+
+    asm = sub.add_parser("asm", help="assemble .rasa text into a JSONL trace")
+    asm.add_argument("source", type=Path)
+    asm.add_argument("output", type=Path)
+
+    dis = sub.add_parser("disasm", help="disassemble a JSONL trace to .rasa text")
+    dis.add_argument("trace", type=Path)
+
+    return parser
+
+
+def _cmd_designs() -> int:
+    rows = [
+        (
+            d.key,
+            d.label,
+            d.config.pe.name,
+            d.config.control.value,
+            f"{d.config.phys_rows}x{d.config.phys_cols}",
+            d.config.serial_mm_latency,
+        )
+        for d in DESIGNS.values()
+    ]
+    print(format_table(
+        ["key", "label", "PE", "control", "array", "serial mm latency"], rows
+    ))
+    return 0
+
+
+def _cmd_fig(number: int, scale: int) -> int:
+    settings = ExperimentSettings(scale=scale)
+    if number == 1:
+        print(fig1_toy_example().render())
+    elif number == 2:
+        print(fig2_utilization().render())
+    elif number == 5:
+        print(fig5_normalized_runtime(settings).render())
+    elif number == 6:
+        print(fig6_performance_per_area(settings).render())
+    else:
+        print(fig7_batch_sensitivity(settings).render())
+    return 0
+
+
+def _simulate(design_key: str, shape: GemmShape):
+    program = generate_gemm_program(shape)
+    model = FastCoreModel(engine=get_design(design_key).config)
+    return model.run(program)
+
+
+def _cmd_simulate(args) -> int:
+    shape = GemmShape(m=args.m, n=args.n, k=args.k, name="cli")
+    result = _simulate(args.design, shape)
+    print(f"design      : {get_design(args.design).label}")
+    print(f"workload    : {shape}")
+    print(f"instructions: {result.instructions} ({result.mm_count} rasa_mm)")
+    print(f"cycles      : {result.cycles} ({result.seconds * 1e3:.3f} ms @ 2 GHz)")
+    print(f"IPC         : {result.ipc:.3f}")
+    print(f"WLBP bypass : {result.bypass_count} ({result.bypass_rate:.0%})")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    shape = GemmShape(m=args.m, n=args.n, k=args.k, name="cli")
+    results = {key: _simulate(key, shape) for key in DESIGNS}
+    base = results["baseline"]
+    rows = [
+        (
+            DESIGNS[key].label,
+            r.cycles,
+            f"{r.normalized_to(base):.3f}",
+            f"{r.bypass_rate:.2f}",
+        )
+        for key, r in results.items()
+    ]
+    print(format_table(["design", "cycles", "normalized", "bypass rate"], rows,
+                       title=str(shape)))
+    return 0
+
+
+def _cmd_asm(source: Path, output: Path) -> int:
+    program = assemble(source.read_text(), name=source.stem)
+    save_trace(program, output)
+    print(f"assembled {len(program)} instructions -> {output}")
+    return 0
+
+
+def _cmd_disasm(trace: Path) -> int:
+    print(disassemble(load_trace(trace)), end="")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "designs":
+            return _cmd_designs()
+        if args.command == "table1":
+            print(table1_report())
+            return 0
+        if args.command == "fig":
+            return _cmd_fig(args.number, args.scale)
+        if args.command == "area":
+            print(area_energy_report(ExperimentSettings(scale=args.scale)).render())
+            return 0
+        if args.command == "report":
+            from repro.experiments.report import full_report
+
+            text = full_report(ExperimentSettings(scale=args.scale))
+            if args.output is not None:
+                args.output.write_text(text)
+                print(f"wrote {args.output}")
+            else:
+                print(text)
+            return 0
+        if args.command == "simulate":
+            return _cmd_simulate(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+        if args.command == "asm":
+            return _cmd_asm(args.source, args.output)
+        if args.command == "disasm":
+            return _cmd_disasm(args.trace)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

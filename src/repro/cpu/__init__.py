@@ -1,0 +1,23 @@
+"""Trace-driven CPU core models (the paper's MacSim substrate).
+
+The paper replays Intel-SDE traces through MacSim configured like a Skylake
+core: 2 GHz, 16 pipeline stages, ROB of 97, fetch/issue/retire width 4, with
+the matrix engine attached as a 500 MHz functional unit and an ideal memory
+system ("the core is not stalled by memory").
+
+Two interchangeable models execute :class:`repro.isa.program.Program`
+streams against a RASA :class:`repro.engine.config.EngineConfig`:
+
+- :class:`repro.cpu.fast.FastCoreModel` — O(n) timestamp propagation;
+  used for the full evaluation sweeps.
+- :class:`repro.cpu.ooo.core.OutOfOrderCore` — a cycle-by-cycle OoO core
+  (fetch/rename/ROB/scheduler/execute/retire) used to validate the fast
+  model's timing on small programs.
+"""
+
+from repro.cpu.config import CoreConfig
+from repro.cpu.result import SimResult
+from repro.cpu.fast import FastCoreModel
+from repro.cpu.ooo.core import OutOfOrderCore
+
+__all__ = ["CoreConfig", "SimResult", "FastCoreModel", "OutOfOrderCore"]

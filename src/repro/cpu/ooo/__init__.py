@@ -1,0 +1,12 @@
+"""Cycle-accurate out-of-order core model.
+
+A classic Tomasulo/ROB machine ticked cycle by cycle: fetch -> dispatch
+(rename into ROB + reservation stations) -> wakeup/select onto execution
+ports -> complete -> in-order retire.  Used to validate the fast
+timestamp-propagation model on small programs; both share the
+:class:`repro.engine.scheduler.EngineScheduler` for the matrix-engine port.
+"""
+
+from repro.cpu.ooo.core import OutOfOrderCore
+
+__all__ = ["OutOfOrderCore"]

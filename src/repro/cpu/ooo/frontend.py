@@ -1,0 +1,36 @@
+"""Fetch/decode frontend: a rate limit plus the pipeline-fill delay.
+
+The paper's traces are straight-line GEMM kernels with perfectly predictable
+loop branches, so the frontend never redirects; it simply supplies
+``fetch_width`` instructions per cycle once the 16-stage pipeline's front
+half has filled.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.config import CoreConfig
+
+
+class FetchUnit:
+    """Tracks how many program instructions have been fetched by each cycle."""
+
+    def __init__(self, config: CoreConfig, program_length: int):
+        self._width = config.fetch_width
+        self._latency = config.frontend_latency
+        self._length = program_length
+        self._consumed = 0
+
+    def available(self, cycle: int) -> int:
+        """Instructions fetched and decoded but not yet dispatched at ``cycle``."""
+        if cycle < self._latency:
+            return 0
+        fetched = min(self._length, (cycle - self._latency + 1) * self._width)
+        return fetched - self._consumed
+
+    def consume(self, count: int) -> None:
+        """Mark ``count`` instructions as dispatched out of the fetch buffer."""
+        self._consumed += count
+
+    @property
+    def done(self) -> bool:
+        return self._consumed >= self._length

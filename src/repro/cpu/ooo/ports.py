@@ -1,0 +1,35 @@
+"""Execution ports: ALUs, load/store pipes, and the matrix-engine port."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cpu.config import CoreConfig
+
+
+class PortGroup:
+    """A pool of identical ports, each busy until a given cycle."""
+
+    def __init__(self, count: int, name: str):
+        self._busy_until: List[int] = [0] * count
+        self.name = name
+
+    def acquire(self, cycle: int, occupancy: int) -> bool:
+        """Claim a free port at ``cycle`` for ``occupancy`` cycles, if any."""
+        for i, busy in enumerate(self._busy_until):
+            if busy <= cycle:
+                self._busy_until[i] = cycle + occupancy
+                return True
+        return False
+
+    def any_free(self, cycle: int) -> bool:
+        return any(busy <= cycle for busy in self._busy_until)
+
+
+class ExecutionPorts:
+    """The Skylake-like port complement of :class:`CoreConfig`."""
+
+    def __init__(self, config: CoreConfig):
+        self.alu = PortGroup(config.alu_ports, "alu")
+        self.load = PortGroup(config.load_ports, "load")
+        self.store = PortGroup(config.store_ports, "store")

@@ -1,0 +1,44 @@
+"""Register renaming: map architectural registers to producing uops.
+
+With effectively unlimited physical registers (the fast model's assumption
+too), renaming reduces to remembering, per architectural register, the most
+recent in-flight producer; consumers depend on it, and WAR/WAW hazards
+vanish.  Tile and scalar register spaces rename independently.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.cpu.ooo.uop import Uop
+from repro.isa.instructions import ScalarReg, TileReg
+
+
+class RenameTable:
+    """Latest-producer map for tile and scalar architectural registers."""
+
+    def __init__(self) -> None:
+        self._tile_producer: Dict[int, Uop] = {}
+        self._scalar_producer: Dict[int, Uop] = {}
+        self._tile_version: Dict[int, int] = {}
+
+    def rename(self, uop: Uop) -> None:
+        """Attach source dependencies and claim destinations for ``uop``."""
+        inst = uop.inst
+        for src in inst.tile_reads:
+            producer = self._tile_producer.get(src.index)
+            if producer is not None and not producer.retired:
+                uop.deps.append(producer)
+        for src in inst.scalar_reads:
+            producer = self._scalar_producer.get(src.index)
+            if producer is not None and not producer.retired:
+                uop.deps.append(producer)
+        for dst in inst.tile_writes:
+            self._tile_producer[dst.index] = uop
+            self._tile_version[dst.index] = self._tile_version.get(dst.index, 0) + 1
+        for dst in inst.scalar_writes:
+            self._scalar_producer[dst.index] = uop
+
+    def tile_version(self, reg: TileReg) -> int:
+        """Program-order write count of ``reg`` (the weight-key version)."""
+        return self._tile_version.get(reg.index, 0)

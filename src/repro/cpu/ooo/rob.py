@@ -1,0 +1,54 @@
+"""Reorder buffer: program-order window with in-order retirement."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List
+
+from repro.cpu.config import CoreConfig
+from repro.cpu.ooo.uop import Uop
+
+
+class ReorderBuffer:
+    """A ``rob_size``-entry FIFO of in-flight uops retiring in order."""
+
+    def __init__(self, config: CoreConfig):
+        self._capacity = config.rob_size
+        self._retire_width = config.retire_width
+        self._entries: Deque[Uop] = deque()
+        self.retired_count = 0
+        self.last_retire_cycle = 0
+
+    @property
+    def free_slots(self) -> int:
+        return self._capacity - len(self._entries)
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    def allocate(self, uop: Uop) -> None:
+        if not self.free_slots:
+            raise OverflowError("ROB allocate on a full buffer")
+        self._entries.append(uop)
+
+    def retire(self, cycle: int) -> List[Uop]:
+        """Retire up to ``retire_width`` completed uops from the head."""
+        retired: List[Uop] = []
+        while (
+            len(retired) < self._retire_width
+            and self._entries
+            and self._entries[0].completed
+            and self._entries[0].complete_cycle < cycle
+        ):
+            uop = self._entries.popleft()
+            uop.retired = True
+            uop.retire_cycle = cycle
+            retired.append(uop)
+            self.retired_count += 1
+            self.last_retire_cycle = cycle
+        return retired
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries

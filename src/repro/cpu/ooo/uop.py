@@ -1,0 +1,58 @@
+"""Micro-op record flowing through the cycle-accurate core."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.isa.instructions import Instruction
+
+
+class Uop:
+    """One in-flight instruction with its renamed dependencies and timestamps."""
+
+    __slots__ = (
+        "index",
+        "inst",
+        "deps",
+        "issued",
+        "issue_cycle",
+        "complete_cycle",
+        "retired",
+        "retire_cycle",
+        "weight_key",
+    )
+
+    def __init__(self, index: int, inst: Instruction, weight_key=None):
+        self.index = index
+        self.inst = inst
+        #: Producer uops this one waits on (filled at rename).
+        self.deps: List["Uop"] = []
+        self.issued = False
+        self.issue_cycle: Optional[int] = None
+        self.complete_cycle: Optional[int] = None
+        self.retired = False
+        self.retire_cycle: Optional[int] = None
+        #: (B register, program-order version) for rasa_mm weight identity.
+        self.weight_key = weight_key
+
+    def ready_at(self, cycle: int) -> bool:
+        """All producers have completed by ``cycle``."""
+        return all(
+            d.complete_cycle is not None and d.complete_cycle <= cycle for d in self.deps
+        )
+
+    @property
+    def completed(self) -> bool:
+        return self.complete_cycle is not None
+
+    def __repr__(self) -> str:
+        state = (
+            "retired"
+            if self.retired
+            else "complete"
+            if self.completed
+            else "issued"
+            if self.issued
+            else "waiting"
+        )
+        return f"Uop(#{self.index} {self.inst} [{state}])"

@@ -1,0 +1,55 @@
+"""Simulation results reported by both CPU models."""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class SimResult:
+    """End-to-end timing of one program on one design.
+
+    Attributes:
+        design: design key (e.g. ``"rasa-dmdb-wls"``).
+        program: program name.
+        cycles: total CPU cycles from first fetch to last retire.
+        instructions: dynamic instruction count.
+        mm_count: rasa_mm instructions executed.
+        bypass_count: rasa_mm that skipped WL via weight reuse.
+        weight_loads: rasa_mm that performed a full WL.
+        engine_busy_cycles: engine-clock cycles from first WL to last drain.
+        clock_mhz: CPU clock, for converting cycles to seconds.
+    """
+
+    design: str
+    program: str
+    cycles: int
+    instructions: int
+    mm_count: int
+    bypass_count: int
+    weight_loads: int
+    engine_busy_cycles: int
+    clock_mhz: int
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / (self.clock_mhz * 1e6)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def bypass_rate(self) -> float:
+        return self.bypass_count / self.mm_count if self.mm_count else 0.0
+
+    @property
+    def cycles_per_mm(self) -> float:
+        """Average CPU cycles per rasa_mm — the throughput the paper plots."""
+        return self.cycles / self.mm_count if self.mm_count else 0.0
+
+    def normalized_to(self, baseline: "SimResult") -> float:
+        """Runtime normalized to a baseline run (Fig. 5 / Fig. 7's y-axis)."""
+        if baseline.cycles == 0:
+            return 0.0
+        return self.cycles / baseline.cycles

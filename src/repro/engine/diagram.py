@@ -1,0 +1,81 @@
+"""ASCII pipeline diagrams of scheduled rasa_mm streams (Fig. 4b).
+
+Renders a sequence of :class:`repro.engine.scheduler.StageTimes` as one lane
+per instruction with WL/FF/FS/DR segments on a shared cycle axis — the same
+picture the paper uses to explain BASE/PIPE/WLBP/WLS.  Used by the examples
+and docs; also a handy debugging tool when writing new control policies.
+
+Example output (WLBP with a bypassed second instruction)::
+
+    cycle     0         1         2
+              0123456789012345678901234...
+    mm0       WWWWFFFFSSSSDDDD
+    mm1           ....FFFFSSSSDDDD
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.engine.scheduler import StageTimes
+
+#: One glyph per sub-stage (bypassed WL renders as dots over its FF wait).
+_GLYPHS = {"wl": "W", "ff": "F", "fs": "S", "dr": "D", "extra": "+"}
+
+
+def _lane(times: StageTimes, origin: int, width: int) -> str:
+    cells = [" "] * width
+
+    def fill(start: int, end: int, glyph: str) -> None:
+        for cycle in range(start - origin, end - origin):
+            if 0 <= cycle < width:
+                cells[cycle] = glyph
+
+    if not times.bypassed:
+        fill(times.wl_start, times.wl_end, _GLYPHS["wl"])
+    fill(times.ff_start, times.ff_end, _GLYPHS["ff"])
+    fill(times.ff_end, times.fs_end, _GLYPHS["fs"])
+    fill(times.fs_end, times.dr_end, _GLYPHS["dr"])
+    fill(times.dr_end, times.complete, _GLYPHS["extra"])
+    return "".join(cells).rstrip()
+
+
+def render_pipeline(
+    schedule: Sequence[StageTimes],
+    max_width: int = 160,
+    label_width: int = 8,
+) -> str:
+    """Render a Fig. 4(b)-style diagram of the scheduled instructions.
+
+    Args:
+        schedule: stage times, as produced by the engine scheduler.
+        max_width: clip the cycle axis after this many columns.
+        label_width: width of the per-lane label column.
+
+    Returns:
+        A multi-line string: a cycle ruler plus one lane per rasa_mm.
+        Glyphs: W = Weight Load, F = Feed First, S = Feed Second,
+        D = Drain, + = merge-adder latency; bypassed instructions show no W.
+    """
+    if not schedule:
+        return "(empty schedule)"
+    origin = min(t.wl_start for t in schedule)
+    span = max(t.complete for t in schedule) - origin
+    width = min(span, max_width)
+
+    tens = "".join(str(((origin + i) // 10) % 10) for i in range(width))
+    ones = "".join(str((origin + i) % 10) for i in range(width))
+    lines: List[str] = [
+        f"{'cycle':<{label_width}}{tens}",
+        f"{'':<{label_width}}{ones}",
+    ]
+    for times in schedule:
+        label = f"mm{times.index}" + ("*" if times.bypassed else "")
+        lines.append(f"{label:<{label_width}}{_lane(times, origin, width)}")
+    if span > max_width:
+        lines.append(f"{'':<{label_width}}... ({span - max_width} more cycles)")
+    lines.append(
+        f"{'':<{label_width}}W=WeightLoad F=FeedFirst S=FeedSecond D=Drain "
+        f"+=merge  *=WL bypassed"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,200 @@
+"""MatrixEngine: functional + timed execution of RASA programs.
+
+The engine binds together the tile register file (with WLBP dirty bits), the
+systolic array substrate, and the sub-stage scheduler.  It executes whole
+:class:`repro.isa.program.Program` streams *engine-bound*: every operand is
+assumed ready when its instruction reaches the engine (the paper's "core is
+not stalled by memory" idealization, with an infinitely fast frontend).  The
+CPU models in :mod:`repro.cpu` reuse the same :class:`EngineScheduler` but
+supply real readiness times.
+
+Functional fidelity is selectable per run:
+
+- ``"array"``  — every rasa_mm flows through the cycle-accurate systolic
+  array (bit-exact, slow; used by tests and small examples);
+- ``"oracle"`` — rasa_mm computed by the NumPy golden oracle with identical
+  rounding semantics (fast; still bit-exact by construction);
+- ``"off"``    — timing only, no data movement (large benchmark sweeps).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from repro.engine.config import EngineConfig
+from repro.engine.scheduler import EngineScheduler, StageTimes
+from repro.errors import ConfigError, SimError
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+from repro.numerics.mac import matmul_bf16_fp32, matmul_bf16_fp32_chained
+from repro.systolic.array import SystolicArray
+from repro.tile.memory import TileMemory
+from repro.tile.regfile import TileRegisterFile
+from repro.tile.vnni import unpack_b_tile
+
+_FUNCTIONAL_MODES = ("array", "oracle", "off")
+
+
+@dataclasses.dataclass
+class EngineStats:
+    """Counters accumulated over one program execution."""
+
+    mm_count: int = 0
+    bypass_count: int = 0
+    weight_load_count: int = 0
+    tile_loads: int = 0
+    tile_stores: int = 0
+    total_cycles: int = 0  # engine cycles, first WL to last completion
+    mac_count: int = 0
+
+    @property
+    def bypass_rate(self) -> float:
+        return self.bypass_count / self.mm_count if self.mm_count else 0.0
+
+    @property
+    def mm_throughput(self) -> float:
+        """Average rasa_mm initiation interval (engine cycles per mm)."""
+        return self.total_cycles / self.mm_count if self.mm_count else 0.0
+
+
+@dataclasses.dataclass
+class EngineReport:
+    """Result of :meth:`MatrixEngine.run`: stats plus the full mm schedule."""
+
+    stats: EngineStats
+    schedule: List[StageTimes]
+
+    @property
+    def total_cycles(self) -> int:
+        return self.stats.total_cycles
+
+
+class MatrixEngine:
+    """The RASA matrix engine functional unit.
+
+    Args:
+        config: the design point (PE variant + control policy).
+        functional: ``"array"``, ``"oracle"``, or ``"off"`` (see module doc).
+        memory: simulation memory for tile loads/stores; a fresh one is
+            created if omitted (only relevant when ``functional != "off"``).
+    """
+
+    def __init__(
+        self,
+        config: EngineConfig,
+        functional: str = "oracle",
+        memory: Optional[TileMemory] = None,
+    ):
+        if functional not in _FUNCTIONAL_MODES:
+            raise ConfigError(
+                f"functional must be one of {_FUNCTIONAL_MODES}, got {functional!r}"
+            )
+        if functional != "off" and not config.is_architectural:
+            raise ConfigError(
+                "functional execution requires the architectural tile geometry "
+                "(hypothetical tile sizes are timing-only; use functional='off')"
+            )
+        self.config = config
+        self.functional = functional
+        self.memory = memory if memory is not None else TileMemory()
+        self.regfile = TileRegisterFile()
+        self.scheduler = EngineScheduler(config)
+        self._array: Optional[SystolicArray] = None
+        if functional == "array":
+            self._array = SystolicArray(
+                config.phys_rows,
+                config.phys_cols,
+                pe=config.pe,
+                wl_rows_per_cycle=config.wl_rows_per_cycle,
+            )
+
+    def reset(self) -> None:
+        """Clear registers, dirty bits, and scheduler state (keep memory)."""
+        self.regfile.reset()
+        self.scheduler.reset()
+
+    # -- single-instruction execution ------------------------------------------------
+
+    def _weight_key(self, inst) -> tuple:
+        return (inst.mm_b.index, self.regfile.version(inst.mm_b))
+
+    def _execute_mm_functional(self, inst, bypassed: bool) -> None:
+        a_tile = self.regfile.read_bf16(inst.mm_a)
+        c_tile = self.regfile.read_fp32(inst.mm_c)
+        if self.functional == "array":
+            # Only reload the array's weights when the schedule says WL ran:
+            # if bypass bookkeeping ever diverged from the data, outputs would
+            # be computed with stale weights and the oracle check would fail.
+            if not bypassed:
+                b_tile = unpack_b_tile(self.regfile.read_bf16(inst.mm_b))
+                self._array.load_weights(b_tile)
+            run = self._array.stream(a_tile, c_tile)
+            result = run.output
+        else:
+            b_tile = unpack_b_tile(self.regfile.read_bf16(inst.mm_b))
+            if self.config.pe.is_double_multiplier:
+                result = matmul_bf16_fp32_chained(
+                    a_tile, b_tile, c_tile, chains=self.config.pe.psum_chains
+                )
+            else:
+                result = matmul_bf16_fp32(a_tile, b_tile, c_tile)
+        self.regfile.write_fp32(inst.mm_c, result)
+
+    def _execute_mm(self, inst, stats: EngineStats) -> StageTimes:
+        key = self._weight_key(inst)
+        # Cross-check the architectural dirty-bit protocol against the exact
+        # version key: they must always agree, or WLBP would be unsafe.
+        dirty_bit_says = self.regfile.can_bypass_weight_load(inst.mm_b)
+        key_says = self.scheduler.resident_weights == key
+        if dirty_bit_says != key_says:
+            raise SimError(
+                f"dirty-bit protocol diverged from content versions on {inst}"
+            )
+        times = self.scheduler.schedule_mm(ready_b=0, ready_ac=0, weight_key=key)
+        # Record the weight-load residency *before* the writeback: the WL
+        # consumes B at weight-load time, so if C names the same register the
+        # accumulate must re-dirty it (caught by the fuzz suite).
+        if not times.bypassed:
+            self.regfile.mark_weights_loaded(inst.mm_b)
+        if self.functional != "off":
+            self._execute_mm_functional(inst, bypassed=times.bypassed)
+        stats.mm_count += 1
+        stats.mac_count += self.config.tile_m * self.config.tile_n * self.config.tile_k
+        if times.bypassed:
+            stats.bypass_count += 1
+        else:
+            stats.weight_load_count += 1
+        return times
+
+    # -- whole-program execution --------------------------------------------------------
+
+    def run(self, program: Program) -> EngineReport:
+        """Execute a program engine-bound (all operands ready on arrival).
+
+        Tile loads/stores move data (when functional) but take zero engine
+        time — this isolates the engine's own pipelining behaviour, which is
+        what Fig. 7's asymptote reasons about.  Use the CPU models for
+        end-to-end timing.
+        """
+        stats = EngineStats()
+        schedule: List[StageTimes] = []
+        for inst in program:
+            if inst.opcode is Opcode.RASA_TL:
+                if self.functional != "off":
+                    tile = self.memory.load_tile(inst.mem.address, inst.mem.stride)
+                    self.regfile.write_bytes(inst.dst, tile)
+                else:
+                    self.regfile.touch(inst.dst)
+                stats.tile_loads += 1
+            elif inst.opcode is Opcode.RASA_TS:
+                if self.functional != "off":
+                    tile = self.regfile.read_bytes(inst.srcs[0])
+                    self.memory.store_tile(inst.mem.address, tile, inst.mem.stride)
+                stats.tile_stores += 1
+            elif inst.opcode is Opcode.RASA_MM:
+                schedule.append(self._execute_mm(inst, stats))
+            # Scalar instructions carry no engine-side semantics.
+        if schedule:
+            stats.total_cycles = schedule[-1].complete - schedule[0].wl_start
+        return EngineReport(stats=stats, schedule=schedule)

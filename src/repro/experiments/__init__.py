@@ -1,0 +1,46 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Every driver returns plain data structures *and* a formatted text rendering
+(the same rows/series the paper's figure plots), so the benchmark harness
+under ``benchmarks/`` just invokes these and prints.
+
+| Driver                  | Paper artifact                          |
+|-------------------------|------------------------------------------|
+| ``toy``                 | Fig. 1 — 2x2 WS walkthrough (28.6 %)     |
+| ``utilization_sweep``   | Fig. 2 — PE utilization vs TM            |
+| ``layer_table``         | Table I — layer dimensions               |
+| ``runtime_sweep``       | Fig. 5 — normalized runtime, 8 designs   |
+| ``ppa_sweep``           | Fig. 6 — performance per area            |
+| ``batch_sweep``         | Fig. 7 — batch-size sensitivity          |
+| ``area_energy``         | Sec. V text — area + energy efficiency   |
+"""
+
+from repro.experiments.runner import ExperimentSettings, run_design, runtime_sweep
+from repro.experiments.toy import fig1_toy_example
+from repro.experiments.utilization_sweep import fig2_utilization
+from repro.experiments.layer_table import table1_report
+from repro.experiments.runtime_sweep import fig5_normalized_runtime
+from repro.experiments.ppa_sweep import fig6_performance_per_area
+from repro.experiments.batch_sweep import fig7_batch_sensitivity
+from repro.experiments.area_energy import area_energy_report
+from repro.experiments.register_scaling import (
+    register_scaling_sweep,
+    render_register_scaling,
+)
+from repro.experiments.report import full_report
+
+__all__ = [
+    "ExperimentSettings",
+    "run_design",
+    "runtime_sweep",
+    "fig1_toy_example",
+    "fig2_utilization",
+    "table1_report",
+    "fig5_normalized_runtime",
+    "fig6_performance_per_area",
+    "fig7_batch_sensitivity",
+    "area_energy_report",
+    "register_scaling_sweep",
+    "render_register_scaling",
+    "full_report",
+]

@@ -1,0 +1,108 @@
+"""Sec. V in-text table — area overheads and energy-efficiency gains.
+
+Paper numbers: baseline array = 0.7 % of a Skylake GT2 4C die; DB/DM/DMDB
+area overheads 3.1 %/2.6 %/5.5 %; RASA-DMDB total 0.847 mm²; average
+energy-efficiency gains (best control per data optimization) 4.38x (DB),
+2.19x (DM), 4.59x (DMDB).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+from repro.engine.designs import DESIGNS
+from repro.experiments.runner import (
+    DEFAULT_SETTINGS,
+    ExperimentSettings,
+    geometric_mean,
+    runtime_sweep,
+)
+from repro.physical.area import ArrayAreaModel
+from repro.physical.energy import EnergyModel
+from repro.utils.tables import format_table
+
+#: Best-control design per data optimization, as Sec. V evaluates them.
+DATA_OPT_DESIGNS: Dict[str, str] = {
+    "RASA-DB": "rasa-db-wls",
+    "RASA-DM": "rasa-dm-wlbp",
+    "RASA-DMDB": "rasa-dmdb-wls",
+}
+
+PAPER_AREA_OVERHEAD = {"RASA-DB": 0.031, "RASA-DM": 0.026, "RASA-DMDB": 0.055}
+PAPER_EFFICIENCY = {"RASA-DB": 4.38, "RASA-DM": 2.19, "RASA-DMDB": 4.59}
+PAPER_DMDB_TOTAL_MM2 = 0.847
+
+
+@dataclasses.dataclass(frozen=True)
+class AreaEnergyReport:
+    baseline_area_mm2: float
+    estimated_die_mm2: float
+    area_mm2: Dict[str, float]
+    area_overhead: Dict[str, float]
+    efficiency: Dict[str, float]
+
+    def render(self) -> str:
+        rows = []
+        for label in DATA_OPT_DESIGNS:
+            rows.append(
+                (
+                    label,
+                    f"{self.area_mm2[label]:.3f}",
+                    f"{self.area_overhead[label] * 100:.1f}%",
+                    f"{PAPER_AREA_OVERHEAD[label] * 100:.1f}%",
+                    f"{self.efficiency[label]:.2f}x",
+                    f"{PAPER_EFFICIENCY[label]:.2f}x",
+                )
+            )
+        table = format_table(
+            [
+                "design",
+                "area (mm^2)",
+                "overhead",
+                "paper overhead",
+                "energy eff.",
+                "paper eff.",
+            ],
+            rows,
+            title="Sec. V — area overhead and energy efficiency vs baseline",
+        )
+        return table + (
+            f"\nBaseline array: {self.baseline_area_mm2:.3f} mm^2 "
+            f"(0.7% of an estimated {self.estimated_die_mm2:.0f} mm^2 die); "
+            f"paper RASA-DMDB total: {PAPER_DMDB_TOTAL_MM2} mm^2"
+        )
+
+
+def area_energy_report(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+) -> AreaEnergyReport:
+    """Compute the Sec. V table from the area/energy models + Fig. 5 grid."""
+    area_model = ArrayAreaModel()
+    energy_model = EnergyModel()
+    baseline_config = DESIGNS["baseline"].config
+    results = runtime_sweep(settings)
+
+    area_mm2: Dict[str, float] = {}
+    overhead: Dict[str, float] = {}
+    efficiency: Dict[str, float] = {}
+    for label, key in DATA_OPT_DESIGNS.items():
+        config = DESIGNS[key].config
+        area_mm2[label] = area_model.array_area_mm2(config)
+        overhead[label] = area_model.overhead_vs(config, baseline_config)
+        gains = []
+        for per_design in results.values():
+            gains.append(
+                energy_model.efficiency_vs(
+                    per_design[key], config, per_design["baseline"], baseline_config
+                )
+            )
+        efficiency[label] = geometric_mean(gains)
+
+    return AreaEnergyReport(
+        baseline_area_mm2=area_model.array_area_mm2(baseline_config),
+        estimated_die_mm2=area_model.estimated_die_mm2(baseline_config),
+        area_mm2=area_mm2,
+        area_overhead=overhead,
+        efficiency=efficiency,
+    )

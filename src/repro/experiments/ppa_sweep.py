@@ -1,0 +1,64 @@
+"""Fig. 6 — performance per area of the RASA-Data optimizations.
+
+The figure compares RASA-DB-WLS, RASA-DM-WLBP and RASA-DMDB-WLS (each data
+optimization under its best control optimization), normalized to the
+baseline.  Because the data optimizations cost only a few percent of area,
+PPA tracks the runtime trend of Fig. 5.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+from repro.engine.designs import DESIGNS, FIG6_DESIGNS
+from repro.experiments.runner import (
+    DEFAULT_SETTINGS,
+    ExperimentSettings,
+    geometric_mean,
+    runtime_sweep,
+)
+from repro.physical.area import ArrayAreaModel
+from repro.physical.ppa import performance_per_area
+from repro.utils.tables import format_table
+
+
+@dataclasses.dataclass(frozen=True)
+class PpaSweep:
+    """Per-workload and average normalized PPA for the Fig. 6 designs."""
+
+    per_workload: Dict[str, Dict[str, float]]
+    averages: Dict[str, float]
+
+    def render(self) -> str:
+        headers = ["workload"] + [DESIGNS[k].label for k in FIG6_DESIGNS]
+        rows = []
+        for workload, per_design in self.per_workload.items():
+            rows.append([workload] + [f"{per_design[k]:.2f}" for k in FIG6_DESIGNS])
+        rows.append(["GEOMEAN"] + [f"{self.averages[k]:.2f}" for k in FIG6_DESIGNS])
+        return format_table(
+            headers, rows, title="Fig. 6 — performance per area (normalized to baseline)"
+        )
+
+
+def fig6_performance_per_area(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+) -> PpaSweep:
+    """Compute normalized PPA from the cached Fig. 5 grid + the area model."""
+    results = runtime_sweep(settings)
+    model = ArrayAreaModel()
+    baseline_config = DESIGNS["baseline"].config
+    per_workload: Dict[str, Dict[str, float]] = {}
+    for workload, per_design in results.items():
+        base = per_design["baseline"]
+        per_workload[workload] = {
+            key: performance_per_area(
+                per_design[key], DESIGNS[key].config, base, baseline_config, model
+            )
+            for key in FIG6_DESIGNS
+        }
+    averages = {
+        key: geometric_mean(per_workload[w][key] for w in per_workload)
+        for key in FIG6_DESIGNS
+    }
+    return PpaSweep(per_workload=per_workload, averages=averages)

@@ -1,0 +1,122 @@
+"""E16 — the register-scaling counterfactual (extension).
+
+Sec. III argues a CPU cannot take the accelerators' escape hatch of a large
+TM because "increasing the size of the tile registers comes with overhead
+in area and power".  This experiment makes that argument quantitative:
+
+- a *hypothetical* serialized baseline with TM-row tile registers (the ISA
+  change RASA avoids) — throughput from Eq. 1, register-file area growing
+  linearly with TM;
+- RASA-DMDB-WLS with the architectural 1 KB registers — TM-bound steady
+  state (one rasa_mm per 16 cycles).
+
+The metric is engine throughput (MACs/cycle) per mm² of array + tile
+register file.  The RASA point dominates every big-register baseline: the
+pipelining recovers what bigger registers would buy, at ~5.5 % array
+overhead instead of kilobytes of architected register state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+from repro.engine.config import ControlPolicy, EngineConfig
+from repro.engine.designs import DESIGNS
+from repro.engine.scheduler import EngineScheduler
+from repro.physical.area import ArrayAreaModel
+from repro.physical.components import NANGATE15
+from repro.utils.tables import format_table
+
+#: Area of architected tile-register storage (µm² per byte, SRAM-ish).
+TREG_AREA_PER_BYTE = 2.0
+#: Architected tile registers (Sec. IV-A).
+NUM_TREGS = 8
+
+
+@dataclasses.dataclass(frozen=True)
+class RegisterScalingPoint:
+    """One design point of the counterfactual sweep."""
+
+    label: str
+    tile_m: int
+    steady_ii: int
+    treg_kib: float
+    area_mm2: float
+
+    @property
+    def macs_per_cycle(self) -> float:
+        """Engine throughput: one mm = tile_m x 16 x 32 MACs per II."""
+        return self.tile_m * 16 * 32 / self.steady_ii
+
+    @property
+    def throughput_per_area(self) -> float:
+        return self.macs_per_cycle / self.area_mm2
+
+
+def _steady_ii(config: EngineConfig) -> int:
+    """Measured steady-state initiation interval (distinct weights)."""
+    scheduler = EngineScheduler(config)
+    times = [scheduler.schedule_mm(0, 0, key) for key in range(8)]
+    return times[-1].ff_start - times[-2].ff_start
+
+
+def _treg_bytes(tile_m: int) -> int:
+    """Bytes of one A/C tile register holding tile_m 64 B rows."""
+    return tile_m * 64
+
+
+def register_scaling_sweep(
+    tm_values: Sequence[int] = (16, 32, 64, 128, 256),
+) -> List[RegisterScalingPoint]:
+    """Build the counterfactual sweep: big-register baselines + RASA."""
+    area_model = ArrayAreaModel()
+    baseline_cfg = DESIGNS["baseline"].config
+    array_area = area_model.array_area_mm2(baseline_cfg)
+    points: List[RegisterScalingPoint] = []
+    for tm in tm_values:
+        config = dataclasses.replace(
+            baseline_cfg, control=ControlPolicy.BASE, tile_m=tm
+        )
+        regfile_um2 = NUM_TREGS * _treg_bytes(tm) * TREG_AREA_PER_BYTE
+        points.append(
+            RegisterScalingPoint(
+                label=f"baseline, TM={tm} ({_treg_bytes(tm) // 1024} KiB tregs)",
+                tile_m=tm,
+                steady_ii=_steady_ii(config),
+                treg_kib=NUM_TREGS * _treg_bytes(tm) / 1024,
+                area_mm2=array_area + regfile_um2 / 1e6,
+            )
+        )
+    rasa_cfg = DESIGNS["rasa-dmdb-wls"].config
+    rasa_area = area_model.array_area_mm2(rasa_cfg)
+    regfile_um2 = NUM_TREGS * _treg_bytes(16) * TREG_AREA_PER_BYTE
+    points.append(
+        RegisterScalingPoint(
+            label="RASA-DMDB-WLS, TM=16 (1 KiB tregs)",
+            tile_m=16,
+            steady_ii=_steady_ii(rasa_cfg),
+            treg_kib=NUM_TREGS * _treg_bytes(16) / 1024,
+            area_mm2=rasa_area + regfile_um2 / 1e6,
+        )
+    )
+    return points
+
+
+def render_register_scaling(points: List[RegisterScalingPoint]) -> str:
+    rows = [
+        (
+            p.label,
+            p.steady_ii,
+            f"{p.treg_kib:.0f}",
+            f"{p.area_mm2:.3f}",
+            f"{p.macs_per_cycle:.0f}",
+            f"{p.throughput_per_area:.0f}",
+        )
+        for p in points
+    ]
+    return format_table(
+        ["design point", "steady II", "treg KiB", "area mm^2", "MACs/cycle", "MACs/cyc/mm^2"],
+        rows,
+        title="E16 — bigger registers vs RASA pipelining",
+    )

@@ -1,0 +1,61 @@
+"""One-shot reproduction report: every paper artifact in a single document.
+
+``python -m repro report`` (or :func:`full_report`) regenerates Fig. 1, 2,
+5, 6, 7, Table I, the Sec. V area/energy table and the E16 counterfactual,
+and stitches them into a markdown document — the quickest way to eyeball
+the whole reproduction at once.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.area_energy import area_energy_report
+from repro.experiments.batch_sweep import fig7_batch_sensitivity
+from repro.experiments.layer_table import table1_report
+from repro.experiments.ppa_sweep import fig6_performance_per_area
+from repro.experiments.register_scaling import (
+    register_scaling_sweep,
+    render_register_scaling,
+)
+from repro.experiments.runner import DEFAULT_SETTINGS, ExperimentSettings
+from repro.experiments.runtime_sweep import fig5_normalized_runtime
+from repro.experiments.toy import fig1_toy_example
+from repro.experiments.utilization_sweep import fig2_utilization
+
+
+def _section(title: str, body: str) -> str:
+    return f"## {title}\n\n```\n{body}\n```\n"
+
+
+def full_report(settings: ExperimentSettings = DEFAULT_SETTINGS) -> str:
+    """Render the complete reproduction report as markdown."""
+    parts = [
+        "# RASA (DAC 2021) — reproduction report",
+        "",
+        f"Workload scale: 1/{settings.scale} per GEMM dimension "
+        "(normalized results converge; see DESIGN.md).",
+        "",
+        _section("Table I — evaluated layers", table1_report()),
+        _section("Fig. 1 — toy 2x2 walkthrough", fig1_toy_example().render()),
+        _section("Fig. 2 — PE utilization vs TM", fig2_utilization().render()),
+        _section(
+            "Fig. 5 — normalized runtime",
+            fig5_normalized_runtime(settings).render(),
+        ),
+        _section(
+            "Fig. 6 — performance per area",
+            fig6_performance_per_area(settings).render(),
+        ),
+        _section(
+            "Fig. 7 — batch-size sensitivity",
+            fig7_batch_sensitivity(settings).render(),
+        ),
+        _section(
+            "Sec. V — area and energy",
+            area_energy_report(settings).render(),
+        ),
+        _section(
+            "E16 — register-scaling counterfactual",
+            render_register_scaling(register_scaling_sweep()),
+        ),
+    ]
+    return "\n".join(parts)

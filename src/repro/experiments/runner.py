@@ -1,0 +1,101 @@
+"""Common experiment plumbing: generate streams, run designs, cache sweeps.
+
+The paper's absolute cycle counts come from full-size layers on MacSim; our
+default sweeps run the same layers *scaled down* (every GEMM dimension
+divided by ``scale``) because normalized runtimes converge quickly with
+size — the steady-state initiation interval dominates — which a dedicated
+convergence test verifies.  Pass ``scale=1`` for full-size runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+from typing import Dict, Tuple
+
+from repro.cpu.config import CoreConfig
+from repro.cpu.fast import FastCoreModel
+from repro.cpu.result import SimResult
+from repro.engine.designs import DESIGNS, get_design
+from repro.isa.program import Program
+from repro.workloads.codegen import CodegenOptions, generate_gemm_program
+from repro.workloads.gemm import GemmShape
+from repro.workloads.layers import table1_gemms
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentSettings:
+    """Shared knobs for every sweep."""
+
+    scale: int = 4
+    core: CoreConfig = CoreConfig()
+    codegen: CodegenOptions = CodegenOptions()
+
+
+DEFAULT_SETTINGS = ExperimentSettings()
+
+
+@functools.lru_cache(maxsize=64)
+def _cached_program(shape: GemmShape, codegen: CodegenOptions) -> Program:
+    return generate_gemm_program(shape, codegen)
+
+
+def workload_shapes(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Dict[str, GemmShape]:
+    """The nine Table I GEMMs at the settings' scale."""
+    return {
+        name: shape.scaled(settings.scale) for name, shape in table1_gemms().items()
+    }
+
+
+def run_design(
+    design_key: str,
+    shape: GemmShape,
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+) -> SimResult:
+    """Generate the stream for ``shape`` and simulate it on one design."""
+    program = _cached_program(shape, settings.codegen)
+    design = get_design(design_key)
+    model = FastCoreModel(core=settings.core, engine=design.config)
+    return model.run(program)
+
+
+@functools.lru_cache(maxsize=8)
+def runtime_sweep(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+) -> Dict[str, Dict[str, SimResult]]:
+    """Run every design on every Table I workload (the Fig. 5 grid).
+
+    Returns ``results[workload_name][design_key]``.  Cached: Fig. 6 and the
+    energy table reuse the same grid.
+    """
+    results: Dict[str, Dict[str, SimResult]] = {}
+    for name, shape in workload_shapes(settings).items():
+        results[name] = {
+            key: run_design(key, shape, settings) for key in DESIGNS
+        }
+    return results
+
+
+def normalized_runtimes(
+    results: Dict[str, Dict[str, SimResult]],
+    baseline_key: str = "baseline",
+) -> Dict[str, Dict[str, float]]:
+    """Normalize each design's cycles to the baseline, per workload."""
+    table: Dict[str, Dict[str, float]] = {}
+    for workload, per_design in results.items():
+        base = per_design[baseline_key]
+        table[workload] = {
+            key: result.normalized_to(base) for key, result in per_design.items()
+        }
+    return table
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean (the conventional normalized-runtime average)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))

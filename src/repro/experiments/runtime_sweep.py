@@ -1,0 +1,69 @@
+"""Fig. 5 — runtime of every RASA design normalized to the baseline.
+
+The paper's headline numbers (average runtime *reductions*): PIPE 15.7 %,
+WLBP 30.9 %, DM-WLBP 55.5 %, DB-WLS 78.1 %, DMDB-WLS 79.2 %.  The paper
+also observes "the relative performances of various configurations are
+independent of workloads" — visible here as near-identical rows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.engine.designs import DESIGNS
+from repro.experiments.runner import (
+    DEFAULT_SETTINGS,
+    ExperimentSettings,
+    geometric_mean,
+    normalized_runtimes,
+    runtime_sweep,
+)
+from repro.utils.tables import format_table
+
+#: Average normalized runtimes reported by the paper (1 − reduction).
+PAPER_AVERAGES: Dict[str, float] = {
+    "rasa-pipe": 1.0 - 0.157,
+    "rasa-wlbp": 1.0 - 0.309,
+    "rasa-dm-wlbp": 1.0 - 0.555,
+    "rasa-db-wls": 1.0 - 0.781,
+    "rasa-dmdb-wls": 1.0 - 0.792,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class RuntimeSweep:
+    """The Fig. 5 grid: normalized runtime per (workload, design)."""
+
+    normalized: Dict[str, Dict[str, float]]
+    averages: Dict[str, float]
+
+    def render(self) -> str:
+        design_keys: List[str] = [k for k in DESIGNS]
+        headers = ["workload"] + [DESIGNS[k].label for k in design_keys]
+        rows = []
+        for workload, per_design in self.normalized.items():
+            rows.append([workload] + [f"{per_design[k]:.3f}" for k in design_keys])
+        rows.append(["GEOMEAN"] + [f"{self.averages[k]:.3f}" for k in design_keys])
+        paper_row = ["paper avg"]
+        for k in design_keys:
+            paper_row.append(f"{PAPER_AVERAGES[k]:.3f}" if k in PAPER_AVERAGES else "-")
+        rows.append(paper_row)
+        return format_table(
+            headers, rows, title="Fig. 5 — runtime normalized to baseline"
+        )
+
+
+def fig5_normalized_runtime(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+) -> RuntimeSweep:
+    """Run the full design x workload grid and normalize to the baseline."""
+    results = runtime_sweep(settings)
+    normalized = normalized_runtimes(results)
+    averages = {
+        key: geometric_mean(
+            normalized[workload][key] for workload in normalized
+        )
+        for key in DESIGNS
+    }
+    return RuntimeSweep(normalized=normalized, averages=averages)

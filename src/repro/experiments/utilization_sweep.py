@@ -1,0 +1,55 @@
+"""Fig. 2 — PE utilization vs input size (TM) for several array dimensions.
+
+The figure shows utilization of a serialized fold rising toward 1 as TM
+grows, for arrays from small to large; growing TK/TN depresses utilization
+at fixed TM — the structural reason CPUs (TM pinned to 16 by the tile
+registers) cannot use the standalone accelerators' big-TM escape hatch.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Tuple
+
+from repro.systolic.utilization import utilization_sweep
+from repro.utils.tables import format_table
+
+#: The figure's series: square arrays plus the paper's 32x16 CPU array.
+DEFAULT_DIMS: Tuple[Tuple[int, int], ...] = (
+    (4, 4),
+    (8, 8),
+    (16, 16),
+    (32, 16),
+    (32, 32),
+    (64, 64),
+    (128, 128),
+)
+DEFAULT_TMS: Tuple[int, ...] = (4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096)
+
+
+@dataclasses.dataclass(frozen=True)
+class UtilizationSweep:
+    tm_values: Sequence[int]
+    series: Dict[Tuple[int, int], List[float]]
+
+    def render(self) -> str:
+        headers = ["TM"] + [f"{tk}x{tn}" for tk, tn in self.series]
+        rows = []
+        for idx, tm in enumerate(self.tm_values):
+            rows.append(
+                [tm] + [f"{values[idx]:.3f}" for values in self.series.values()]
+            )
+        return format_table(
+            headers, rows, title="Fig. 2 — PE utilization vs TM (one serialized fold)"
+        )
+
+
+def fig2_utilization(
+    tm_values: Sequence[int] = DEFAULT_TMS,
+    dims: Sequence[Tuple[int, int]] = DEFAULT_DIMS,
+) -> UtilizationSweep:
+    """Compute the Fig. 2 series."""
+    return UtilizationSweep(
+        tm_values=tuple(tm_values),
+        series=utilization_sweep(tm_values, dims),
+    )

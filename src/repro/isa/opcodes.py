@@ -1,0 +1,42 @@
+"""Opcode definitions for the RASA ISA."""
+
+from __future__ import annotations
+
+import enum
+
+
+class Opcode(enum.Enum):
+    """Every instruction kind the simulators understand.
+
+    The three RASA tile opcodes mirror Intel AMX's tileload/tilestore/tdp*
+    family; the scalar opcodes are the minimal set needed to model kernel
+    loop overhead (address arithmetic, loop counters, branches).
+    """
+
+    RASA_TL = "rasa_tl"  # tile load: treg <- memory
+    RASA_TS = "rasa_ts"  # tile store: memory <- treg
+    RASA_MM = "rasa_mm"  # tile matmul-accumulate on the systolic engine
+    ADD = "add"          # scalar ALU
+    MUL = "mul"          # scalar multiply (address scaling)
+    MOV = "mov"          # scalar move / immediate load
+    CMP = "cmp"          # compare, writes a flag register
+    BRANCH = "branch"    # conditional branch (modelled as always-predicted)
+    NOP = "nop"
+
+    @property
+    def is_tile(self) -> bool:
+        """True for the three tile-register instructions."""
+        return self in (Opcode.RASA_TL, Opcode.RASA_TS, Opcode.RASA_MM)
+
+    @property
+    def is_memory(self) -> bool:
+        """True for instructions that touch memory."""
+        return self in (Opcode.RASA_TL, Opcode.RASA_TS)
+
+    @property
+    def is_matmul(self) -> bool:
+        return self is Opcode.RASA_MM
+
+    @property
+    def is_scalar(self) -> bool:
+        return not self.is_tile

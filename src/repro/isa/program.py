@@ -1,0 +1,111 @@
+"""Program container: an ordered instruction stream plus summary statistics."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Iterator, List
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode
+
+
+@dataclasses.dataclass(frozen=True)
+class ProgramStats:
+    """Instruction-mix statistics of a program."""
+
+    total: int
+    tile_loads: int
+    tile_stores: int
+    matmuls: int
+    scalars: int
+
+    @property
+    def tile_fraction(self) -> float:
+        """Fraction of instructions that are tile instructions."""
+        if not self.total:
+            return 0.0
+        return (self.tile_loads + self.tile_stores + self.matmuls) / self.total
+
+
+class Program:
+    """An ordered sequence of :class:`Instruction` — one dynamic trace.
+
+    Programs are what the code generator emits and what both CPU models
+    consume.  They behave like immutable sequences; use
+    :class:`repro.isa.builder.ProgramBuilder` to construct them.
+    """
+
+    def __init__(self, instructions: Iterable[Instruction], name: str = "program"):
+        self._instructions: List[Instruction] = list(instructions)
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self._instructions)
+
+    def __getitem__(self, index):
+        result = self._instructions[index]
+        if isinstance(index, slice):
+            return Program(result, name=f"{self.name}[{index.start}:{index.stop}]")
+        return result
+
+    def __add__(self, other: "Program") -> "Program":
+        return Program(
+            list(self._instructions) + list(other._instructions),
+            name=f"{self.name}+{other.name}",
+        )
+
+    @property
+    def stats(self) -> ProgramStats:
+        """Compute the instruction-mix statistics."""
+        loads = stores = matmuls = scalars = 0
+        for inst in self._instructions:
+            if inst.opcode is Opcode.RASA_TL:
+                loads += 1
+            elif inst.opcode is Opcode.RASA_TS:
+                stores += 1
+            elif inst.opcode is Opcode.RASA_MM:
+                matmuls += 1
+            else:
+                scalars += 1
+        return ProgramStats(
+            total=len(self._instructions),
+            tile_loads=loads,
+            tile_stores=stores,
+            matmuls=matmuls,
+            scalars=scalars,
+        )
+
+    def matmuls(self) -> List[Instruction]:
+        """Return just the ``rasa_mm`` instructions, in program order."""
+        return [i for i in self._instructions if i.opcode is Opcode.RASA_MM]
+
+    def weight_reuse_fraction(self) -> float:
+        """Fraction of ``rasa_mm`` whose B register repeats the previous mm's B
+        with no intervening write to it — the upper bound on WLBP bypasses.
+        """
+        mms_seen = 0
+        reuses = 0
+        last_b = None
+        dirty = True
+        for inst in self._instructions:
+            if inst.opcode is Opcode.RASA_MM:
+                if mms_seen and inst.mm_b == last_b and not dirty:
+                    reuses += 1
+                mms_seen += 1
+                last_b = inst.mm_b
+                dirty = False
+            elif last_b is not None and last_b in inst.tile_writes:
+                dirty = True
+        if not mms_seen:
+            return 0.0
+        return reuses / mms_seen
+
+    def __repr__(self) -> str:
+        s = self.stats
+        return (
+            f"Program({self.name!r}, {s.total} insts: {s.matmuls} mm, "
+            f"{s.tile_loads} tl, {s.tile_stores} ts, {s.scalars} scalar)"
+        )

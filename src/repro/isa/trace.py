@@ -1,0 +1,89 @@
+"""Trace persistence: save/load dynamic instruction streams as JSONL.
+
+The paper collected dynamic traces with Intel SDE and replayed them in
+MacSim.  We substitute a JSONL trace format: one instruction per line, enough
+to round-trip any :class:`repro.isa.program.Program`.  This lets long
+code-generation runs be cached and shared between benchmark invocations.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.errors import IsaError
+from repro.isa.instructions import (
+    Instruction,
+    ScalarReg,
+    TileReg,
+    rasa_mm,
+    rasa_tl,
+    rasa_ts,
+    scalar_op,
+)
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+
+
+def _inst_to_record(inst: Instruction) -> dict:
+    record: dict = {"op": inst.opcode.value}
+    if inst.tag:
+        record["tag"] = inst.tag
+    if inst.opcode is Opcode.RASA_TL:
+        record.update(dst=inst.dst.index, addr=inst.mem.address, stride=inst.mem.stride)
+    elif inst.opcode is Opcode.RASA_TS:
+        record.update(src=inst.srcs[0].index, addr=inst.mem.address, stride=inst.mem.stride)
+    elif inst.opcode is Opcode.RASA_MM:
+        c, a, b = inst.srcs
+        record.update(c=c.index, a=a.index, b=b.index)
+    else:
+        if inst.dst is not None:
+            record["dst"] = inst.dst.index
+        if inst.srcs:
+            record["srcs"] = [s.index for s in inst.srcs]
+    return record
+
+
+def _record_to_inst(record: dict, line_no: int) -> Instruction:
+    try:
+        opcode = Opcode(record["op"])
+    except (KeyError, ValueError) as exc:
+        raise IsaError(f"trace line {line_no}: bad opcode: {exc}") from exc
+    tag = record.get("tag", "")
+    if opcode is Opcode.RASA_TL:
+        return rasa_tl(TileReg(record["dst"]), record["addr"], record.get("stride", 64), tag=tag)
+    if opcode is Opcode.RASA_TS:
+        return rasa_ts(record["addr"], TileReg(record["src"]), record.get("stride", 64), tag=tag)
+    if opcode is Opcode.RASA_MM:
+        return rasa_mm(TileReg(record["c"]), TileReg(record["a"]), TileReg(record["b"]), tag=tag)
+    dst = ScalarReg(record["dst"]) if "dst" in record else None
+    srcs = tuple(ScalarReg(i) for i in record.get("srcs", ()))
+    return scalar_op(opcode, dst=dst, srcs=srcs, tag=tag)
+
+
+def save_trace(program: Program, path: Union[str, Path]) -> None:
+    """Write a program to ``path`` as JSONL (one instruction per line)."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(json.dumps({"meta": {"name": program.name, "count": len(program)}}) + "\n")
+        for inst in program:
+            handle.write(json.dumps(_inst_to_record(inst)) + "\n")
+
+
+def load_trace(path: Union[str, Path]) -> Program:
+    """Read a JSONL trace back into a :class:`Program`."""
+    path = Path(path)
+    instructions = []
+    name = path.stem
+    with path.open("r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if "meta" in record:
+                name = record["meta"].get("name", name)
+                continue
+            instructions.append(_record_to_inst(record, line_no))
+    return Program(instructions, name=name)

@@ -1,0 +1,27 @@
+"""Mixed-precision arithmetic substrate (BF16 in, FP32 accumulate).
+
+The RASA PEs perform BF16 x BF16 multiplies accumulated in FP32 (Sec. IV-B,
+Fig. 4c).  NumPy has no native bfloat16, so this package represents a BF16
+value as the FP32 value whose low 16 mantissa bits are zero, and provides
+bit-exact round-to-nearest-even conversion plus the PE MAC semantics.
+"""
+
+from repro.numerics.bf16 import (
+    BF16_EPS,
+    bf16_bits_to_f32,
+    f32_to_bf16_bits,
+    is_bf16_exact,
+    quantize_bf16,
+)
+from repro.numerics.mac import mac_bf16, matmul_bf16_fp32, matmul_bf16_fp32_chained
+
+__all__ = [
+    "BF16_EPS",
+    "quantize_bf16",
+    "is_bf16_exact",
+    "f32_to_bf16_bits",
+    "bf16_bits_to_f32",
+    "mac_bf16",
+    "matmul_bf16_fp32",
+    "matmul_bf16_fp32_chained",
+]

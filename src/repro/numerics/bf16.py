@@ -1,0 +1,67 @@
+"""Software bfloat16: bit-exact conversion between IEEE-754 binary32 and BF16.
+
+BF16 is the top 16 bits of binary32 (1 sign, 8 exponent, 7 mantissa bits).
+Hardware converts FP32 -> BF16 with round-to-nearest-even (RNE) on the
+discarded 16 mantissa bits; this module reproduces that rounding exactly
+using integer bit manipulation, vectorized over NumPy arrays.
+
+A "BF16 value" in this library is stored as ``np.float32`` whose low 16 bits
+are zero — i.e. the exact real value the BF16 encoding denotes.  This keeps
+all downstream arithmetic in ordinary float32 while remaining bit-faithful.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Worst-case relative rounding error of BF16 RNE (half an ulp at the bottom
+#: of a binade: ulp spacing in [1, 2) is 2**-7, so the bound is 2**-8).
+BF16_EPS = 2.0 ** -8
+
+
+def f32_to_bf16_bits(values: np.ndarray) -> np.ndarray:
+    """Convert float32 values to uint16 BF16 bit patterns with RNE rounding.
+
+    NaNs are canonicalized to the BF16 quiet-NaN pattern 0x7FC0 (matching
+    common hardware behaviour); +/-inf round to +/-inf.  The output has the
+    input's shape (scalars come back as 0-d arrays).
+    """
+    scalar = np.ndim(values) == 0
+    f32 = np.ascontiguousarray(values, dtype=np.float32)
+    bits = f32.view(np.uint32)
+    # RNE: add 0x7FFF plus the LSB of the surviving mantissa ("round to even"
+    # tiebreak), then truncate.  Overflow of the mantissa correctly carries
+    # into the exponent, rounding up to the next binade or to infinity.
+    lsb = (bits >> np.uint32(16)) & np.uint32(1)
+    rounded = (bits + np.uint32(0x7FFF) + lsb) >> np.uint32(16)
+    out = rounded.astype(np.uint16)
+    nan_mask = np.isnan(f32)
+    if nan_mask.any():
+        out = np.where(nan_mask, np.uint16(0x7FC0), out)
+    return out.reshape(()) if scalar else out
+
+
+def bf16_bits_to_f32(bits: np.ndarray) -> np.ndarray:
+    """Expand uint16 BF16 bit patterns to the float32 values they denote."""
+    scalar = np.ndim(bits) == 0
+    u16 = np.ascontiguousarray(bits, dtype=np.uint16)
+    u32 = u16.astype(np.uint32) << np.uint32(16)
+    out = u32.view(np.float32)
+    return out.reshape(()) if scalar else out
+
+
+def quantize_bf16(values: np.ndarray) -> np.ndarray:
+    """Round float values to the nearest BF16 value, returned as float32.
+
+    This is the composition ``bf16_bits_to_f32(f32_to_bf16_bits(x))`` — the
+    canonical "what the hardware sees" quantization applied to A and B tiles
+    before they enter the systolic array.
+    """
+    return bf16_bits_to_f32(f32_to_bf16_bits(np.asarray(values, dtype=np.float32)))
+
+
+def is_bf16_exact(values: np.ndarray) -> np.ndarray:
+    """Boolean mask: True where the float32 value is exactly BF16-representable."""
+    f32 = np.asarray(values, dtype=np.float32)
+    low_bits = f32.view(np.uint32) & np.uint32(0xFFFF)
+    return (low_bits == 0) | np.isnan(f32)

@@ -1,0 +1,109 @@
+"""Reference semantics of the RASA PE multiply-accumulate datapath.
+
+Each PE multiplies a BF16 input by a BF16 weight into an FP32 product and
+adds it to an FP32 partial sum (Fig. 4c).  A BF16 x BF16 product is exact in
+FP32 (7-bit mantissas multiply into at most 15 bits, well under FP32's 24),
+so the only rounding in the datapath is the FP32 addition — which NumPy's
+float32 arithmetic reproduces exactly.
+
+``matmul_bf16_fp32`` is the *golden oracle* every simulator output is checked
+against: it accumulates in the same K-order the weight-stationary array does
+(ascending k), so results are bit-identical, not merely close.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.numerics.bf16 import quantize_bf16
+
+
+def mac_bf16(acc: float, a: float, b: float) -> np.float32:
+    """One PE MAC: ``acc + bf16(a) * bf16(b)`` with FP32 accumulation."""
+    product = np.float32(quantize_bf16(a) * quantize_bf16(b))
+    return np.float32(np.float32(acc) + product)
+
+
+def matmul_bf16_fp32(a: np.ndarray, b: np.ndarray, c: np.ndarray = None) -> np.ndarray:
+    """Golden GEMM: ``C += bf16(A) @ bf16(B)`` accumulating in FP32.
+
+    Accumulation order is ascending ``k`` — the order a weight-stationary
+    systolic array reduces partial sums down a column — making this oracle
+    bit-exact against the cycle-accurate array, not just approximately equal.
+
+    Args:
+        a: (M, K) input matrix (any float dtype; quantized to BF16).
+        b: (K, N) weight matrix (quantized to BF16).
+        c: optional (M, N) float32 accumulator; zeros if omitted.
+
+    Returns:
+        (M, N) float32 result.
+    """
+    qa = quantize_bf16(a)
+    qb = quantize_bf16(b)
+    if qa.ndim != 2 or qb.ndim != 2 or qa.shape[1] != qb.shape[0]:
+        raise ValueError(f"incompatible GEMM shapes {qa.shape} x {qb.shape}")
+    m, k = qa.shape
+    _, n = qb.shape
+    if c is None:
+        out = np.zeros((m, n), dtype=np.float32)
+    else:
+        c = np.asarray(c, dtype=np.float32)
+        if c.shape != (m, n):
+            raise ValueError(f"accumulator shape {c.shape} != ({m}, {n})")
+        out = c.copy()
+    # Rank-1 updates in ascending k: mirrors the array's reduction order and
+    # keeps every intermediate rounded to float32, like the hardware adders.
+    # Overflow to inf is the hardware behaviour, not an error.
+    with np.errstate(over="ignore", invalid="ignore"):
+        for kk in range(k):
+            out += np.outer(qa[:, kk], qb[kk, :]).astype(np.float32)
+    return out
+
+
+def matmul_bf16_fp32_chained(
+    a: np.ndarray, b: np.ndarray, c: np.ndarray = None, chains: int = 2
+) -> np.ndarray:
+    """Golden GEMM for double-multiplier (DM) arrays.
+
+    A DM PE at physical row ``r`` holds weights ``b[chains*r + j]`` and feeds
+    chain ``j``; chain 0 carries the architectural C value and the chains are
+    summed left-to-right by the merge-adder row.  Accumulation order per
+    chain is ascending physical row, i.e. ascending k within each residue
+    class modulo ``chains`` — a different FP32 rounding sequence than the
+    plain oracle, so DM arrays are tested bit-exactly against *this* oracle.
+
+    Args:
+        a: (M, K) input matrix.
+        b: (K, N) weight matrix.
+        c: optional (M, N) float32 accumulator.
+        chains: psum chains per PE (2 for DM; 1 degenerates to the plain oracle).
+
+    Returns:
+        (M, N) float32 result.
+    """
+    qa = quantize_bf16(a)
+    qb = quantize_bf16(b)
+    if qa.ndim != 2 or qb.ndim != 2 or qa.shape[1] != qb.shape[0]:
+        raise ValueError(f"incompatible GEMM shapes {qa.shape} x {qb.shape}")
+    m, k = qa.shape
+    _, n = qb.shape
+    if k % chains:
+        raise ValueError(f"K={k} must be a multiple of chains={chains}")
+    if c is None:
+        c = np.zeros((m, n), dtype=np.float32)
+    else:
+        c = np.asarray(c, dtype=np.float32)
+        if c.shape != (m, n):
+            raise ValueError(f"accumulator shape {c.shape} != ({m}, {n})")
+    partials = []
+    with np.errstate(over="ignore", invalid="ignore"):
+        for j in range(chains):
+            chain = c.copy() if j == 0 else np.zeros((m, n), dtype=np.float32)
+            for kk in range(j, k, chains):
+                chain += np.outer(qa[:, kk], qb[kk, :]).astype(np.float32)
+            partials.append(chain)
+        out = partials[0]
+        for chain in partials[1:]:  # merge-adder row sums chains left to right
+            out = (out + chain).astype(np.float32)
+    return out

@@ -1,0 +1,26 @@
+"""Physical models: area, energy, and performance-per-area.
+
+The paper synthesized the PE variants on Nangate 15 nm (Synopsys DC +
+Cadence Innovus) and reports: baseline array = 0.7 % of a Skylake GT2 4C
+die; DB/DM/DMDB overheads of 3.1 %/2.6 %/5.5 % over the baseline array;
+0.847 mm² total for RASA-DMDB; and energy-efficiency gains of
+4.38x/2.19x/4.59x.  We substitute an analytical component model —
+per-component area/energy constants composed per PE variant — calibrated so
+the *baseline* matches the published absolutes, and validate that the
+published overhead and efficiency ratios then emerge (Sec. V, E5/E7).
+"""
+
+from repro.physical.components import ComponentLibrary, NANGATE15
+from repro.physical.area import ArrayAreaModel, area_report
+from repro.physical.energy import EnergyModel, EnergyBreakdown
+from repro.physical.ppa import performance_per_area
+
+__all__ = [
+    "ComponentLibrary",
+    "NANGATE15",
+    "ArrayAreaModel",
+    "area_report",
+    "EnergyModel",
+    "EnergyBreakdown",
+    "performance_per_area",
+]

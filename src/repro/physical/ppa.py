@@ -1,0 +1,30 @@
+"""Performance per area (Fig. 6).
+
+PPA of a design, normalized to the baseline, is
+
+    (baseline_runtime / design_runtime) / (design_area / baseline_area)
+
+"Since the area overhead of RASA-Data optimizations are small, performance
+per area shows the similar trend with runtime" (Sec. V) — the model makes
+that statement checkable.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.result import SimResult
+from repro.engine.config import EngineConfig
+from repro.physical.area import ArrayAreaModel
+
+
+def performance_per_area(
+    result: SimResult,
+    config: EngineConfig,
+    baseline_result: SimResult,
+    baseline_config: EngineConfig,
+    area_model: ArrayAreaModel = None,
+) -> float:
+    """Normalized PPA of ``result`` vs the baseline run (Fig. 6's y-axis)."""
+    model = area_model if area_model is not None else ArrayAreaModel()
+    speedup = baseline_result.cycles / result.cycles if result.cycles else 0.0
+    area_ratio = model.array_area_mm2(config) / model.array_area_mm2(baseline_config)
+    return speedup / area_ratio

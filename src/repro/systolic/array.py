@@ -1,0 +1,276 @@
+"""Cycle-accurate functional weight-stationary systolic array (Fig. 1).
+
+This simulator moves real BF16/FP32 values through PE registers cycle by
+cycle: A elements enter skewed from the west, initial C partial sums enter
+skewed from the north, products accumulate down each column, and finished
+outputs exit the south edge.  It exists to *validate* everything the fast
+analytical models claim:
+
+- its output is bit-exact against the NumPy golden oracle
+  (:func:`repro.numerics.mac.matmul_bf16_fp32` — or the chained variant for
+  DM arrays, whose two psum chains merge at a bottom adder row);
+- its measured latency equals Eq. 1's closed form;
+- its per-cycle active-PE trace reproduces Fig. 1's utilization numbers
+  (8/28 = 28.6 % for the 2x2 toy example).
+
+DM arrays hold ``weights_per_buffer`` adjacent-K weights per PE, so an array
+with R physical rows covers ``R * weights_per_buffer`` K values; each PE
+updates one partial sum per chain and the chains merge below the array.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import SimError
+from repro.numerics.bf16 import quantize_bf16
+from repro.systolic.pe import BASELINE_PE, PESpec
+from repro.systolic.substage import StageDurations
+from repro.utils.validation import check_positive
+
+
+@dataclasses.dataclass
+class ArrayRun:
+    """The result of executing one matmul on the array.
+
+    Attributes:
+        output: (M, C) float32 result matrix.
+        wl_cycles: cycles spent in the Weight Load phase (0 if weights reused).
+        stream_cycles: cycles from first A injection to last output ejection.
+        active_pes: per-cycle count of PEs that performed a MAC, covering the
+            full run (WL cycles first, all zero, then the streaming phase).
+        num_pes: total PEs in the array.
+        macs_per_pe_cycle: MACs one active PE performs per cycle (1, 2 for DM).
+    """
+
+    output: np.ndarray
+    wl_cycles: int
+    stream_cycles: int
+    active_pes: List[int]
+    num_pes: int
+    macs_per_pe_cycle: int
+
+    @property
+    def total_cycles(self) -> int:
+        return self.wl_cycles + self.stream_cycles
+
+    @property
+    def total_macs(self) -> int:
+        return sum(self.active_pes) * self.macs_per_pe_cycle
+
+    @property
+    def utilization(self) -> float:
+        """Average fraction of PEs active per cycle (Fig. 1's metric)."""
+        if not self.active_pes:
+            return 0.0
+        return sum(self.active_pes) / (self.num_pes * len(self.active_pes))
+
+
+class SystolicArray:
+    """A weight-stationary systolic array of ``phys_rows`` x ``phys_cols`` PEs.
+
+    Args:
+        phys_rows: physical PE rows (the K dimension of the mapping).
+        phys_cols: physical PE columns (the N dimension).
+        pe: PE microarchitecture variant (see :mod:`repro.systolic.pe`).
+        wl_rows_per_cycle: B rows delivered per cycle during Weight Load.
+            Defaults to 2 for double-buffered PEs (the RASA-DB extra links)
+            and 1 otherwise.
+    """
+
+    def __init__(
+        self,
+        phys_rows: int,
+        phys_cols: int,
+        pe: PESpec = BASELINE_PE,
+        wl_rows_per_cycle: Optional[int] = None,
+    ):
+        check_positive("phys_rows", phys_rows)
+        check_positive("phys_cols", phys_cols)
+        self.phys_rows = phys_rows
+        self.phys_cols = phys_cols
+        self.pe = pe
+        if wl_rows_per_cycle is None:
+            wl_rows_per_cycle = 2 if pe.is_double_buffered else 1
+        check_positive("wl_rows_per_cycle", wl_rows_per_cycle)
+        self.wl_rows_per_cycle = wl_rows_per_cycle
+        # Resident weights: (rows, cols, chains); None until loaded.
+        self._weights: Optional[np.ndarray] = None
+        self._shadow: Optional[np.ndarray] = None
+
+    # -- geometry ---------------------------------------------------------------
+
+    @property
+    def k_extent(self) -> int:
+        """K values covered per fold = rows x weights-per-PE."""
+        return self.phys_rows * self.pe.weights_per_buffer
+
+    @property
+    def num_pes(self) -> int:
+        return self.phys_rows * self.phys_cols
+
+    @property
+    def chains(self) -> int:
+        return self.pe.psum_chains
+
+    def stage_durations(self, tm: int) -> StageDurations:
+        """Sub-stage durations for streaming ``tm`` input rows."""
+        return StageDurations.for_array(
+            self.phys_rows,
+            self.phys_cols,
+            tm,
+            wl_rows_per_cycle=self.wl_rows_per_cycle,
+            extra=1 if self.pe.is_double_multiplier else 0,
+        )
+
+    # -- weight loading -----------------------------------------------------------
+
+    def _pack_weights(self, b: np.ndarray) -> np.ndarray:
+        b = np.asarray(b, dtype=np.float32)
+        if b.shape != (self.k_extent, self.phys_cols):
+            raise SimError(
+                f"weight matrix must be {self.k_extent}x{self.phys_cols}, got {b.shape}"
+            )
+        qb = quantize_bf16(b)
+        # PE (r, c) chain j holds b[chains*r + j, c]: adjacent-K weights pair up
+        # inside one DM PE.
+        return qb.reshape(self.phys_rows, self.chains, self.phys_cols).transpose(0, 2, 1)
+
+    def load_weights(self, b: np.ndarray) -> int:
+        """Load B into the active weight buffers; returns the WL cycle count."""
+        self._weights = self._pack_weights(b)
+        return self.stage_durations(tm=1).wl
+
+    def load_shadow_weights(self, b: np.ndarray) -> int:
+        """Load B into the shadow buffers (DB PEs only); returns WL cycles."""
+        if not self.pe.is_double_buffered:
+            raise SimError(f"PE variant {self.pe.name!r} has no shadow weight buffer")
+        self._shadow = self._pack_weights(b)
+        return self.stage_durations(tm=1).wl
+
+    def swap_weight_buffers(self) -> None:
+        """Activate the shadow buffer (the single-cycle mux flip of WLS)."""
+        if self._shadow is None:
+            raise SimError("no shadow weights loaded")
+        self._weights, self._shadow = self._shadow, None
+
+    @property
+    def weights_loaded(self) -> bool:
+        return self._weights is not None
+
+    # -- streaming -----------------------------------------------------------------
+
+    def stream(self, a: np.ndarray, c_init: Optional[np.ndarray] = None) -> ArrayRun:
+        """Stream A (M x K) and initial partial sums C (M x N) through the array.
+
+        Weights must already be resident (:meth:`load_weights`).  Returns the
+        functional output and the cycle-by-cycle activity trace.  The WL phase
+        is *not* included; use :meth:`execute` for a full serialized run.
+        """
+        if self._weights is None:
+            raise SimError("stream() called before load_weights()")
+        rows, cols, chains = self.phys_rows, self.phys_cols, self.chains
+        a = quantize_bf16(np.asarray(a, dtype=np.float32))
+        m_rows = a.shape[0]
+        if a.shape != (m_rows, self.k_extent):
+            raise SimError(f"A must be Mx{self.k_extent}, got {a.shape}")
+        if c_init is None:
+            c_init = np.zeros((m_rows, cols), dtype=np.float32)
+        c_init = np.asarray(c_init, dtype=np.float32)
+        if c_init.shape != (m_rows, cols):
+            raise SimError(f"C must be {m_rows}x{cols}, got {c_init.shape}")
+
+        # A element groups per array row: a_grouped[m, r, j] = a[m, chains*r + j].
+        a_grouped = a.reshape(m_rows, rows, chains)
+
+        # PE state.
+        a_reg = np.zeros((rows, cols, chains), dtype=np.float32)
+        a_valid = np.zeros((rows, cols), dtype=bool)
+        p_reg = np.zeros((rows, cols, chains), dtype=np.float32)
+
+        output = np.zeros((m_rows, cols), dtype=np.float32)
+        captured = np.zeros((m_rows, cols), dtype=bool)
+        active_trace: List[int] = []
+
+        compute_span = m_rows + rows + cols - 2  # last bottom-row MAC at span-1
+        for t in range(compute_span):
+            # Inputs sliding in from the west (skew: row r sees A row t - r).
+            a_in = np.empty_like(a_reg)
+            valid_in = np.empty_like(a_valid)
+            a_in[:, 1:] = a_reg[:, :-1]
+            valid_in[:, 1:] = a_valid[:, :-1]
+            for r in range(rows):
+                m = t - r
+                if 0 <= m < m_rows:
+                    a_in[r, 0] = a_grouped[m, r]
+                    valid_in[r, 0] = True
+                else:
+                    a_in[r, 0] = 0.0
+                    valid_in[r, 0] = False
+
+            # Partial sums sliding in from the north (skew: column n sees C row
+            # t - n; chain 0 carries the architectural C value, others start 0).
+            p_in = np.empty_like(p_reg)
+            p_in[1:] = p_reg[:-1]
+            for n in range(cols):
+                m = t - n
+                p_in[0, n, :] = 0.0
+                if 0 <= m < m_rows:
+                    p_in[0, n, 0] = c_init[m, n]
+
+            # The MAC: every PE with a valid input accumulates its chains.
+            # (Overflow to inf matches the FP32 hardware, not an error.)
+            mask = valid_in[:, :, None]
+            with np.errstate(over="ignore", invalid="ignore"):
+                p_out = np.where(mask, p_in + a_in * self._weights, p_in).astype(
+                    np.float32
+                )
+            active_trace.append(int(valid_in.sum()))
+
+            # Capture finished outputs at the bottom row: the psum computed at
+            # (rows-1, n) on cycle t belongs to output row m = t - (rows-1) - n
+            # and exits the array on cycle t + 1.
+            for n in range(cols):
+                m = t - (rows - 1) - n
+                if 0 <= m < m_rows and valid_in[rows - 1, n]:
+                    merged = p_out[rows - 1, n, 0]
+                    for j in range(1, chains):  # DM merge-adder row, FP32 order
+                        merged = np.float32(merged + p_out[rows - 1, n, j])
+                    output[m, n] = merged
+                    captured[m, n] = True
+
+            a_reg, a_valid, p_reg = a_in, valid_in, p_out
+
+        if not captured.all():
+            raise SimError("internal error: not all outputs exited the array")
+
+        # One trailing cycle for the last ejection, plus the pipelined
+        # merge-adder row latency on DM arrays.
+        tail = 1 + (1 if self.pe.is_double_multiplier else 0)
+        active_trace.extend([0] * tail)
+        return ArrayRun(
+            output=output,
+            wl_cycles=0,
+            stream_cycles=compute_span + tail,
+            active_pes=active_trace,
+            num_pes=self.num_pes,
+            macs_per_pe_cycle=self.chains,
+        )
+
+    def execute(
+        self, b: np.ndarray, a: np.ndarray, c_init: Optional[np.ndarray] = None
+    ) -> ArrayRun:
+        """One fully serialized instruction: Weight Load then stream (BASE)."""
+        wl = self.load_weights(b)
+        run = self.stream(a, c_init)
+        return ArrayRun(
+            output=run.output,
+            wl_cycles=wl,
+            stream_cycles=run.stream_cycles,
+            active_pes=[0] * wl + run.active_pes,
+            num_pes=run.num_pes,
+            macs_per_pe_cycle=run.macs_per_pe_cycle,
+        )

@@ -1,0 +1,108 @@
+"""Cycle-accurate output-stationary (OS) systolic array.
+
+The counterpart of :class:`repro.systolic.array.SystolicArray` for the OS
+dataflow of Sec. II-C: each PE *owns one output element* ``c[i, j]``; A
+streams west->east and B north->south (both skewed), every PE accumulates
+for K cycles, then finished outputs shift south and exit.
+
+This makes the WS-vs-OS background comparison cycle-validated rather than
+purely analytical: the test suite checks this simulator's latency against
+the SCALE-Sim-style closed form in :mod:`repro.systolic.dataflow`
+(``2R + C + K − 2``) and its output bit-exactly against the ascending-k
+oracle (OS accumulates each output in ascending k naturally).
+
+The RASA engine itself is WS (the paper's choice); the OS array exists as
+the background substrate, exercised by E12.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import SimError
+from repro.numerics.bf16 import quantize_bf16
+from repro.systolic.array import ArrayRun
+from repro.utils.validation import check_positive
+
+
+class OutputStationaryArray:
+    """An OS array of ``phys_rows`` x ``phys_cols`` PEs.
+
+    Mapping: PE (i, j) accumulates output ``c[i, j]``; one fold computes an
+    (R x C) output tile over the full K extent of the operands.
+    """
+
+    def __init__(self, phys_rows: int, phys_cols: int):
+        check_positive("phys_rows", phys_rows)
+        check_positive("phys_cols", phys_cols)
+        self.phys_rows = phys_rows
+        self.phys_cols = phys_cols
+
+    @property
+    def num_pes(self) -> int:
+        return self.phys_rows * self.phys_cols
+
+    def execute(
+        self, a: np.ndarray, b: np.ndarray, c_init: Optional[np.ndarray] = None
+    ) -> ArrayRun:
+        """Compute ``C(RxC) = c_init + A(RxK) @ B(KxC)`` cycle by cycle."""
+        rows, cols = self.phys_rows, self.phys_cols
+        a = quantize_bf16(np.asarray(a, dtype=np.float32))
+        b = quantize_bf16(np.asarray(b, dtype=np.float32))
+        if a.ndim != 2 or a.shape[0] != rows:
+            raise SimError(f"A must be {rows}xK, got {a.shape}")
+        k = a.shape[1]
+        if b.shape != (k, cols):
+            raise SimError(f"B must be {k}x{cols}, got {b.shape}")
+        if c_init is None:
+            c_init = np.zeros((rows, cols), dtype=np.float32)
+        c_init = np.asarray(c_init, dtype=np.float32)
+        if c_init.shape != (rows, cols):
+            raise SimError(f"C must be {rows}x{cols}, got {c_init.shape}")
+
+        # PE state: stationary accumulators plus forwarded operand registers.
+        acc = c_init.copy()
+        a_reg = np.zeros((rows, cols), dtype=np.float32)
+        a_valid = np.zeros((rows, cols), dtype=bool)
+        b_reg = np.zeros((rows, cols), dtype=np.float32)
+        active_trace: List[int] = []
+
+        compute_span = k + rows + cols - 2  # last MAC at PE(R-1, C-1)
+        with np.errstate(over="ignore", invalid="ignore"):
+            for t in range(compute_span):
+                a_in = np.empty_like(a_reg)
+                valid_in = np.empty_like(a_valid)
+                b_in = np.empty_like(b_reg)
+                a_in[:, 1:] = a_reg[:, :-1]
+                valid_in[:, 1:] = a_valid[:, :-1]
+                b_in[1:, :] = b_reg[:-1, :]
+                for i in range(rows):
+                    kk = t - i  # skewed A injection on the west edge
+                    if 0 <= kk < k:
+                        a_in[i, 0] = a[i, kk]
+                        valid_in[i, 0] = True
+                    else:
+                        a_in[i, 0] = 0.0
+                        valid_in[i, 0] = False
+                for j in range(cols):
+                    kk = t - j  # skewed B injection on the north edge
+                    b_in[0, j] = b[kk, j] if 0 <= kk < k else 0.0
+                # By construction a and b for the same k arrive at PE (i, j)
+                # at the same cycle t = k + i + j.
+                acc = np.where(valid_in, acc + a_in * b_in, acc).astype(np.float32)
+                active_trace.append(int(valid_in.sum()))
+                a_reg, a_valid, b_reg = a_in, valid_in, b_in
+
+        # Drain: finished outputs shift south one row per cycle and exit.
+        drain_cycles = rows
+        active_trace.extend([0] * drain_cycles)
+        return ArrayRun(
+            output=acc,
+            wl_cycles=0,
+            stream_cycles=compute_span + drain_cycles,
+            active_pes=active_trace,
+            num_pes=self.num_pes,
+            macs_per_pe_cycle=1,
+        )

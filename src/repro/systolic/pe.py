@@ -1,0 +1,85 @@
+"""Processing-element microarchitecture variants (Fig. 4c).
+
+All PEs perform mixed-precision MACs (BF16 multiply, FP32 accumulate).  The
+four variants differ in weight buffering and multiplier count:
+
+- **baseline** — one multiplier, one adder, a single 2 B weight buffer.
+- **DB** (Double Buffering) — adds a shadow 2 B weight buffer plus the links
+  to fill it in the background, enabling the WLS control optimization.
+- **DM** (Double Multiplier) — two multipliers, two adders, a 4 B weight
+  buffer holding two adjacent-K weights; updates two partial-sum chains in
+  parallel.  A DM *array* halves its row count at equal multiplier count and
+  adds a merge-adder row at the bottom.
+- **DMDB** — both.
+
+:class:`PESpec` is purely structural: the functional behaviour lives in
+:mod:`repro.systolic.array` (vectorized over the whole array) and the
+area/energy consequences in :mod:`repro.physical`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+from repro.errors import ConfigError
+
+
+@dataclasses.dataclass(frozen=True)
+class PESpec:
+    """Structural description of one PE variant.
+
+    Attributes:
+        name: variant name used in design labels and the registry.
+        multipliers: BF16 multipliers per PE (1, or 2 for DM).
+        adders: FP32 adders per PE (equals multipliers — one per psum chain).
+        weight_buffers: weight buffer copies (2 for DB's shadow buffer).
+        weights_per_buffer: BF16 weights held per buffer (2 for DM's 4 B buffer).
+    """
+
+    name: str
+    multipliers: int
+    adders: int
+    weight_buffers: int
+    weights_per_buffer: int
+
+    def __post_init__(self) -> None:
+        if self.multipliers not in (1, 2):
+            raise ConfigError(f"PE multipliers must be 1 or 2, got {self.multipliers}")
+        if self.adders != self.multipliers:
+            raise ConfigError("PE needs one adder per psum chain (adders == multipliers)")
+        if self.weight_buffers not in (1, 2):
+            raise ConfigError(f"PE weight_buffers must be 1 or 2, got {self.weight_buffers}")
+        if self.weights_per_buffer != self.multipliers:
+            raise ConfigError(
+                "weights_per_buffer must match multipliers "
+                f"(got {self.weights_per_buffer} vs {self.multipliers})"
+            )
+
+    @property
+    def is_double_buffered(self) -> bool:
+        return self.weight_buffers == 2
+
+    @property
+    def is_double_multiplier(self) -> bool:
+        return self.multipliers == 2
+
+    @property
+    def psum_chains(self) -> int:
+        """Independent partial-sum chains flowing south through this PE."""
+        return self.multipliers
+
+    @property
+    def weight_buffer_bytes(self) -> int:
+        """Total weight storage per PE (BF16 = 2 bytes per weight)."""
+        return 2 * self.weights_per_buffer * self.weight_buffers
+
+
+BASELINE_PE = PESpec("baseline", multipliers=1, adders=1, weight_buffers=1, weights_per_buffer=1)
+DB_PE = PESpec("db", multipliers=1, adders=1, weight_buffers=2, weights_per_buffer=1)
+DM_PE = PESpec("dm", multipliers=2, adders=2, weight_buffers=1, weights_per_buffer=2)
+DMDB_PE = PESpec("dmdb", multipliers=2, adders=2, weight_buffers=2, weights_per_buffer=2)
+
+PE_SPECS: Dict[str, PESpec] = {
+    spec.name: spec for spec in (BASELINE_PE, DB_PE, DM_PE, DMDB_PE)
+}

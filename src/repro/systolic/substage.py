@@ -1,0 +1,89 @@
+"""RASA execution sub-stages and their durations (Sec. IV-B, Fig. 4a).
+
+RASA splits the execution of one ``rasa_mm`` on a weight-stationary array
+into four sub-stages so consecutive instructions can overlap:
+
+- **WL** (Weight Load): B values shift from the top edge to their PEs.
+  One B row per cycle over the baseline links; the RASA-DB "extra links"
+  double that rate.
+- **FF** (Feed First): A and C elements are fed skewed from west/north
+  until the *first array row* has received all TM input rows.
+- **FS** (Feed Second): the remaining array rows finish receiving inputs
+  (the wavefront walks down the remaining R-1 rows).
+- **DR** (Drain): remaining partial sums propagate south and exit.
+
+Durations for an array with R physical rows, C physical columns, tile
+rows TM: ``WL = ceil(R / wl_rows_per_cycle)``, ``FF = TM``, ``FS = R - 1``,
+``DR = C``.  Serial total = Eq. 1's ``2·TK + TM + TN − 1`` for the baseline
+32x16 array (WL rate 1, R = TK, C = TN).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.utils.validation import check_non_negative, check_positive
+
+
+class SubStage(enum.Enum):
+    """The four RASA sub-stages, in execution order."""
+
+    WL = "weight_load"
+    FF = "feed_first"
+    FS = "feed_second"
+    DR = "drain"
+
+    @property
+    def order(self) -> int:
+        return list(SubStage).index(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class StageDurations:
+    """Per-sub-stage durations (engine cycles) for one array configuration."""
+
+    wl: int
+    ff: int
+    fs: int
+    dr: int
+    #: Extra completion latency after DR (the DM merge-adder row); pipelined,
+    #: so it delays instruction completion but never occupies the drain port.
+    extra: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("wl", self.wl)
+        check_positive("ff", self.ff)
+        check_non_negative("fs", self.fs)  # a 1-row array has no second feed
+        check_positive("dr", self.dr)
+        check_non_negative("extra", self.extra)
+
+    @property
+    def serial_total(self) -> int:
+        """Latency of one fully serialized instruction (the BASE design)."""
+        return self.wl + self.ff + self.fs + self.dr + self.extra
+
+    def of(self, stage: SubStage) -> int:
+        return {
+            SubStage.WL: self.wl,
+            SubStage.FF: self.ff,
+            SubStage.FS: self.fs,
+            SubStage.DR: self.dr,
+        }[stage]
+
+    @classmethod
+    def for_array(
+        cls,
+        phys_rows: int,
+        phys_cols: int,
+        tm: int,
+        wl_rows_per_cycle: int = 1,
+        extra: int = 0,
+    ) -> "StageDurations":
+        """Compute durations for an R x C array streaming TM input rows."""
+        check_positive("phys_rows", phys_rows)
+        check_positive("phys_cols", phys_cols)
+        check_positive("tm", tm)
+        check_positive("wl_rows_per_cycle", wl_rows_per_cycle)
+        wl = -(-phys_rows // wl_rows_per_cycle)  # ceil division
+        return cls(wl=wl, ff=tm, fs=phys_rows - 1, dr=phys_cols, extra=extra)

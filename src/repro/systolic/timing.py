@@ -1,0 +1,87 @@
+"""Closed-form timing of the weight-stationary systolic array.
+
+These formulas are the paper's Eq. 1 / Eq. 2 plus the per-PE occupancy
+windows that the engine scheduler's legality checker uses.  All are stated
+for an array with ``R`` physical rows (the K dimension), ``C`` physical
+columns (the N dimension), streaming ``TM`` input rows, with a weight-load
+duration ``WL`` (``R`` cycles at the baseline one-row-per-cycle rate).
+
+Time origin conventions (all validated against the cycle-accurate array):
+
+- Weight loading occupies cycles ``[wl_start, wl_start + WL)``.
+- ``ff_start`` is the cycle the first A element enters array row 0.
+- PE ``(k, n)`` performs its TM MACs during
+  ``[ff_start + k + n, ff_start + k + n + TM)``           (mac_interval)
+- The weight buffer of PE row ``k`` is being overwritten during
+  ``[wl_start + k·WL/R, wl_start + WL)``  — conservatively widened to the
+  whole ``[wl_start, wl_start + WL)`` window by the legality checker.
+- Output ``(m, n)`` exits the bottom of column ``n`` at cycle
+  ``ff_start + m + (R - 1) + n + 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.utils.validation import check_non_negative, check_positive
+
+
+def fold_latency(tk: int, tm: int, tn: int, overlap_wl_ff: bool = False) -> int:
+    """Eq. 1: total latency of one serialized fold on a TK x TN array.
+
+    ``2·TK + TM + TN − 1``, or one cycle less when the last WL cycle is
+    overlapped with the first FF cycle (the parenthetical in Fig. 1 and the
+    ``−2`` form printed as Eq. 1 in the paper body).
+    """
+    check_positive("tk", tk)
+    check_positive("tm", tm)
+    check_positive("tn", tn)
+    base = 2 * tk + tm + tn - 1
+    return base - 1 if overlap_wl_ff else base
+
+
+def inactive_time(tk: int, tm: int, tn: int) -> int:
+    """Eq. 2: cycles each PE spends idle during one serialized fold."""
+    return fold_latency(tk, tm, tn) - tm
+
+
+def pe_active_cycles(tm: int) -> int:
+    """Cycles each PE spends computing during one fold (= TM)."""
+    check_positive("tm", tm)
+    return tm
+
+
+def mac_interval(ff_start: int, k: int, n: int, tm: int) -> Tuple[int, int]:
+    """Half-open cycle interval during which PE (k, n) computes its TM MACs."""
+    check_non_negative("k", k)
+    check_non_negative("n", n)
+    check_positive("tm", tm)
+    start = ff_start + k + n
+    return (start, start + tm)
+
+
+def weight_disturb_interval(wl_start: int, wl_cycles: int) -> Tuple[int, int]:
+    """Half-open interval during which active weight buffers are overwritten.
+
+    Weight values shift down through the PE weight buffers for the whole
+    load, so single-buffered PEs must not compute during this window.  (The
+    per-row window is narrower — row k is only disturbed once the first
+    value reaches it — but the engine's stage-level rules never rely on
+    that slack, so the checker uses the conservative full window.)
+    """
+    check_positive("wl_cycles", wl_cycles)
+    return (wl_start, wl_start + wl_cycles)
+
+
+def output_exit_cycle(ff_start: int, m: int, n: int, phys_rows: int) -> int:
+    """Cycle at which output element (m, n) exits the bottom of column n."""
+    check_non_negative("m", m)
+    check_non_negative("n", n)
+    check_positive("phys_rows", phys_rows)
+    return ff_start + m + (phys_rows - 1) + n + 1
+
+
+def drain_port_interval(ff_start: int, n: int, tm: int, phys_rows: int) -> Tuple[int, int]:
+    """Half-open interval during which column n's south port emits outputs."""
+    first = output_exit_cycle(ff_start, 0, n, phys_rows)
+    return (first, first + tm)

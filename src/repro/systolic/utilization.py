@@ -1,0 +1,51 @@
+"""PE-utilization model behind Fig. 2.
+
+For one serialized fold on a TK x TN weight-stationary array streaming TM
+input rows, every PE computes for exactly TM cycles out of the fold's
+``2·TK + TM + TN − 1`` total (Eq. 1 / Eq. 2), so
+
+    utilization(TM, TK, TN) = TM / (2·TK + TM + TN − 1)
+
+which converges to 1 as TM grows — the effect Fig. 2 plots and the reason
+large-TM tiles rescue standalone accelerators but not register-constrained
+CPUs.  ``utilization_sweep`` reproduces the figure's series; the cycle-level
+cross-check in the test suite confirms the closed form against
+:class:`repro.systolic.array.SystolicArray` activity traces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.systolic.timing import fold_latency
+from repro.utils.validation import check_positive
+
+
+def utilization_single_fold(tm: int, tk: int, tn: int) -> float:
+    """Average PE utilization of one serialized fold (Fig. 2's y-axis)."""
+    check_positive("tm", tm)
+    return tm / fold_latency(tk, tm, tn)
+
+
+def inactive_fraction(tm: int, tk: int, tn: int) -> float:
+    """``1 − TM / Latency_tot`` — the per-PE idle fraction of Sec. III."""
+    return 1.0 - utilization_single_fold(tm, tk, tn)
+
+
+def utilization_sweep(
+    tm_values: Sequence[int],
+    array_dims: Sequence[Tuple[int, int]],
+) -> Dict[Tuple[int, int], list]:
+    """Compute Fig. 2's series: utilization vs TM for each array dimension.
+
+    Args:
+        tm_values: the TM sweep (the figure's x-axis).
+        array_dims: (TK, TN) array dimensions, one series per entry.
+
+    Returns:
+        Mapping from (TK, TN) to the list of utilizations over ``tm_values``.
+    """
+    return {
+        (tk, tn): [utilization_single_fold(tm, tk, tn) for tm in tm_values]
+        for tk, tn in array_dims
+    }

@@ -1,0 +1,83 @@
+"""Byte-addressable simulation memory for tile loads and stores.
+
+``rasa_tl``/``rasa_ts`` move 16 rows of 64 B between memory and a tile
+register, with a fixed byte stride between rows (Sec. II-B).  This memory is
+sparse (paged) so programs can lay matrices out at natural addresses without
+allocating gigabytes of backing store.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import TileError
+from repro.tile.layout import ROW_BYTES, ROWS
+
+_PAGE_SIZE = 1 << 16
+
+
+class TileMemory:
+    """Sparse byte-addressable memory (64 KiB pages, zero-fill on first touch)."""
+
+    def __init__(self) -> None:
+        self._pages: Dict[int, np.ndarray] = {}
+
+    def _page(self, base: int) -> np.ndarray:
+        page = self._pages.get(base)
+        if page is None:
+            page = np.zeros(_PAGE_SIZE, dtype=np.uint8)
+            self._pages[base] = page
+        return page
+
+    def write(self, address: int, data: np.ndarray) -> None:
+        """Write a flat uint8 array at ``address`` (may cross pages)."""
+        if address < 0:
+            raise TileError(f"negative address {address}")
+        data = np.ascontiguousarray(data, dtype=np.uint8).ravel()
+        offset = 0
+        while offset < data.size:
+            addr = address + offset
+            base, page_off = divmod(addr, _PAGE_SIZE)
+            chunk = min(data.size - offset, _PAGE_SIZE - page_off)
+            self._page(base)[page_off : page_off + chunk] = data[offset : offset + chunk]
+            offset += chunk
+
+    def read(self, address: int, size: int) -> np.ndarray:
+        """Read ``size`` bytes from ``address`` as a flat uint8 array."""
+        if address < 0 or size < 0:
+            raise TileError(f"bad read range ({address}, {size})")
+        out = np.empty(size, dtype=np.uint8)
+        offset = 0
+        while offset < size:
+            addr = address + offset
+            base, page_off = divmod(addr, _PAGE_SIZE)
+            chunk = min(size - offset, _PAGE_SIZE - page_off)
+            page = self._pages.get(base)
+            if page is None:
+                out[offset : offset + chunk] = 0
+            else:
+                out[offset : offset + chunk] = page[page_off : page_off + chunk]
+            offset += chunk
+        return out
+
+    # -- tile granularity ----------------------------------------------------------
+
+    def load_tile(self, address: int, stride: int = ROW_BYTES) -> np.ndarray:
+        """Assemble a (16, 64) uint8 tile from 16 strided rows (a rasa_tl)."""
+        rows = [self.read(address + r * stride, ROW_BYTES) for r in range(ROWS)]
+        return np.stack(rows)
+
+    def store_tile(self, address: int, data: np.ndarray, stride: int = ROW_BYTES) -> None:
+        """Scatter a (16, 64) uint8 tile to 16 strided rows (a rasa_ts)."""
+        data = np.asarray(data, dtype=np.uint8)
+        if data.shape != (ROWS, ROW_BYTES):
+            raise TileError(f"tile payload must be ({ROWS}, {ROW_BYTES}), got {data.shape}")
+        for r in range(ROWS):
+            self.write(address + r * stride, data[r])
+
+    @property
+    def touched_bytes(self) -> int:
+        """Bytes of backing store currently allocated (diagnostics)."""
+        return len(self._pages) * _PAGE_SIZE

@@ -1,0 +1,113 @@
+"""The architectural tile register file with WLBP dirty bits (Sec. IV-B).
+
+RASA-WLBP adds one dirty bit per tile register: set on any write to the
+register, cleared when a ``rasa_mm`` loads weights from it.  A subsequent
+``rasa_mm`` naming the same B register with a clear dirty bit may skip its
+Weight Load stage entirely.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import TileError
+from repro.isa.instructions import NUM_TILE_REGS, TileReg
+from repro.tile.register import TileRegister
+
+
+class TileRegisterFile:
+    """Eight architectural tile registers plus per-register dirty bits."""
+
+    def __init__(self, num_regs: int = NUM_TILE_REGS):
+        if num_regs <= 0:
+            raise TileError(f"register file needs at least one register, got {num_regs}")
+        self.num_regs = num_regs
+        self._regs: List[TileRegister] = [TileRegister(i) for i in range(num_regs)]
+        # Dirty bits start set: nothing has been consumed as weights yet.
+        self._dirty: List[bool] = [True] * num_regs
+        #: Which register the array's weight buffers currently mirror (if any).
+        self._loaded_weight_reg: Optional[int] = None
+
+    def _index(self, reg: TileReg) -> int:
+        if reg.index >= self.num_regs:
+            raise TileError(f"{reg} out of range for {self.num_regs}-entry file")
+        return reg.index
+
+    def __getitem__(self, reg: TileReg) -> TileRegister:
+        return self._regs[self._index(reg)]
+
+    # -- architectural accesses -------------------------------------------------
+
+    def write_bytes(self, reg: TileReg, data: np.ndarray) -> None:
+        """Write raw tile bytes (a ``rasa_tl``); sets the dirty bit."""
+        self._mark_written(self._index(reg))
+        self._regs[reg.index].write_bytes(data)
+
+    def write_fp32(self, reg: TileReg, matrix: np.ndarray) -> None:
+        """Write an FP32 tile (an mm accumulator writeback); sets the dirty bit."""
+        self._mark_written(self._index(reg))
+        self._regs[reg.index].write_fp32(matrix)
+
+    def write_bf16(self, reg: TileReg, matrix: np.ndarray) -> None:
+        """Write a BF16 tile; sets the dirty bit."""
+        self._mark_written(self._index(reg))
+        self._regs[reg.index].write_bf16(matrix)
+
+    def touch(self, reg: TileReg) -> None:
+        """Record a write without data (timing-only runs); sets the dirty bit."""
+        self._mark_written(self._index(reg))
+        self._regs[reg.index].touch()
+
+    def _mark_written(self, index: int) -> None:
+        self._dirty[index] = True
+        if self._loaded_weight_reg == index:
+            # The weights resident in the array no longer mirror the register.
+            self._loaded_weight_reg = None
+
+    def read_bytes(self, reg: TileReg) -> np.ndarray:
+        return self._regs[self._index(reg)].read_bytes()
+
+    def read_bf16(self, reg: TileReg) -> np.ndarray:
+        return self._regs[self._index(reg)].read_bf16()
+
+    def read_fp32(self, reg: TileReg) -> np.ndarray:
+        return self._regs[self._index(reg)].read_fp32()
+
+    def version(self, reg: TileReg) -> int:
+        """Current write version of ``reg`` (the engine's weight-content key)."""
+        return self._regs[self._index(reg)].version
+
+    # -- WLBP dirty-bit protocol -------------------------------------------------
+
+    def is_dirty(self, reg: TileReg) -> bool:
+        """True if ``reg`` changed since it was last consumed as weights."""
+        return self._dirty[self._index(reg)]
+
+    def can_bypass_weight_load(self, reg: TileReg) -> bool:
+        """WLBP test: the array already holds this register's weights and the
+        register has not been written since they were loaded."""
+        index = self._index(reg)
+        return self._loaded_weight_reg == index and not self._dirty[index]
+
+    def mark_weights_loaded(self, reg: TileReg) -> None:
+        """Record a completed Weight Load from ``reg`` and clear its dirty bit."""
+        index = self._index(reg)
+        self._dirty[index] = False
+        self._loaded_weight_reg = index
+
+    @property
+    def loaded_weight_reg(self) -> Optional[int]:
+        """Index of the register whose weights are resident in the array."""
+        return self._loaded_weight_reg
+
+    def reset(self) -> None:
+        """Clear all contents and dirty state (start of a new program)."""
+        self._regs = [TileRegister(i) for i in range(self.num_regs)]
+        self._dirty = [True] * self.num_regs
+        self._loaded_weight_reg = None
+
+    def __repr__(self) -> str:
+        dirty = "".join("d" if d else "." for d in self._dirty)
+        return f"TileRegisterFile({self.num_regs} regs, dirty={dirty})"

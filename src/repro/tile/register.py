@@ -1,0 +1,92 @@
+"""A single tile register: 1 KB of raw bytes plus a write-version counter.
+
+Like Intel AMX tiles, a tile register is *untyped storage* — ``rasa_tl``
+copies bytes in, ``rasa_ts`` copies bytes out, and only ``rasa_mm`` imposes
+an interpretation (BF16 16x32 for A/B, FP32 16x16 for C).  The typed
+``read_bf16``/``write_fp32`` helpers do the bit-faithful encode/decode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TileError
+from repro.numerics.bf16 import bf16_bits_to_f32, f32_to_bf16_bits
+from repro.tile.layout import BF16_TILE, FP32_TILE, ROW_BYTES, ROWS
+
+
+class TileRegister:
+    """One 1 KB tile register (16 rows x 64 B of raw bytes).
+
+    The register tracks a monotonically increasing ``version`` that bumps on
+    every write.  Versions give the engine an exact "has this register
+    changed since I last loaded weights from it?" test — the architectural
+    dirty bit of WLBP is a hardware approximation of the same information.
+    """
+
+    def __init__(self, index: int):
+        self.index = index
+        self._bytes = np.zeros((ROWS, ROW_BYTES), dtype=np.uint8)
+        self.version = 0
+        self._written = False
+
+    @property
+    def is_written(self) -> bool:
+        """True once the register has been written at least once."""
+        return self._written
+
+    def touch(self) -> None:
+        """Bump the write version without supplying data (timing-only runs)."""
+        self.version += 1
+        self._written = True
+
+    # -- raw byte access (rasa_tl / rasa_ts) ------------------------------------
+
+    def write_bytes(self, data: np.ndarray) -> None:
+        """Replace the register contents with a (16, 64) uint8 payload."""
+        array = np.asarray(data, dtype=np.uint8)
+        if array.shape != (ROWS, ROW_BYTES):
+            raise TileError(
+                f"tile payload must be ({ROWS}, {ROW_BYTES}) bytes, got {array.shape}"
+            )
+        self._bytes = array.copy()
+        self.version += 1
+        self._written = True
+
+    def read_bytes(self) -> np.ndarray:
+        """Read the raw (16, 64) uint8 contents."""
+        self._check_initialized()
+        return self._bytes.copy()
+
+    # -- typed views (rasa_mm operand interpretation) ------------------------------
+
+    def read_bf16(self) -> np.ndarray:
+        """Interpret the contents as a 16x32 BF16 tile; returns float32 values."""
+        self._check_initialized()
+        bits = self._bytes.reshape(ROWS, ROW_BYTES).view(np.uint16)
+        return bf16_bits_to_f32(bits).reshape(BF16_TILE.shape)
+
+    def read_fp32(self) -> np.ndarray:
+        """Interpret the contents as a 16x16 FP32 tile."""
+        self._check_initialized()
+        return self._bytes.view(np.float32).reshape(FP32_TILE.shape).copy()
+
+    def write_bf16(self, matrix: np.ndarray) -> None:
+        """Encode a 16x32 matrix as BF16 (RNE) and store it."""
+        matrix = BF16_TILE.check(matrix)
+        bits = f32_to_bf16_bits(matrix.astype(np.float32))
+        self.write_bytes(bits.view(np.uint8).reshape(ROWS, ROW_BYTES))
+
+    def write_fp32(self, matrix: np.ndarray) -> None:
+        """Store a 16x16 float32 matrix."""
+        matrix = FP32_TILE.check(matrix)
+        payload = np.ascontiguousarray(matrix, dtype=np.float32)
+        self.write_bytes(payload.view(np.uint8).reshape(ROWS, ROW_BYTES))
+
+    def _check_initialized(self) -> None:
+        if not self._written:
+            raise TileError(f"read of uninitialized tile register treg{self.index}")
+
+    def __repr__(self) -> str:
+        state = f"v{self.version}" if self._written else "empty"
+        return f"TileRegister(treg{self.index}, {state})"

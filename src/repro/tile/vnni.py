@@ -1,0 +1,50 @@
+"""VNNI (K-pair) packing of B tiles.
+
+An AMX-style ``rasa_mm`` reads its B operand from a tile register whose 64 B
+rows interleave *pairs of adjacent K rows*: register row ``r``, element
+``2n + j`` holds logical ``B[2r + j, n]``.  Software pre-packs B into this
+layout (exactly what LIBXSMM does for AMX), which makes a 32x16 logical B
+tile fit the 16x32-element register geometry — and, not coincidentally,
+delivers both weights of a double-multiplier PE in one register row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TileError
+
+#: K rows interleaved per packed row (BF16 pairs fill a 32-bit lane).
+PACK = 2
+
+
+def pack_b_vnni(b: np.ndarray) -> np.ndarray:
+    """Pack a logical (K, N) matrix into the (K/2, 2N) VNNI layout."""
+    b = np.asarray(b)
+    if b.ndim != 2:
+        raise TileError(f"B must be 2-D, got shape {b.shape}")
+    k, n = b.shape
+    if k % PACK:
+        raise TileError(f"K={k} must be a multiple of {PACK} for VNNI packing")
+    # (K/2, 2, N) -> (K/2, N, 2) -> (K/2, 2N): row r = [b[2r,0], b[2r+1,0], ...]
+    return np.ascontiguousarray(b.reshape(k // PACK, PACK, n).transpose(0, 2, 1).reshape(k // PACK, PACK * n))
+
+
+def unpack_b_vnni(packed: np.ndarray) -> np.ndarray:
+    """Invert :func:`pack_b_vnni`: (K/2, 2N) packed -> (K, N) logical."""
+    packed = np.asarray(packed)
+    if packed.ndim != 2 or packed.shape[1] % PACK:
+        raise TileError(f"packed B must be (K/2, 2N), got shape {packed.shape}")
+    half_k, two_n = packed.shape
+    n = two_n // PACK
+    return np.ascontiguousarray(
+        packed.reshape(half_k, n, PACK).transpose(0, 2, 1).reshape(half_k * PACK, n)
+    )
+
+
+def unpack_b_tile(tile: np.ndarray) -> np.ndarray:
+    """Decode one 16x32 register-view B tile into its logical 32x16 matrix."""
+    tile = np.asarray(tile)
+    if tile.shape != (16, 32):
+        raise TileError(f"register B tile must be 16x32, got {tile.shape}")
+    return unpack_b_vnni(tile)

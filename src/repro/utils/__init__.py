@@ -1,0 +1,12 @@
+"""Shared utilities: argument validation and table formatting."""
+
+from repro.utils.validation import check_positive, check_power_of_two, check_in_range
+from repro.utils.tables import format_table, format_series
+
+__all__ = [
+    "check_positive",
+    "check_power_of_two",
+    "check_in_range",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,73 @@
+"""Minimal ASCII line plots for figure-shaped benchmark output.
+
+The paper's figures are line/bar charts; the bench harness prints tables by
+default, and these helpers add a quick visual for the line figures (Fig. 2's
+utilization curves, Fig. 7's batch series) without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+_MARKS = "ox+*#@%&"
+
+
+def ascii_plot(
+    series: Dict[str, Sequence[float]],
+    x_labels: Sequence[object],
+    height: int = 12,
+    y_min: float = None,
+    y_max: float = None,
+    title: str = "",
+) -> str:
+    """Plot one or more y-series over a shared categorical x axis.
+
+    Args:
+        series: {label: y values}; all series must match ``x_labels`` length.
+        x_labels: x-axis tick labels (one column per point).
+        height: plot rows.
+        y_min, y_max: axis range (defaults to the data range).
+        title: optional heading.
+
+    Returns:
+        The rendered plot with a legend mapping marks to series labels.
+    """
+    if not series:
+        raise ValueError("ascii_plot needs at least one series")
+    for label, ys in series.items():
+        if len(ys) != len(x_labels):
+            raise ValueError(f"series {label!r} length != x_labels length")
+    values: List[float] = [y for ys in series.values() for y in ys]
+    lo = min(values) if y_min is None else y_min
+    hi = max(values) if y_max is None else y_max
+    if hi == lo:
+        hi = lo + 1.0
+    cols = len(x_labels)
+    grid = [[" "] * cols for _ in range(height)]
+    for index, (label, ys) in enumerate(series.items()):
+        mark = _MARKS[index % len(_MARKS)]
+        for col, y in enumerate(ys):
+            frac = (y - lo) / (hi - lo)
+            row = height - 1 - round(frac * (height - 1))
+            row = min(max(row, 0), height - 1)
+            grid[row][col] = mark
+
+    axis_width = 9
+    lines = []
+    if title:
+        lines.append(title)
+    for row in range(height):
+        frac = 1.0 - row / (height - 1)
+        tick = lo + frac * (hi - lo)
+        lines.append(f"{tick:>{axis_width - 2}.3f} |" + " ".join(grid[row]))
+    lines.append(" " * (axis_width - 1) + "+" + "-" * (2 * cols - 1))
+    tick_row = " " * axis_width + " ".join(
+        str(x)[0] for x in x_labels
+    )
+    lines.append(tick_row)
+    legend = "  ".join(
+        f"{_MARKS[i % len(_MARKS)]}={label}" for i, label in enumerate(series)
+    )
+    lines.append(f"x: {', '.join(str(x) for x in x_labels)}")
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

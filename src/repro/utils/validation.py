@@ -1,0 +1,48 @@
+"""Small argument-checking helpers used across the library.
+
+These raise :class:`repro.errors.ConfigError` with a message naming the
+offending parameter, so configuration mistakes fail fast and readably.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+def check_positive(name: str, value: int) -> int:
+    """Return ``value`` if it is a positive integer, else raise ConfigError."""
+    if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
+        raise ConfigError(f"{name} must be a positive integer, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: int) -> int:
+    """Return ``value`` if it is a non-negative integer, else raise ConfigError."""
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        raise ConfigError(f"{name} must be a non-negative integer, got {value!r}")
+    return value
+
+
+def check_power_of_two(name: str, value: int) -> int:
+    """Return ``value`` if it is a positive power of two, else raise ConfigError."""
+    check_positive(name, value)
+    if value & (value - 1):
+        raise ConfigError(f"{name} must be a power of two, got {value!r}")
+    return value
+
+
+def check_in_range(name: str, value: int, low: int, high: int) -> int:
+    """Return ``value`` if ``low <= value <= high``, else raise ConfigError."""
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ConfigError(f"{name} must be an integer, got {value!r}")
+    if not low <= value <= high:
+        raise ConfigError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return value
+
+
+def check_multiple_of(name: str, value: int, factor: int) -> int:
+    """Return ``value`` if it is a positive multiple of ``factor``."""
+    check_positive(name, value)
+    if value % factor:
+        raise ConfigError(f"{name} must be a multiple of {factor}, got {value!r}")
+    return value

@@ -1,0 +1,65 @@
+"""Workloads: DL layers -> GEMMs -> RASA instruction streams.
+
+The paper evaluates nine MLPerf layers (Table I): three ResNet50
+convolutions, three DLRM FC layers, three BERT FC layers.  This package
+
+- catalogs those layers (:mod:`repro.workloads.layers`),
+- lowers convolutions to GEMM via im2col (:mod:`repro.workloads.lowering`),
+- tiles GEMMs onto the 16x16x32 rasa_mm granularity with Algorithm-1-style
+  register blocking (:mod:`repro.workloads.tiling`), and
+- generates the LIBXSMM-like instruction streams the simulators replay
+  (:mod:`repro.workloads.codegen`), substituting for the paper's Intel-SDE
+  trace collection.
+"""
+
+from repro.workloads.gemm import GemmShape
+from repro.workloads.layers import (
+    ConvLayer,
+    FCLayer,
+    TABLE1_LAYERS,
+    table1_gemms,
+)
+from repro.workloads.lowering import im2col, conv_to_gemm_shape, conv_reference
+from repro.workloads.tiling import BlockingConfig, TileLoopNest
+from repro.workloads.codegen import (
+    CodegenOptions,
+    GemmKernel,
+    build_gemm_kernel,
+    generate_gemm_program,
+)
+from repro.workloads.reference import gemm_reference
+from repro.workloads.training import TrainingStep, training_gemms
+from repro.workloads.models import (
+    MODEL_CATALOGS,
+    bert_encoder_gemms,
+    dlrm_gemms,
+    model_gemms,
+    resnet50_conv_layers,
+    resnet50_gemms,
+)
+
+__all__ = [
+    "GemmShape",
+    "ConvLayer",
+    "FCLayer",
+    "TABLE1_LAYERS",
+    "table1_gemms",
+    "im2col",
+    "conv_to_gemm_shape",
+    "conv_reference",
+    "BlockingConfig",
+    "TileLoopNest",
+    "CodegenOptions",
+    "GemmKernel",
+    "build_gemm_kernel",
+    "generate_gemm_program",
+    "gemm_reference",
+    "TrainingStep",
+    "training_gemms",
+    "MODEL_CATALOGS",
+    "model_gemms",
+    "resnet50_conv_layers",
+    "resnet50_gemms",
+    "bert_encoder_gemms",
+    "dlrm_gemms",
+]

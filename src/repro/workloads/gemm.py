@@ -1,0 +1,111 @@
+"""GEMM shapes and their tiling arithmetic.
+
+One ``rasa_mm`` computes a 16x16 output tile from a 16x32 A tile and a
+32x16 B tile (TM x TN x TK = 16 x 16 x 32), so a GEMM is padded up to those
+granularities and decomposed into a 3-D grid of tiles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import WorkloadError
+from repro.utils.validation import check_positive
+
+#: The rasa_mm tile granularity fixed by the 1 KB tile registers.
+TILE_M = 16
+TILE_N = 16
+TILE_K = 32
+
+
+def _ceil_to(value: int, multiple: int) -> int:
+    return -(-value // multiple) * multiple
+
+
+@dataclasses.dataclass(frozen=True)
+class GemmShape:
+    """A GEMM ``C(MxN) += A(MxK) @ B(KxN)`` with tiling helpers.
+
+    ``m``, ``n``, ``k`` are the *logical* dimensions; the ``padded_*``
+    properties round up to whole rasa_mm tiles (zero padding, which is exact
+    for GEMM).
+    """
+
+    m: int
+    n: int
+    k: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        check_positive("m", self.m)
+        check_positive("n", self.n)
+        check_positive("k", self.k)
+
+    @property
+    def padded_m(self) -> int:
+        return _ceil_to(self.m, TILE_M)
+
+    @property
+    def padded_n(self) -> int:
+        return _ceil_to(self.n, TILE_N)
+
+    @property
+    def padded_k(self) -> int:
+        return _ceil_to(self.k, TILE_K)
+
+    @property
+    def m_tiles(self) -> int:
+        return self.padded_m // TILE_M
+
+    @property
+    def n_tiles(self) -> int:
+        return self.padded_n // TILE_N
+
+    @property
+    def k_tiles(self) -> int:
+        return self.padded_k // TILE_K
+
+    @property
+    def mm_count(self) -> int:
+        """rasa_mm instructions needed for the whole (padded) GEMM."""
+        return self.m_tiles * self.n_tiles * self.k_tiles
+
+    @property
+    def macs(self) -> int:
+        """Useful multiply-accumulates (unpadded)."""
+        return self.m * self.n * self.k
+
+    @property
+    def padding_waste(self) -> float:
+        """Fraction of tile MACs spent on zero padding (mapping inefficiency)."""
+        padded = self.padded_m * self.padded_n * self.padded_k
+        return 1.0 - self.macs / padded
+
+    def scaled(self, factor: int) -> "GemmShape":
+        """Shrink every dimension by ``factor`` (floored at one register block).
+
+        Used by the benchmark harness to run the Fig. 5 sweep at reduced
+        size: normalized runtimes converge quickly with size because the
+        steady-state initiation interval dominates, so who-wins/by-how-much
+        is preserved (validated by a dedicated convergence test).
+        """
+        check_positive("factor", factor)
+        if factor == 1:
+            return self
+        return GemmShape(
+            m=max(2 * TILE_M, self.m // factor),
+            n=max(2 * TILE_N, self.n // factor),
+            k=max(TILE_K, self.k // factor),
+            name=f"{self.name}/s{factor}" if self.name else f"s{factor}",
+        )
+
+    def __str__(self) -> str:
+        label = f"{self.name}: " if self.name else ""
+        return f"{label}M={self.m} N={self.n} K={self.k}"
+
+
+def validate_padded(shape: GemmShape) -> GemmShape:
+    """Require a shape already aligned to tile granularity (codegen input)."""
+    if (shape.m, shape.n, shape.k) != (shape.padded_m, shape.padded_n, shape.padded_k):
+        raise WorkloadError(f"shape {shape} is not tile-aligned")
+    return shape

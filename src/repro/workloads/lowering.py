@@ -1,0 +1,88 @@
+"""Convolution lowering: im2col transformation and a direct-conv oracle.
+
+Many frameworks "lower" convolution to GEMM (Sec. II-A, ref. [9]).  For a
+stride-1 'same'-padded convolution of input (N, C, X, Y) with filters
+(K, C, R, S):
+
+- ``im2col`` builds the (N·X·Y, C·R·S) patch matrix A;
+- the filters reshape to (C·R·S, K) as the GEMM's B;
+- the GEMM output (N·X·Y, K) reshapes back to (N, K, X, Y).
+
+``conv_reference`` computes the same convolution directly, so tests can
+confirm the lowering (and then the whole simulated pipeline) is exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.gemm import GemmShape
+from repro.workloads.layers import ConvLayer
+
+
+def _check_conv_operands(inputs: np.ndarray, weights: np.ndarray) -> None:
+    if inputs.ndim != 4 or weights.ndim != 4:
+        raise WorkloadError(
+            f"conv expects NCHW inputs and KCRS weights, got {inputs.shape} / {weights.shape}"
+        )
+    if inputs.shape[1] != weights.shape[1]:
+        raise WorkloadError(
+            f"channel mismatch: input C={inputs.shape[1]}, weight C={weights.shape[1]}"
+        )
+    if weights.shape[2] % 2 == 0 or weights.shape[3] % 2 == 0:
+        raise WorkloadError("'same' padding requires odd filter dims R, S")
+
+
+def im2col(inputs: np.ndarray, r: int, s: int) -> np.ndarray:
+    """Lower (N, C, X, Y) inputs to the (N·X·Y, C·R·S) patch matrix.
+
+    Stride 1, 'same' zero padding (out-of-range taps read zero).  Column
+    order is (c, dr, ds) row-major — matching the filter reshape below.
+    """
+    if r % 2 == 0 or s % 2 == 0:
+        raise WorkloadError("'same' padding requires odd filter dims R, S")
+    n, c, x, y = inputs.shape
+    pad_r, pad_s = r // 2, s // 2
+    padded = np.zeros((n, c, x + 2 * pad_r, y + 2 * pad_s), dtype=inputs.dtype)
+    padded[:, :, pad_r : pad_r + x, pad_s : pad_s + y] = inputs
+    columns = np.empty((n, x, y, c, r, s), dtype=inputs.dtype)
+    for dr in range(r):
+        for ds in range(s):
+            columns[:, :, :, :, dr, ds] = padded[:, :, dr : dr + x, ds : ds + y].transpose(
+                0, 2, 3, 1
+            )
+    return columns.reshape(n * x * y, c * r * s)
+
+
+def filters_to_gemm_b(weights: np.ndarray) -> np.ndarray:
+    """Reshape (K, C, R, S) filters to the GEMM B matrix (C·R·S, K)."""
+    k = weights.shape[0]
+    return weights.reshape(k, -1).T.copy()
+
+
+def gemm_output_to_conv(output: np.ndarray, n: int, x: int, y: int) -> np.ndarray:
+    """Reshape the GEMM output (N·X·Y, K) back to the (N, K, X, Y) tensor."""
+    k = output.shape[1]
+    return output.reshape(n, x, y, k).transpose(0, 3, 1, 2).copy()
+
+
+def conv_to_gemm_shape(layer: ConvLayer) -> GemmShape:
+    """The GEMM dimensions im2col produces for ``layer`` (same as layer.gemm())."""
+    return layer.gemm()
+
+
+def conv_reference(inputs: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Direct stride-1 'same' convolution in float64 (the lowering oracle)."""
+    _check_conv_operands(inputs, weights)
+    n, c, x, y = inputs.shape
+    k, _, r, s = weights.shape
+    pad_r, pad_s = r // 2, s // 2
+    padded = np.zeros((n, c, x + 2 * pad_r, y + 2 * pad_s), dtype=np.float64)
+    padded[:, :, pad_r : pad_r + x, pad_s : pad_s + y] = inputs
+    out = np.zeros((n, k, x, y), dtype=np.float64)
+    for dr in range(r):
+        for ds in range(s):
+            window = padded[:, :, dr : dr + x, ds : ds + y]
+            out += np.einsum("ncxy,kc->nkxy", window, weights[:, :, dr, ds])
+    return out

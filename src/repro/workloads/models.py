@@ -1,0 +1,129 @@
+"""Full-model GEMM catalogs (extension beyond Table I's nine layers).
+
+The paper evaluates three layers per MLPerf model; these catalogs carry the
+*complete* GEMM suite of each network so whole-model speedups can be
+simulated: every ResNet-50 convolution (lowered via im2col dimensions),
+every BERT-base encoder projection/FFN GEMM, and the DLRM MLP stacks.
+Attention score/context batched matmuls and embedding lookups are excluded
+(they are not tile-GEMM work on this engine); the catalogs cover the
+GEMM-shaped portion the matrix engine would execute.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.errors import WorkloadError
+from repro.workloads.gemm import GemmShape
+from repro.workloads.layers import ConvLayer, FCLayer
+
+# -- ResNet-50 ------------------------------------------------------------------
+
+#: Bottleneck stage plan: (output spatial, mid channels, out channels, blocks).
+_RESNET50_STAGES = (
+    (56, 64, 256, 3),
+    (28, 128, 512, 4),
+    (14, 256, 1024, 6),
+    (7, 512, 2048, 3),
+)
+
+
+def resnet50_conv_layers(batch: int = 32) -> List[ConvLayer]:
+    """Every convolution of ResNet-50 (ImageNet geometry), in order."""
+    layers: List[ConvLayer] = [
+        ConvLayer("conv1", batch, filters=64, channels=3, x=224, y=224, r=7, s=7, stride=2)
+    ]
+    in_channels = 64
+    for stage_index, (size, mid, out, blocks) in enumerate(_RESNET50_STAGES, start=2):
+        for block in range(blocks):
+            prefix = f"conv{stage_index}_{block + 1}"
+            # First block of stages 3-5 downsamples; feature-map x/y below is
+            # the *input* size of each conv.
+            first = block == 0
+            stride = 2 if (first and stage_index > 2) else 1
+            in_size = size * stride
+            layers.append(
+                ConvLayer(f"{prefix}a", batch, mid, in_channels, in_size, in_size, 1, 1, stride)
+            )
+            layers.append(ConvLayer(f"{prefix}b", batch, mid, mid, size, size, 3, 3))
+            layers.append(ConvLayer(f"{prefix}c", batch, out, mid, size, size, 1, 1))
+            if first:
+                layers.append(
+                    ConvLayer(
+                        f"{prefix}_proj", batch, out, in_channels,
+                        in_size, in_size, 1, 1, stride,
+                    )
+                )
+            in_channels = out
+    return layers
+
+
+def resnet50_gemms(batch: int = 32) -> Dict[str, GemmShape]:
+    """Lowered GEMM of every ResNet-50 convolution."""
+    return {layer.name: layer.gemm() for layer in resnet50_conv_layers(batch)}
+
+
+# -- BERT-base --------------------------------------------------------------------
+
+
+def bert_encoder_gemms(
+    tokens: int = 256, hidden: int = 768, ffn: int = 3072, layers: int = 12
+) -> Dict[str, GemmShape]:
+    """The projection/FFN GEMMs of a BERT-base encoder stack.
+
+    Per layer: Q, K, V projections (hidden -> hidden), attention output
+    projection (hidden -> hidden), FFN up (hidden -> ffn), FFN down
+    (ffn -> hidden).  ``tokens`` is batch x sequence rows, matching the
+    paper's BERT-1/2/3 shapes at tokens = 256.
+    """
+    if layers <= 0:
+        raise WorkloadError(f"layers must be positive, got {layers}")
+    out: Dict[str, GemmShape] = {}
+    for i in range(layers):
+        p = f"enc{i}"
+        for proj in ("q", "k", "v", "attn_out"):
+            out[f"{p}.{proj}"] = GemmShape(tokens, hidden, hidden, name=f"{p}.{proj}")
+        out[f"{p}.ffn_up"] = GemmShape(tokens, ffn, hidden, name=f"{p}.ffn_up")
+        out[f"{p}.ffn_down"] = GemmShape(tokens, hidden, ffn, name=f"{p}.ffn_down")
+    return out
+
+
+# -- DLRM -----------------------------------------------------------------------
+
+
+def mlp_gemms(batch: int, widths: Sequence[int], prefix: str) -> Dict[str, GemmShape]:
+    """GEMMs of an MLP with the given layer widths."""
+    if len(widths) < 2:
+        raise WorkloadError("an MLP needs at least two widths")
+    out: Dict[str, GemmShape] = {}
+    for i, (nin, non) in enumerate(zip(widths, widths[1:])):
+        layer = FCLayer(f"{prefix}{i}", batch=batch, nin=nin, non=non)
+        out[layer.name] = layer.gemm()
+    return out
+
+
+def dlrm_gemms(batch: int = 512) -> Dict[str, GemmShape]:
+    """DLRM MLP GEMMs (RM2-class sizes, matching Table I's 1024/2048 FCs)."""
+    gemms = mlp_gemms(batch, (256, 1024, 1024, 1024, 64), "bottom")
+    gemms.update(mlp_gemms(batch, (512, 2048, 2048, 2048, 1024, 1), "top"))
+    return gemms
+
+
+# -- registry ----------------------------------------------------------------------
+
+MODEL_CATALOGS = {
+    "resnet50": resnet50_gemms,
+    "bert-base": bert_encoder_gemms,
+    "dlrm": dlrm_gemms,
+}
+
+
+def model_gemms(model: str, **kwargs) -> Dict[str, GemmShape]:
+    """Catalog lookup: the full GEMM suite of ``model``."""
+    try:
+        factory = MODEL_CATALOGS[model]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown model {model!r}; known: {', '.join(MODEL_CATALOGS)}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,54 @@
+"""Whole-GEMM oracle mirroring the engine's accumulation order.
+
+The generated kernels accumulate K tiles in ascending order, and within a
+tile the array reduces in ascending k (or in two even/odd chains on DM
+designs).  This oracle composes the per-tile oracles in the same order, so a
+full program executed on the functional engine must match it *bit-exactly*
+— the strongest end-to-end check the test suite has.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.numerics.mac import matmul_bf16_fp32, matmul_bf16_fp32_chained
+from repro.workloads.gemm import GemmShape, TILE_K
+
+
+def gemm_reference(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray = None,
+    chains: int = 1,
+) -> np.ndarray:
+    """Compute ``C += A @ B`` exactly as the simulated pipeline does.
+
+    Args:
+        a: (M, K) inputs (will be BF16-quantized).
+        b: (K, N) weights (BF16-quantized).
+        c: optional (M, N) float32 initial accumulator.
+        chains: psum chains of the PE variant (1 baseline/DB, 2 DM/DMDB).
+
+    Returns:
+        (M, N) float32 result, bit-exact against the functional engine.
+    """
+    a = np.asarray(a, dtype=np.float32)
+    b = np.asarray(b, dtype=np.float32)
+    m, k = a.shape
+    _, n = b.shape
+    shape = GemmShape(m=m, n=n, k=k)
+    pa = np.zeros((shape.padded_m, shape.padded_k), dtype=np.float32)
+    pa[:m, :k] = a
+    pb = np.zeros((shape.padded_k, shape.padded_n), dtype=np.float32)
+    pb[:k, :n] = b
+    out = np.zeros((shape.padded_m, shape.padded_n), dtype=np.float32)
+    if c is not None:
+        out[:m, :n] = np.asarray(c, dtype=np.float32)
+    for kt in range(shape.k_tiles):
+        a_slab = pa[:, kt * TILE_K : (kt + 1) * TILE_K]
+        b_slab = pb[kt * TILE_K : (kt + 1) * TILE_K, :]
+        if chains == 1:
+            out = matmul_bf16_fp32(a_slab, b_slab, out)
+        else:
+            out = matmul_bf16_fp32_chained(a_slab, b_slab, out, chains=chains)
+    return out[:m, :n]

@@ -1,0 +1,68 @@
+"""Training-pass GEMMs (extension; Sec. V: "our proposed concept is not
+limited to inference since GEMM is also a key building block for training").
+
+For an FC layer ``Y = X · W`` with batch N, input width NIN, output width
+NON, one training step runs three GEMMs:
+
+- **forward**:  Y  = X · W        -> (M, N, K) = (batch, NON, NIN)
+- **dgrad**:    dX = dY · Wᵀ      -> (batch, NIN, NON)
+- **wgrad**:    dW = Xᵀ · dY      -> (NIN, NON, batch)
+
+wgrad is the interesting one for RASA: its streamed M dimension equals NIN
+(large), so even the serialized baseline amortizes fill/drain well there —
+the RASA gain concentrates in forward/dgrad, whose M is the (small) batch.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.workloads.gemm import GemmShape
+from repro.workloads.layers import FCLayer
+
+
+@dataclasses.dataclass(frozen=True)
+class TrainingStep:
+    """The three GEMMs of one FC training step."""
+
+    layer: FCLayer
+
+    @property
+    def forward(self) -> GemmShape:
+        return GemmShape(
+            m=self.layer.batch, n=self.layer.non, k=self.layer.nin,
+            name=f"{self.layer.name}-fwd",
+        )
+
+    @property
+    def dgrad(self) -> GemmShape:
+        return GemmShape(
+            m=self.layer.batch, n=self.layer.nin, k=self.layer.non,
+            name=f"{self.layer.name}-dgrad",
+        )
+
+    @property
+    def wgrad(self) -> GemmShape:
+        return GemmShape(
+            m=self.layer.nin, n=self.layer.non, k=self.layer.batch,
+            name=f"{self.layer.name}-wgrad",
+        )
+
+    def gemms(self) -> Dict[str, GemmShape]:
+        """All three passes, keyed by pass name."""
+        return {"forward": self.forward, "dgrad": self.dgrad, "wgrad": self.wgrad}
+
+    @property
+    def total_macs(self) -> int:
+        return sum(shape.macs for shape in self.gemms().values())
+
+
+def training_gemms(layers: List[FCLayer]) -> Dict[str, GemmShape]:
+    """Flat {``layer-pass``: shape} map over a list of FC layers."""
+    out: Dict[str, GemmShape] = {}
+    for layer in layers:
+        step = TrainingStep(layer)
+        for pass_name, shape in step.gemms().items():
+            out[f"{layer.name}-{pass_name}"] = shape
+    return out

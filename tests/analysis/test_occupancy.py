@@ -1,0 +1,96 @@
+"""Tests for the analytical occupancy model, cross-checked three ways."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.occupancy import (
+    occupancy_timeline,
+    schedule_utilization,
+    single_mm_active_pes,
+)
+from repro.engine.config import ControlPolicy, EngineConfig
+from repro.engine.scheduler import EngineScheduler
+from repro.systolic.array import SystolicArray
+from repro.systolic.pe import DB_PE
+from repro.systolic.utilization import utilization_single_fold
+
+
+def schedule_stream(config, keys):
+    scheduler = EngineScheduler(config)
+    return [scheduler.schedule_mm(0, 0, key) for key in keys]
+
+
+class TestSingleInstruction:
+    def test_matches_cycle_accurate_array(self, rng):
+        """The analytical trapezoid must equal the functional array's
+        measured activity trace, cycle by cycle."""
+        config = EngineConfig()
+        a = rng.standard_normal((16, 32)).astype(np.float32)
+        b = rng.standard_normal((32, 16)).astype(np.float32)
+        run = SystolicArray(32, 16).execute(b, a)
+        measured = run.active_pes[run.wl_cycles :]  # activity after WL
+        analytic = [
+            single_mm_active_pes(config, offset) for offset in range(len(measured))
+        ]
+        assert analytic == measured
+
+    def test_peak_is_full_array_when_tm_spans_diagonals(self):
+        config = EngineConfig()
+        # TM=16 < R+C-1=47: the wave never covers the whole 32x16 array.
+        peak = max(single_mm_active_pes(config, o) for o in range(120))
+        assert peak < config.num_pes
+        # A hypothetical TM = 64 > 46 saturates it.
+        import dataclasses
+
+        big = dataclasses.replace(config, tile_m=64)
+        peak_big = max(single_mm_active_pes(big, o) for o in range(160))
+        assert peak_big == big.num_pes
+
+
+class TestScheduleUtilization:
+    def test_base_schedule_matches_fig2_value(self):
+        """A serialized BASE stream utilizes TM / (2TK+TM+TN-1) = 16/95."""
+        config = EngineConfig(control=ControlPolicy.BASE)
+        schedule = schedule_stream(config, range(20))
+        report = schedule_utilization(schedule, config)
+        expected = utilization_single_fold(tm=16, tk=32, tn=16)
+        assert report.utilization == pytest.approx(expected, rel=0.02)
+
+    def test_wls_schedule_near_full_utilization(self):
+        config = EngineConfig(pe=DB_PE, control=ControlPolicy.WLS)
+        schedule = schedule_stream(config, range(60))
+        report = schedule_utilization(schedule, config)
+        # Back-to-back FFs every TM cycles keep the whole wave marching.
+        assert report.utilization > 0.9
+        assert report.peak_active == config.num_pes
+
+    def test_policy_ordering_of_utilization(self):
+        utils = {}
+        for policy, pe in [
+            (ControlPolicy.BASE, None),
+            (ControlPolicy.PIPE, None),
+            (ControlPolicy.WLS, DB_PE),
+        ]:
+            config = EngineConfig(control=policy) if pe is None else EngineConfig(
+                pe=pe, control=policy
+            )
+            schedule = schedule_stream(config, range(30))
+            utils[policy] = schedule_utilization(schedule, config).utilization
+        assert utils[ControlPolicy.BASE] < utils[ControlPolicy.PIPE]
+        assert utils[ControlPolicy.PIPE] < utils[ControlPolicy.WLS]
+
+    def test_empty_schedule(self):
+        config = EngineConfig()
+        report = schedule_utilization([], config)
+        assert report.utilization == 0.0
+        assert occupancy_timeline([], config).size == 0
+
+    def test_active_pe_cycles_equal_total_macs(self):
+        """Conservation: every scheduled mm contributes exactly
+        TM x (R x C) PE-cycles regardless of overlap."""
+        config = EngineConfig(control=ControlPolicy.PIPE)
+        schedule = schedule_stream(config, range(7))
+        report = schedule_utilization(schedule, config)
+        assert report.active_pe_cycles == 7 * 16 * config.num_pes

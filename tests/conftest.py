@@ -1,0 +1,20 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.designs import DESIGNS
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator (fresh per test)."""
+    return np.random.default_rng(0x5A5A)
+
+
+@pytest.fixture(params=list(DESIGNS))
+def design_key(request) -> str:
+    """Parametrize a test over every registered design point."""
+    return request.param

@@ -1,0 +1,42 @@
+"""Tests for the core configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu.config import CoreConfig
+from repro.errors import ConfigError
+
+
+def test_paper_defaults():
+    # Sec. V: "CPU (and NoC) at 2GHz, 16 pipeline stages, ROB size of 97,
+    # fetch/issue/retire width of 4, similar to Intel's Skylake."
+    config = CoreConfig()
+    assert config.clock_mhz == 2000
+    assert config.pipeline_stages == 16
+    assert config.rob_size == 97
+    assert config.fetch_width == config.issue_width == config.retire_width == 4
+
+
+def test_tile_transfer():
+    config = CoreConfig()
+    assert config.tile_transfer_cycles == 16  # 1 KB / 64 B per cycle
+    assert config.tile_load_latency == 4 + 16
+
+
+def test_engine_clock_ratio():
+    config = CoreConfig()
+    assert config.engine_clock_ratio(500) == 4
+    with pytest.raises(ConfigError):
+        config.engine_clock_ratio(600)  # 2000/600 is not an integer
+
+
+def test_frontend_latency():
+    assert CoreConfig().frontend_latency == 8
+
+
+def test_invalid_fields_rejected():
+    with pytest.raises(ConfigError):
+        CoreConfig(rob_size=0)
+    with pytest.raises(ConfigError):
+        CoreConfig(fetch_width=-1)

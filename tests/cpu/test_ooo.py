@@ -1,0 +1,105 @@
+"""Cycle-accurate OoO core tests, including fast-model cross-validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu.config import CoreConfig
+from repro.cpu.fast import FastCoreModel
+from repro.cpu.ooo.core import OutOfOrderCore
+from repro.engine.designs import DESIGNS
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import ScalarReg, TileReg
+from repro.isa.opcodes import Opcode
+from repro.workloads.codegen import CodegenOptions, generate_gemm_program
+from repro.workloads.gemm import GemmShape
+from repro.workloads.tiling import BlockingConfig, MMOrder
+
+T = [TileReg(i) for i in range(8)]
+
+
+class TestBasics:
+    def test_empty_program(self):
+        from repro.isa.program import Program
+
+        result = OutOfOrderCore().run(Program([], name="empty"))
+        assert result.cycles == 0
+
+    def test_single_scalar(self):
+        b = ProgramBuilder()
+        b.scalar(Opcode.ADD, dst=ScalarReg(0), srcs=())
+        result = OutOfOrderCore().run(b.build())
+        # Frontend fill + execute + retire: a small constant.
+        assert 8 <= result.cycles <= 16
+
+    def test_retire_is_in_order(self):
+        # A slow mm followed by fast scalars: total time is bound by the mm
+        # even though the scalars complete long before it.
+        b = ProgramBuilder()
+        b.tl(T[0], 0x0).tl(T[4], 0x400).tl(T[6], 0x800)
+        b.mm(T[0], T[6], T[4])
+        for _ in range(8):
+            b.scalar(Opcode.ADD, dst=ScalarReg(1), srcs=())
+        result = OutOfOrderCore().run(b.build())
+        assert result.cycles > 380  # 95 engine cycles * 4
+
+    def test_rob_limits_inflight(self):
+        program = generate_gemm_program(GemmShape(m=64, n=64, k=64, name="rob-ooo"))
+        big = OutOfOrderCore(core=CoreConfig(rob_size=97)).run(program)
+        tiny = OutOfOrderCore(core=CoreConfig(rob_size=8)).run(program)
+        assert tiny.cycles > big.cycles
+
+
+class TestFastModelAgreement:
+    """The central validation: both models must tell the same story."""
+
+    @pytest.mark.parametrize("key", sorted(DESIGNS))
+    def test_agreement_on_gemm_all_designs(self, key):
+        program = generate_gemm_program(GemmShape(m=64, n=64, k=128, name="agree"))
+        config = DESIGNS[key].config
+        fast = FastCoreModel(engine=config).run(program)
+        ooo = OutOfOrderCore(engine=config).run(program)
+        assert fast.cycles == pytest.approx(ooo.cycles, rel=0.02)
+        assert fast.bypass_count == ooo.bypass_count
+        assert fast.weight_loads == ooo.weight_loads
+        assert fast.mm_count == ooo.mm_count
+
+    def test_agreement_on_alternate_order_stream(self):
+        options = CodegenOptions(
+            blocking=BlockingConfig(bm=2, bn=2, mm_order=MMOrder.ALTERNATE)
+        )
+        program = generate_gemm_program(
+            GemmShape(m=64, n=64, k=64, name="alt"), options
+        )
+        config = DESIGNS["rasa-wlbp"].config
+        fast = FastCoreModel(engine=config).run(program)
+        ooo = OutOfOrderCore(engine=config).run(program)
+        assert fast.bypass_count == ooo.bypass_count == 0
+        assert fast.cycles == pytest.approx(ooo.cycles, rel=0.02)
+
+    def test_agreement_on_scalar_heavy_stream(self):
+        b = ProgramBuilder("scalar-heavy")
+        for i in range(50):
+            b.tl(T[i % 4], i * 0x400)
+            b.loop_overhead(12)
+        fast = FastCoreModel().run(b.build())
+        ooo = OutOfOrderCore().run(b.build())
+        assert fast.cycles == pytest.approx(ooo.cycles, rel=0.05)
+
+
+class TestNormalizedAgreement:
+    def test_normalized_runtimes_match_fast_model(self):
+        """Fig. 5's actual metric (normalized runtime) must agree closely."""
+        program = generate_gemm_program(GemmShape(m=64, n=64, k=128, name="norm"))
+        for key in ("rasa-wlbp", "rasa-dmdb-wls"):
+            config = DESIGNS[key].config
+            base_cfg = DESIGNS["baseline"].config
+            fast_norm = (
+                FastCoreModel(engine=config).run(program).cycles
+                / FastCoreModel(engine=base_cfg).run(program).cycles
+            )
+            ooo_norm = (
+                OutOfOrderCore(engine=config).run(program).cycles
+                / OutOfOrderCore(engine=base_cfg).run(program).cycles
+            )
+            assert fast_norm == pytest.approx(ooo_norm, rel=0.02)

@@ -1,0 +1,147 @@
+"""Unit tests for the OoO core's building blocks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu.config import CoreConfig
+from repro.cpu.ooo.frontend import FetchUnit
+from repro.cpu.ooo.ports import ExecutionPorts, PortGroup
+from repro.cpu.ooo.rename import RenameTable
+from repro.cpu.ooo.rob import ReorderBuffer
+from repro.cpu.ooo.uop import Uop
+from repro.isa.instructions import ScalarReg, TileReg, rasa_mm, rasa_tl, scalar_op
+from repro.isa.opcodes import Opcode
+
+
+class TestFetchUnit:
+    def test_pipeline_fill_delay(self):
+        fetch = FetchUnit(CoreConfig(), program_length=100)
+        assert fetch.available(0) == 0
+        assert fetch.available(7) == 0
+        assert fetch.available(8) == 4  # frontend_latency = 8, width 4
+
+    def test_rate_and_consumption(self):
+        fetch = FetchUnit(CoreConfig(), program_length=100)
+        assert fetch.available(9) == 8
+        fetch.consume(5)
+        assert fetch.available(9) == 3
+        assert not fetch.done
+
+    def test_bounded_by_program_length(self):
+        fetch = FetchUnit(CoreConfig(), program_length=6)
+        assert fetch.available(1000) == 6
+        fetch.consume(6)
+        assert fetch.done
+
+
+class TestReorderBuffer:
+    def _uop(self, index, complete=None):
+        uop = Uop(index, scalar_op(Opcode.NOP))
+        uop.complete_cycle = complete
+        return uop
+
+    def test_capacity(self):
+        rob = ReorderBuffer(CoreConfig(rob_size=2))
+        rob.allocate(self._uop(0))
+        rob.allocate(self._uop(1))
+        assert rob.free_slots == 0
+        with pytest.raises(OverflowError):
+            rob.allocate(self._uop(2))
+
+    def test_in_order_retire_blocks_on_head(self):
+        rob = ReorderBuffer(CoreConfig())
+        rob.allocate(self._uop(0, complete=None))     # head incomplete
+        rob.allocate(self._uop(1, complete=5))
+        assert rob.retire(10) == []                   # younger cannot pass
+
+    def test_retire_width(self):
+        rob = ReorderBuffer(CoreConfig(retire_width=2))
+        for i in range(5):
+            rob.allocate(self._uop(i, complete=1))
+        assert len(rob.retire(10)) == 2
+        assert len(rob.retire(11)) == 2
+        assert rob.retired_count == 4
+
+    def test_retire_requires_complete_before_cycle(self):
+        rob = ReorderBuffer(CoreConfig())
+        rob.allocate(self._uop(0, complete=10))
+        assert rob.retire(10) == []    # completes *at* 10: retires after
+        assert len(rob.retire(11)) == 1
+        assert rob.last_retire_cycle == 11
+
+
+class TestRenameTable:
+    def test_tile_dependencies(self):
+        rename = RenameTable()
+        producer = Uop(0, rasa_tl(TileReg(4), 0x0))
+        rename.rename(producer)
+        consumer = Uop(1, rasa_mm(TileReg(0), TileReg(6), TileReg(4)))
+        rename.rename(consumer)
+        assert producer in consumer.deps
+
+    def test_retired_producers_dropped(self):
+        rename = RenameTable()
+        producer = Uop(0, rasa_tl(TileReg(4), 0x0))
+        producer.retired = True
+        rename.rename(producer)
+        consumer = Uop(1, rasa_mm(TileReg(0), TileReg(6), TileReg(4)))
+        rename.rename(consumer)
+        assert consumer.deps == []
+
+    def test_versions_count_writes(self):
+        rename = RenameTable()
+        for i in range(3):
+            rename.rename(Uop(i, rasa_tl(TileReg(4), 0x0)))
+        assert rename.tile_version(TileReg(4)) == 3
+        assert rename.tile_version(TileReg(5)) == 0
+
+    def test_scalar_dependencies(self):
+        rename = RenameTable()
+        producer = Uop(0, scalar_op(Opcode.ADD, dst=ScalarReg(1), srcs=()))
+        rename.rename(producer)
+        consumer = Uop(1, scalar_op(Opcode.ADD, dst=ScalarReg(2), srcs=(ScalarReg(1),)))
+        rename.rename(consumer)
+        assert producer in consumer.deps
+
+
+class TestPorts:
+    def test_acquire_and_occupancy(self):
+        group = PortGroup(1, "load")
+        assert group.acquire(0, occupancy=16)
+        assert not group.acquire(10, occupancy=16)  # still busy
+        assert group.acquire(16, occupancy=16)
+
+    def test_multiple_ports(self):
+        group = PortGroup(2, "load")
+        assert group.acquire(0, 16)
+        assert group.acquire(0, 16)
+        assert not group.acquire(0, 16)
+        assert group.any_free(16)
+
+    def test_execution_ports_complement(self):
+        ports = ExecutionPorts(CoreConfig())
+        assert ports.alu.any_free(0)
+        assert ports.load.any_free(0)
+        assert ports.store.any_free(0)
+
+
+class TestUop:
+    def test_ready_tracking(self):
+        producer = Uop(0, rasa_tl(TileReg(4), 0x0))
+        consumer = Uop(1, rasa_mm(TileReg(0), TileReg(6), TileReg(4)))
+        consumer.deps.append(producer)
+        assert not consumer.ready_at(5)
+        producer.complete_cycle = 5
+        assert consumer.ready_at(5)
+        assert not consumer.ready_at(4)
+
+    def test_repr_states(self):
+        uop = Uop(0, scalar_op(Opcode.NOP))
+        assert "waiting" in repr(uop)
+        uop.issued = True
+        assert "issued" in repr(uop)
+        uop.complete_cycle = 3
+        assert "complete" in repr(uop)
+        uop.retired = True
+        assert "retired" in repr(uop)

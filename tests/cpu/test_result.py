@@ -1,0 +1,43 @@
+"""Tests for SimResult derived metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu.result import SimResult
+
+
+def make(cycles, mm=10, bypass=4):
+    return SimResult(
+        design="d",
+        program="p",
+        cycles=cycles,
+        instructions=100,
+        mm_count=mm,
+        bypass_count=bypass,
+        weight_loads=mm - bypass,
+        engine_busy_cycles=cycles // 4,
+        clock_mhz=2000,
+    )
+
+
+def test_seconds():
+    assert make(2_000_000).seconds == pytest.approx(1e-3)
+
+
+def test_ipc():
+    assert make(50).ipc == pytest.approx(2.0)
+
+
+def test_bypass_rate():
+    assert make(100).bypass_rate == pytest.approx(0.4)
+    assert make(100, mm=0, bypass=0).bypass_rate == 0.0
+
+
+def test_cycles_per_mm():
+    assert make(950).cycles_per_mm == pytest.approx(95.0)
+
+
+def test_normalized_to():
+    assert make(250).normalized_to(make(1000)) == pytest.approx(0.25)
+    assert make(250).normalized_to(make(0)) == 0.0

@@ -1,0 +1,59 @@
+"""Tests for the ASCII pipeline diagram renderer."""
+
+from __future__ import annotations
+
+from repro.engine.config import ControlPolicy, EngineConfig
+from repro.engine.diagram import render_pipeline
+from repro.engine.scheduler import EngineScheduler
+from repro.systolic.pe import DB_PE
+
+
+def schedule_for(policy, keys, pe=None):
+    config = EngineConfig(control=policy) if pe is None else EngineConfig(pe=pe, control=policy)
+    scheduler = EngineScheduler(config)
+    return [scheduler.schedule_mm(0, 0, key) for key in keys]
+
+
+def test_base_lanes_serialize():
+    text = render_pipeline(schedule_for(ControlPolicy.BASE, [0, 1]), max_width=250)
+    lines = [l for l in text.splitlines() if l.startswith("mm")]
+    assert len(lines) == 2
+    # Second lane's W starts after the first lane's D ends.
+    first_d_end = max(i for i, ch in enumerate(lines[0]) if ch == "D")
+    second_w_start = min(i for i, ch in enumerate(lines[1]) if ch == "W")
+    assert second_w_start > first_d_end
+
+
+def test_pipe_overlaps_wl_with_drain():
+    text = render_pipeline(schedule_for(ControlPolicy.PIPE, [0, 1]), max_width=250)
+    lines = [l for l in text.splitlines() if l.startswith("mm")]
+    first_d = {i for i, ch in enumerate(lines[0]) if ch == "D"}
+    second_w = {i for i, ch in enumerate(lines[1]) if ch == "W"}
+    assert first_d & second_w  # the PIPE overlap is visible
+
+
+def test_bypassed_lane_has_no_w_and_star():
+    text = render_pipeline(schedule_for(ControlPolicy.WLBP, [0, 0]), max_width=250)
+    lines = [l for l in text.splitlines() if l.startswith("mm")]
+    assert "*" in lines[1]
+    assert "W" not in lines[1][8:]
+
+
+def test_wls_shadow_load_overlaps_previous_ff():
+    text = render_pipeline(
+        schedule_for(ControlPolicy.WLS, [0, 1], pe=DB_PE), max_width=250
+    )
+    lines = [l for l in text.splitlines() if l.startswith("mm")]
+    first_f = {i for i, ch in enumerate(lines[0]) if ch == "F"}
+    second_w = {i for i, ch in enumerate(lines[1]) if ch == "W"}
+    assert first_f & second_w  # prefetch during the previous FF
+
+
+def test_clipping_and_legend():
+    text = render_pipeline(schedule_for(ControlPolicy.BASE, list(range(5))), max_width=60)
+    assert "more cycles" in text
+    assert "W=WeightLoad" in text
+
+
+def test_empty_schedule():
+    assert render_pipeline([]) == "(empty schedule)"

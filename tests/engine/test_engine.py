@@ -1,0 +1,121 @@
+"""Tests for the MatrixEngine: functional + timing integration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.config import ControlPolicy, EngineConfig
+from repro.engine.designs import DESIGNS
+from repro.engine.engine import MatrixEngine
+from repro.errors import ConfigError
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import TileReg
+from repro.tile.memory import TileMemory
+from repro.workloads.codegen import build_gemm_kernel
+from repro.workloads.gemm import GemmShape
+from repro.workloads.reference import gemm_reference
+
+
+def make_kernel_run(design_key, shape, rng, functional="oracle"):
+    """Generate, execute, and verify one kernel; returns (engine, report, ok)."""
+    config = DESIGNS[design_key].config
+    kernel = build_gemm_kernel(shape)
+    a = rng.standard_normal((shape.m, shape.k)).astype(np.float32)
+    b = rng.standard_normal((shape.k, shape.n)).astype(np.float32)
+    c = rng.standard_normal((shape.m, shape.n)).astype(np.float32)
+    memory = TileMemory()
+    kernel.write_inputs(memory, a, b, c)
+    engine = MatrixEngine(config, functional=functional, memory=memory)
+    report = engine.run(kernel.program)
+    out = kernel.read_result(memory)
+    ref = gemm_reference(a, b, c, chains=config.pe.psum_chains)
+    return engine, report, np.array_equal(out, ref)
+
+
+class TestFunctionalExactness:
+    @pytest.mark.parametrize("key", sorted(DESIGNS))
+    def test_every_design_bit_exact_oracle(self, key, rng):
+        _, report, ok = make_kernel_run(key, GemmShape(m=48, n=32, k=64), rng)
+        assert ok
+        assert report.stats.mm_count == 3 * 2 * 2
+
+    @pytest.mark.parametrize("key", ["baseline", "rasa-wlbp", "rasa-dmdb-wls"])
+    def test_array_mode_bit_exact(self, key, rng):
+        _, report, ok = make_kernel_run(
+            key, GemmShape(m=32, n=32, k=32), rng, functional="array"
+        )
+        assert ok
+
+    def test_unaligned_shape_padded_correctly(self, rng):
+        _, _, ok = make_kernel_run("rasa-wlbp", GemmShape(m=21, n=19, k=45), rng)
+        assert ok
+
+
+class TestBypassAccounting:
+    def test_bypasses_counted(self, rng):
+        _, report, ok = make_kernel_run("rasa-wlbp", GemmShape(m=64, n=64, k=64), rng)
+        assert ok
+        # 2x2 blocking: half the mm's in each K step reuse the B register.
+        assert report.stats.bypass_rate == pytest.approx(0.5)
+
+    def test_base_never_bypasses(self, rng):
+        _, report, _ = make_kernel_run("baseline", GemmShape(m=64, n=64, k=64), rng)
+        assert report.stats.bypass_count == 0
+
+    def test_off_mode_matches_oracle_mode_timing(self, rng):
+        shape = GemmShape(m=64, n=64, k=64)
+        _, with_data, _ = make_kernel_run("rasa-wlbp", shape, rng)
+        config = DESIGNS["rasa-wlbp"].config
+        kernel = build_gemm_kernel(shape)
+        engine = MatrixEngine(config, functional="off")
+        report = engine.run(kernel.program)
+        assert report.stats.bypass_count == with_data.stats.bypass_count
+        assert report.total_cycles == with_data.total_cycles
+
+
+class TestEngineTiming:
+    def test_engine_bound_runtime_ratio(self, rng):
+        """Engine-only cycles reflect the design II ratios."""
+        shape = GemmShape(m=128, n=128, k=128)
+        kernel = build_gemm_kernel(shape)
+        cycles = {}
+        for key in ("baseline", "rasa-dmdb-wls"):
+            engine = MatrixEngine(DESIGNS[key].config, functional="off")
+            cycles[key] = engine.run(kernel.program).total_cycles
+        ratio = cycles["rasa-dmdb-wls"] / cycles["baseline"]
+        assert ratio == pytest.approx(16 / 95, rel=0.08)
+
+    def test_schedule_returned_in_order(self, rng):
+        _, report, _ = make_kernel_run("rasa-db-wls", GemmShape(m=32, n=32, k=64), rng)
+        indices = [t.index for t in report.schedule]
+        assert indices == sorted(indices)
+
+
+class TestValidation:
+    def test_bad_functional_mode(self):
+        with pytest.raises(ConfigError):
+            MatrixEngine(EngineConfig(), functional="magic")
+
+    def test_reset_clears_state(self, rng):
+        engine = MatrixEngine(EngineConfig(control=ControlPolicy.WLBP))
+        b = ProgramBuilder()
+        t = [TileReg(i) for i in range(8)]
+        b.tl(t[0], 0x0).tl(t[4], 0x400).tl(t[6], 0x800)
+        b.mm(t[0], t[6], t[4]).mm(t[0], t[6], t[4])
+        program = b.build()
+        first = engine.run(program)
+        assert first.stats.bypass_count == 1
+        engine.reset()
+        second = engine.run(program)
+        assert second.stats.bypass_count == 1  # state did not leak
+
+
+class TestStats:
+    def test_counters(self, rng):
+        _, report, _ = make_kernel_run("rasa-wlbp", GemmShape(m=32, n=32, k=64), rng)
+        s = report.stats
+        assert s.tile_loads > 0 and s.tile_stores > 0
+        assert s.mac_count == s.mm_count * 16 * 16 * 32
+        assert s.weight_load_count + s.bypass_count == s.mm_count
+        assert s.mm_throughput > 0

@@ -1,0 +1,38 @@
+"""Tests for the Sec. V area/energy experiment driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.area_energy import area_energy_report
+from repro.experiments.runner import ExperimentSettings
+
+FAST = ExperimentSettings(scale=16)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return area_energy_report(FAST)
+
+
+def test_area_overheads_match_paper(report):
+    assert report.area_overhead["RASA-DB"] == pytest.approx(0.031, abs=0.003)
+    assert report.area_overhead["RASA-DM"] == pytest.approx(0.026, abs=0.003)
+    assert report.area_overhead["RASA-DMDB"] == pytest.approx(0.055, abs=0.003)
+
+
+def test_dmdb_total_area(report):
+    assert report.area_mm2["RASA-DMDB"] == pytest.approx(0.847, abs=0.005)
+
+
+def test_efficiency_ordering_matches_paper(report):
+    # Paper: DMDB (4.59) > DB (4.38) > DM (2.19).
+    eff = report.efficiency
+    assert eff["RASA-DMDB"] >= eff["RASA-DB"] > eff["RASA-DM"]
+    assert eff["RASA-DM"] > 1.5
+    assert eff["RASA-DB"] > 3.5
+
+
+def test_render(report):
+    text = report.render()
+    assert "RASA-DMDB" in text and "0.847" in text and "energy eff." in text

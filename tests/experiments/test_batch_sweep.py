@@ -1,0 +1,50 @@
+"""Tests for the Fig. 7 batch-size sensitivity driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.batch_sweep import ASYMPTOTE, fig7_batch_sensitivity
+from repro.experiments.runner import ExperimentSettings
+
+# Scale 8 keeps every scaled layer wide enough that the 2x2 register blocks
+# hide the C-accumulation latency (at scale 16 some layers drop to single-
+# tile-column blocks, a real stall the asymptote test must not trip over).
+FAST = ExperimentSettings(scale=8)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return fig7_batch_sensitivity(FAST, batches=(1, 2, 4, 8, 16, 64, 256, 1024))
+
+
+def test_all_fc_layers_swept(sweep):
+    assert len(sweep.series) == 6
+    for series in sweep.series.values():
+        assert set(series) == {1, 2, 4, 8, 16, 64, 256, 1024}
+
+
+def test_small_batches_identical(sweep):
+    # Fig. 7: batches 1..16 have "very similar normalized runtimes" because
+    # 16 is the smallest granularity of work (identical mm streams).
+    for name, series in sweep.series.items():
+        values = [series[b] for b in (1, 2, 4, 8, 16)]
+        assert max(values) - min(values) < 1e-9, name
+
+
+def test_runtime_decreases_with_batch(sweep):
+    for name, series in sweep.series.items():
+        assert series[1024] < series[64] < series[16], name
+
+
+def test_approaches_paper_asymptote(sweep):
+    # "RASA-DMDB-WLS can at best bring the normalized runtime down to
+    # 16/95 = 0.168" — large batches must approach but not beat it much.
+    for name, series in sweep.series.items():
+        assert series[1024] == pytest.approx(ASYMPTOTE, abs=0.03), name
+        assert series[1024] > ASYMPTOTE - 0.01, name
+
+
+def test_render(sweep):
+    text = sweep.render()
+    assert "0.168" in text and "DLRM-1" in text

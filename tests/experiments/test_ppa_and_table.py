@@ -1,0 +1,48 @@
+"""Tests for the Fig. 6 PPA driver and the Table I printer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.layer_table import table1_report
+from repro.experiments.ppa_sweep import fig6_performance_per_area
+from repro.experiments.runner import ExperimentSettings
+
+FAST = ExperimentSettings(scale=16)
+
+
+@pytest.fixture(scope="module")
+def ppa():
+    return fig6_performance_per_area(FAST)
+
+
+class TestFig6:
+    def test_three_designs(self, ppa):
+        for per_design in ppa.per_workload.values():
+            assert set(per_design) == {"rasa-db-wls", "rasa-dm-wlbp", "rasa-dmdb-wls"}
+
+    def test_ppa_tracks_runtime_trend(self, ppa):
+        # Sec. V: PPA shows the same trend as runtime since area deltas are
+        # small: DMDB-WLS ~ DB-WLS > DM-WLBP.
+        avg = ppa.averages
+        assert avg["rasa-dmdb-wls"] > avg["rasa-dm-wlbp"]
+        assert avg["rasa-db-wls"] > avg["rasa-dm-wlbp"]
+
+    def test_ppa_values_in_plausible_range(self, ppa):
+        avg = ppa.averages
+        assert 1.5 < avg["rasa-dm-wlbp"] < 4.0
+        assert 3.5 < avg["rasa-dmdb-wls"] < 6.5
+
+    def test_render(self, ppa):
+        assert "GEOMEAN" in ppa.render()
+
+
+class TestTable1:
+    def test_report_contains_all_layers_and_paper_dims(self):
+        text = table1_report()
+        for name in ("ResNet50-1", "DLRM-2", "BERT-3"):
+            assert name in text
+        assert "N=32 K=C=64" in text.replace("  ", " ") or "K=64" in text
+        assert "N=512 NIN=1024 NON=1024" in text
+        # Derived GEMM for ResNet50-3.
+        assert "6272x512x1024" in text

@@ -1,0 +1,70 @@
+"""Tests for the register-scaling counterfactual (E16)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.engine.config import ControlPolicy, EngineConfig
+from repro.engine.engine import MatrixEngine
+from repro.errors import ConfigError
+from repro.experiments.register_scaling import (
+    register_scaling_sweep,
+    render_register_scaling,
+)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return register_scaling_sweep()
+
+
+def test_baseline_ii_follows_eq1(points):
+    for p in points[:-1]:
+        assert p.steady_ii == 2 * 32 + p.tile_m + 16 - 1
+
+
+def test_rasa_point_dominates(points):
+    rasa = points[-1]
+    assert rasa.steady_ii == 16
+    for p in points[:-1]:
+        assert rasa.throughput_per_area > p.throughput_per_area
+
+
+def test_big_registers_show_diminishing_returns(points):
+    # Throughput/area improves with TM but sub-linearly: each doubling of
+    # register bytes buys less.
+    tpa = [p.throughput_per_area for p in points[:-1]]
+    gains = [b / a for a, b in zip(tpa, tpa[1:])]
+    assert all(g > 1 for g in gains)
+    assert gains == sorted(gains, reverse=True)
+
+
+def test_render(points):
+    text = render_register_scaling(points)
+    assert "RASA-DMDB-WLS" in text and "treg KiB" in text
+
+
+class TestHypotheticalConfigs:
+    def test_tile_overrides_change_stage_durations(self):
+        config = dataclasses.replace(EngineConfig(), tile_m=64)
+        assert config.stages.ff == 64
+        assert config.serial_mm_latency == 2 * 32 + 64 + 16 - 1
+        assert not config.is_architectural
+
+    def test_functional_engine_rejects_hypothetical_geometry(self):
+        config = dataclasses.replace(EngineConfig(), tile_m=64)
+        with pytest.raises(ConfigError, match="architectural"):
+            MatrixEngine(config, functional="oracle")
+        MatrixEngine(config, functional="off")  # timing-only is fine
+
+    def test_tile_k_must_match_pe_packing(self):
+        from repro.systolic.pe import DM_PE
+
+        with pytest.raises(ConfigError, match="divisible"):
+            EngineConfig(pe=DM_PE, tile_k=33)
+
+    def test_nonpositive_tiles_rejected(self):
+        with pytest.raises(ConfigError):
+            EngineConfig(tile_m=0)

@@ -1,0 +1,43 @@
+"""Tests for the one-shot reproduction report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import full_report
+from repro.experiments.runner import ExperimentSettings
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return full_report(ExperimentSettings(scale=16))
+
+
+def test_all_sections_present(report_text):
+    for heading in (
+        "Table I",
+        "Fig. 1",
+        "Fig. 2",
+        "Fig. 5",
+        "Fig. 6",
+        "Fig. 7",
+        "Sec. V",
+        "E16",
+    ):
+        assert f"## {heading}" in report_text
+
+
+def test_key_numbers_present(report_text):
+    assert "28.6%" in report_text      # Fig. 1
+    assert "0.168" in report_text      # Fig. 7 asymptote
+    assert "0.847" in report_text      # DMDB total area
+    assert "GEOMEAN" in report_text    # Fig. 5 average row
+
+
+def test_cli_report_to_file(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "report.md"
+    assert main(["report", "--scale", "16", "-o", str(out)]) == 0
+    assert "wrote" in capsys.readouterr().out
+    assert "reproduction report" in out.read_text()

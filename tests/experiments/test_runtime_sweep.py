@@ -1,0 +1,85 @@
+"""Tests for the Fig. 5 sweep — the paper's headline experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu.config import CoreConfig
+from repro.experiments.runner import ExperimentSettings, run_design, workload_shapes
+from repro.experiments.runtime_sweep import fig5_normalized_runtime
+from repro.workloads.gemm import GemmShape
+
+#: Heavily scaled settings so the full grid runs in seconds.
+FAST = ExperimentSettings(scale=16)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return fig5_normalized_runtime(FAST)
+
+
+class TestSweepStructure:
+    def test_all_workloads_and_designs_present(self, sweep):
+        assert len(sweep.normalized) == 9
+        for per_design in sweep.normalized.values():
+            assert len(per_design) == 8
+            assert per_design["baseline"] == pytest.approx(1.0)
+
+    def test_render(self, sweep):
+        text = sweep.render()
+        assert "ResNet50-1" in text and "GEOMEAN" in text and "paper avg" in text
+
+
+class TestPaperOrdering:
+    """Fig. 5's qualitative claims, which must hold at any scale."""
+
+    def test_design_ordering_per_workload(self, sweep):
+        for workload, nd in sweep.normalized.items():
+            assert nd["rasa-pipe"] < 1.0, workload
+            assert nd["rasa-wlbp"] < nd["rasa-pipe"], workload
+            assert nd["rasa-dm-wlbp"] < nd["rasa-wlbp"], workload
+            assert nd["rasa-db-wls"] < nd["rasa-dm-wlbp"], workload
+            assert nd["rasa-dmdb-wls"] <= nd["rasa-db-wls"] + 0.01, workload
+
+    def test_configuration_ranking_workload_independent(self, sweep):
+        # "The relative performances of various configurations are
+        # independent of workloads": the per-workload design ranking is the
+        # same for all nine layers.
+        rankings = set()
+        for nd in sweep.normalized.values():
+            ranking = tuple(sorted(nd, key=nd.get))
+            rankings.add(ranking)
+        assert len(rankings) == 1
+
+    def test_average_magnitudes(self, sweep):
+        # Loose envelopes around the paper's averages (our streams have the
+        # ideal 50 % reuse, so WLBP designs land somewhat lower; see
+        # EXPERIMENTS.md).
+        avg = sweep.averages
+        assert avg["rasa-pipe"] == pytest.approx(0.84, abs=0.05)
+        assert 0.40 <= avg["rasa-wlbp"] <= 0.70
+        assert 0.25 <= avg["rasa-dm-wlbp"] <= 0.50
+        assert 0.17 <= avg["rasa-db-wls"] <= 0.25
+        assert 0.16 <= avg["rasa-dmdb-wls"] <= 0.22
+
+
+class TestScaleConvergence:
+    def test_normalized_runtime_converges_with_scale(self):
+        """The justification for running scaled-down sweeps: the normalized
+        runtime of a design barely moves between scale 8 and scale 4 (both
+        large enough that the steady-state initiation interval dominates)."""
+        shape = GemmShape(m=4096, n=1024, k=1024, name="conv-test")
+        settings = ExperimentSettings()
+        ratios = []
+        for scale in (8, 4):
+            scaled = shape.scaled(scale)
+            base = run_design("baseline", scaled, settings)
+            best = run_design("rasa-dmdb-wls", scaled, settings)
+            ratios.append(best.cycles / base.cycles)
+        assert ratios[0] == pytest.approx(ratios[1], abs=0.02)
+
+
+def test_workload_shapes_scaled():
+    shapes = workload_shapes(ExperimentSettings(scale=4))
+    assert shapes["DLRM-1"].m == 128
+    assert shapes["ResNet50-3"].n == 128

@@ -1,0 +1,29 @@
+"""Tests for the Fig. 1 toy driver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.toy import fig1_toy_example
+
+
+def test_paper_numbers():
+    r = fig1_toy_example()
+    assert r.total_cycles == 7 == r.expected_cycles
+    assert r.active_pe_cycles == 8
+    assert r.pe_cycles == 28
+    assert r.utilization == pytest.approx(0.286, abs=0.001)
+    assert r.per_cycle_active == [0, 0, 1, 3, 3, 1, 0]
+
+
+def test_functional_output_correct():
+    r = fig1_toy_example()
+    assert np.array_equal(r.output, r.expected_output)
+
+
+def test_render_mentions_paper_values():
+    text = fig1_toy_example().render()
+    assert "28.6%" in text
+    assert "7 cycles" in text
+    assert "75%" in text

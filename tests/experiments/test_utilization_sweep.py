@@ -1,0 +1,36 @@
+"""Tests for the Fig. 2 driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.utilization_sweep import DEFAULT_DIMS, fig2_utilization
+
+
+def test_series_shapes():
+    sweep = fig2_utilization(tm_values=[16, 64], dims=[(32, 16), (8, 8)])
+    assert set(sweep.series) == {(32, 16), (8, 8)}
+    assert len(sweep.series[(32, 16)]) == 2
+
+
+def test_paper_point():
+    sweep = fig2_utilization(tm_values=[16], dims=[(32, 16)])
+    assert sweep.series[(32, 16)][0] == pytest.approx(16 / 95)
+
+
+def test_each_series_monotone_in_tm():
+    sweep = fig2_utilization()
+    for values in sweep.series.values():
+        assert values == sorted(values)
+
+
+def test_larger_arrays_lower_utilization_at_fixed_tm():
+    sweep = fig2_utilization(tm_values=[64], dims=list(DEFAULT_DIMS))
+    small = sweep.series[(4, 4)][0]
+    large = sweep.series[(128, 128)][0]
+    assert small > large
+
+
+def test_render():
+    text = fig2_utilization(tm_values=[16, 1024], dims=[(32, 16)]).render()
+    assert "32x16" in text and "TM" in text

@@ -1,0 +1,52 @@
+"""Tests for the fluent ProgramBuilder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import TileReg
+from repro.isa.opcodes import Opcode
+
+
+def test_fluent_chaining():
+    b = ProgramBuilder("chained")
+    result = b.tl(TileReg(0), 0).mm(TileReg(0), TileReg(6), TileReg(4)).ts(0, TileReg(0))
+    assert result is b
+    assert len(b) == 3
+
+
+def test_loop_overhead_mix():
+    b = ProgramBuilder()
+    b.loop_overhead(8)
+    p = b.build()
+    opcodes = [i.opcode for i in p]
+    assert len(p) == 8
+    assert opcodes.count(Opcode.BRANCH) == 2
+    assert opcodes.count(Opcode.CMP) == 2
+    assert opcodes.count(Opcode.ADD) == 4
+
+
+def test_loop_overhead_zero():
+    b = ProgramBuilder()
+    b.loop_overhead(0)
+    assert len(b) == 0
+
+
+def test_loop_overhead_negative_rejected():
+    with pytest.raises(IsaError):
+        ProgramBuilder().loop_overhead(-1)
+
+
+def test_extend():
+    b1 = ProgramBuilder("a")
+    b1.tl(TileReg(0), 0)
+    p1 = b1.build()
+    b2 = ProgramBuilder("b")
+    b2.extend(p1).extend(p1)
+    assert len(b2.build()) == 2
+
+
+def test_build_name():
+    assert ProgramBuilder("kernel").build().name == "kernel"

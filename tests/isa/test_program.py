@@ -1,0 +1,84 @@
+"""Tests for the Program container and its statistics."""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import TileReg
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+
+
+def algorithm1() -> Program:
+    """The paper's Algorithm 1, verbatim."""
+    b = ProgramBuilder("algorithm1")
+    t = [TileReg(i) for i in range(8)]
+    c_addrs = [0x1000 + i * 0x400 for i in range(4)]
+    for i in range(4):
+        b.tl(t[i], c_addrs[i])
+    b.tl(t[4], 0x8000)       # BTile0
+    b.tl(t[6], 0xA000)       # ATile0
+    b.mm(t[0], t[6], t[4])
+    b.tl(t[7], 0xB000)       # ATile1
+    b.mm(t[1], t[7], t[4])
+    b.tl(t[5], 0x9000)       # BTile1
+    b.mm(t[2], t[6], t[5])
+    b.mm(t[3], t[7], t[5])
+    for i in range(4):
+        b.ts(c_addrs[i], t[i])
+    return b.build()
+
+
+class TestProgram:
+    def test_stats(self):
+        p = algorithm1()
+        s = p.stats
+        assert s.total == 16
+        assert s.tile_loads == 8
+        assert s.tile_stores == 4
+        assert s.matmuls == 4
+        assert s.scalars == 0
+        assert s.tile_fraction == 1.0
+
+    def test_len_iter_getitem(self):
+        p = algorithm1()
+        assert len(p) == 16
+        assert p[4].opcode is Opcode.RASA_TL
+        assert len(list(p)) == 16
+        sliced = p[0:4]
+        assert isinstance(sliced, Program)
+        assert len(sliced) == 4
+
+    def test_concatenation(self):
+        p = algorithm1()
+        combined = p + p
+        assert len(combined) == 32
+        assert combined.stats.matmuls == 8
+
+    def test_matmuls_view(self):
+        p = algorithm1()
+        mms = p.matmuls()
+        assert len(mms) == 4
+        assert all(m.opcode is Opcode.RASA_MM for m in mms)
+
+    def test_weight_reuse_fraction_algorithm1(self):
+        # Lines 9/11 reuse treg4, lines 13/14 reuse treg5: 2 of 4 mm's.
+        # The intervening rasa_tl to treg7 does not dirty the B register.
+        assert algorithm1().weight_reuse_fraction() == 0.5
+
+    def test_weight_reuse_broken_by_write(self):
+        b = ProgramBuilder()
+        t = [TileReg(i) for i in range(8)]
+        b.tl(t[4], 0x0).tl(t[6], 0x400)
+        b.mm(t[0], t[6], t[4])
+        b.tl(t[4], 0x800)          # rewrite the weight register
+        b.mm(t[1], t[6], t[4])     # same B name, but dirty -> no reuse
+        assert b.build().weight_reuse_fraction() == 0.0
+
+    def test_empty_program(self):
+        p = Program([])
+        assert p.stats.total == 0
+        assert p.weight_reuse_fraction() == 0.0
+        assert p.stats.tile_fraction == 0.0
+
+    def test_repr(self):
+        assert "4 mm" in repr(algorithm1())

@@ -1,0 +1,55 @@
+"""Tests for JSONL trace persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import ScalarReg, TileReg
+from repro.isa.opcodes import Opcode
+from repro.isa.trace import load_trace, save_trace
+
+
+def make_program():
+    b = ProgramBuilder("traced")
+    b.tl(TileReg(0), 0x1000).tl(TileReg(4), 0x8000, stride=128, tag="B[0,0]")
+    b.mm(TileReg(0), TileReg(6), TileReg(4), tag="mm[0,0,0]")
+    b.ts(0x1000, TileReg(0))
+    b.scalar(Opcode.ADD, dst=ScalarReg(1), srcs=(ScalarReg(2),))
+    b.scalar(Opcode.BRANCH)
+    return b.build()
+
+
+def test_roundtrip(tmp_path):
+    program = make_program()
+    path = tmp_path / "trace.jsonl"
+    save_trace(program, path)
+    loaded = load_trace(path)
+    assert loaded.name == "traced"
+    assert len(loaded) == len(program)
+    assert [str(i) for i in loaded] == [str(i) for i in program]
+    assert [i.tag for i in loaded] == [i.tag for i in program]
+
+
+def test_tags_preserved(tmp_path):
+    path = tmp_path / "t.jsonl"
+    save_trace(make_program(), path)
+    loaded = load_trace(path)
+    assert loaded[1].tag == "B[0,0]"
+    assert loaded[2].tag == "mm[0,0,0]"
+
+
+def test_bad_opcode_raises(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"op": "rasa_frobnicate"}\n')
+    with pytest.raises(IsaError):
+        load_trace(path)
+
+
+def test_blank_lines_skipped(tmp_path):
+    path = tmp_path / "gaps.jsonl"
+    save_trace(make_program(), path)
+    content = path.read_text().replace("\n", "\n\n")
+    path.write_text(content)
+    assert len(load_trace(path)) == len(make_program())

@@ -1,0 +1,135 @@
+"""Unit + property tests for the software bfloat16 conversion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.numerics.bf16 import (
+    BF16_EPS,
+    bf16_bits_to_f32,
+    f32_to_bf16_bits,
+    is_bf16_exact,
+    quantize_bf16,
+)
+
+
+class TestExactValues:
+    def test_small_integers_are_exact(self):
+        values = np.arange(-256, 257, dtype=np.float32)
+        assert np.array_equal(quantize_bf16(values), values)
+
+    def test_powers_of_two_are_exact(self):
+        values = np.float32(2.0) ** np.arange(-30, 31, dtype=np.float32)
+        assert np.array_equal(quantize_bf16(values), values)
+
+    def test_zero_and_signed_zero(self):
+        q = quantize_bf16(np.array([0.0, -0.0], dtype=np.float32))
+        assert q[0] == 0.0 and q[1] == 0.0
+        assert np.signbit(q[1]) and not np.signbit(q[0])
+
+    def test_infinities_preserved(self):
+        q = quantize_bf16(np.array([np.inf, -np.inf], dtype=np.float32))
+        assert q[0] == np.inf and q[1] == -np.inf
+
+    def test_nan_canonicalized(self):
+        bits = f32_to_bf16_bits(np.array([np.nan], dtype=np.float32))
+        assert bits[0] == 0x7FC0
+        assert np.isnan(bf16_bits_to_f32(bits))[0]
+
+
+class TestRounding:
+    def test_round_to_nearest(self):
+        # BF16 ulp in [1, 2) is 2^-7, so 1 + 2^-8 is exactly halfway between
+        # 1.0 and 1 + 2^-7 -> ties to even (mantissa of 1.0 is even): down.
+        assert quantize_bf16(np.float32(1.0 + 2.0**-8)) == np.float32(1.0)
+        # Slightly above the midpoint must round up.
+        assert quantize_bf16(np.float32(1.0 + 2.0**-8 + 2.0**-16)) == np.float32(
+            1.0 + 2.0**-7
+        )
+
+    def test_ties_to_even_up(self):
+        # (1 + 3*2^-8) is halfway between 1 + 2^-7 (odd mantissa) and
+        # 1 + 2^-6 (even mantissa): RNE picks the even one, rounding UP.
+        value = np.float32(1.0 + 3.0 * 2.0**-8)
+        assert quantize_bf16(value) == np.float32(1.0 + 2.0**-6)
+
+    def test_mantissa_overflow_carries_to_exponent(self):
+        # Largest mantissa + tie rounds into the next binade.
+        value = np.float32(1.9921875 + 2.0**-8)  # 1.1111111b + half-ulp
+        assert quantize_bf16(value) == np.float32(2.0)
+
+    def test_overflow_to_infinity(self):
+        # Values above the BF16 max (~3.39e38) round to +inf.
+        big = np.float32(3.4e38)
+        assert quantize_bf16(big) == np.inf
+
+    def test_relative_error_bound(self, rng):
+        # RNE error is at most half a BF16 ulp; relative to the value that is
+        # at most BF16_EPS (worst case just above a binade boundary).
+        values = rng.standard_normal(10_000).astype(np.float32) * 100
+        q = quantize_bf16(values)
+        rel = np.abs(q - values) / np.maximum(np.abs(values), 1e-30)
+        assert rel.max() <= BF16_EPS + 1e-7
+
+
+class TestBitRoundTrips:
+    def test_bits_roundtrip_all_finite_patterns(self):
+        # Every finite BF16 bit pattern must survive f32 expansion and re-rounding.
+        bits = np.arange(0, 1 << 16, dtype=np.uint16)
+        f32 = bf16_bits_to_f32(bits)
+        finite = np.isfinite(f32)
+        again = f32_to_bf16_bits(f32[finite])
+        assert np.array_equal(again, bits[finite])
+
+    def test_is_bf16_exact_after_quantize(self, rng):
+        values = rng.standard_normal(1000).astype(np.float32)
+        assert is_bf16_exact(quantize_bf16(values)).all()
+
+
+@given(st.floats(width=32, allow_nan=False, allow_infinity=False))
+def test_quantize_is_idempotent(value):
+    once = quantize_bf16(np.float32(value))
+    twice = quantize_bf16(once)
+    assert np.array_equal(once, twice)
+
+
+@given(
+    st.floats(
+        width=32,
+        allow_nan=False,
+        allow_infinity=False,
+        min_value=np.float32(-1e38),
+        max_value=np.float32(1e38),
+    )
+)
+def test_quantize_error_within_one_ulp_relative(value):
+    q = float(quantize_bf16(np.float32(value)))
+    v = float(np.float32(value))
+    if v == 0:
+        assert q == 0
+    else:
+        # Half a BF16 ulp, which relative to the value is at most BF16_EPS
+        # (normals); subnormals get the absolute half-ulp floor 2^-134.
+        assert abs(q - v) <= abs(v) * BF16_EPS * (1 + 1e-6) + 2.0**-133
+
+
+_F32 = st.floats(
+    width=32,
+    allow_nan=False,
+    allow_infinity=False,
+    min_value=np.float32(-1e30),
+    max_value=np.float32(1e30),
+)
+
+
+@given(_F32, _F32)
+def test_quantize_is_monotonic(x, y):
+    lo, hi = sorted((np.float32(x), np.float32(y)))
+    assert quantize_bf16(lo) <= quantize_bf16(hi)
+
+
+def test_shape_preserved(rng):
+    values = rng.standard_normal((3, 5, 7)).astype(np.float32)
+    assert quantize_bf16(values).shape == (3, 5, 7)

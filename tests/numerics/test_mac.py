@@ -1,0 +1,119 @@
+"""Tests for the PE MAC semantics and the golden GEMM oracles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.numerics.bf16 import quantize_bf16
+from repro.numerics.mac import mac_bf16, matmul_bf16_fp32, matmul_bf16_fp32_chained
+
+
+class TestMac:
+    def test_simple_mac(self):
+        assert mac_bf16(1.0, 2.0, 3.0) == np.float32(7.0)
+
+    def test_product_is_exact_in_fp32(self, rng):
+        # A BF16 x BF16 product has <= 15 mantissa bits: exact in float32.
+        a = quantize_bf16(rng.standard_normal(1000).astype(np.float32))
+        b = quantize_bf16(rng.standard_normal(1000).astype(np.float32))
+        prod32 = (a * b).astype(np.float64)
+        prod64 = a.astype(np.float64) * b.astype(np.float64)
+        assert np.array_equal(prod32, prod64)
+
+    def test_inputs_are_quantized(self):
+        # 1 + 2^-12 is not BF16-representable; it must round to 1.0 first.
+        assert mac_bf16(0.0, 1.0 + 2.0**-12, 1.0) == np.float32(1.0)
+
+
+class TestMatmulOracle:
+    def test_matches_float64_loosely(self, rng):
+        a = rng.standard_normal((16, 32)).astype(np.float32)
+        b = rng.standard_normal((32, 16)).astype(np.float32)
+        ours = matmul_bf16_fp32(a, b)
+        ref = quantize_bf16(a).astype(np.float64) @ quantize_bf16(b).astype(np.float64)
+        assert np.allclose(ours, ref, rtol=1e-5, atol=1e-5)
+
+    def test_accumulator_used(self, rng):
+        a = rng.standard_normal((4, 8)).astype(np.float32)
+        b = rng.standard_normal((8, 4)).astype(np.float32)
+        c = np.full((4, 4), 100.0, dtype=np.float32)
+        with_c = matmul_bf16_fp32(a, b, c)
+        without = matmul_bf16_fp32(a, b)
+        assert np.allclose(with_c - without, 100.0, atol=1e-3)
+
+    def test_ascending_k_order(self):
+        # Construct a case where accumulation order changes the rounded sum:
+        # (1e8 + 1) - 1e8 == 0 in fp32 if the small value is added first.
+        a = np.array([[1.0, 1.0, 1.0]], dtype=np.float32)
+        b = np.array([[1.0], [2.0**27], [-(2.0**27)]], dtype=np.float32)
+        # ascending k: ((0+1) + 2^27) - 2^27 == 0 in fp32 (1 absorbed)
+        out = matmul_bf16_fp32(a, b)
+        assert out[0, 0] == np.float32(0.0)
+
+    def test_shape_errors(self):
+        with pytest.raises(ValueError):
+            matmul_bf16_fp32(np.zeros((2, 3)), np.zeros((4, 2)))
+        with pytest.raises(ValueError):
+            matmul_bf16_fp32(np.zeros((2, 3)), np.zeros((3, 2)), np.zeros((3, 3)))
+
+    def test_does_not_mutate_accumulator(self, rng):
+        a = rng.standard_normal((4, 4)).astype(np.float32)
+        b = rng.standard_normal((4, 4)).astype(np.float32)
+        c = np.ones((4, 4), dtype=np.float32)
+        c_copy = c.copy()
+        matmul_bf16_fp32(a, b, c)
+        assert np.array_equal(c, c_copy)
+
+
+class TestChainedOracle:
+    def test_single_chain_equals_plain(self, rng):
+        a = rng.standard_normal((8, 16)).astype(np.float32)
+        b = rng.standard_normal((16, 8)).astype(np.float32)
+        c = rng.standard_normal((8, 8)).astype(np.float32)
+        assert np.array_equal(
+            matmul_bf16_fp32_chained(a, b, c, chains=1), matmul_bf16_fp32(a, b, c)
+        )
+
+    def test_two_chains_close_to_plain(self, rng):
+        a = rng.standard_normal((8, 32)).astype(np.float32)
+        b = rng.standard_normal((32, 8)).astype(np.float32)
+        plain = matmul_bf16_fp32(a, b)
+        chained = matmul_bf16_fp32_chained(a, b, chains=2)
+        assert np.allclose(plain, chained, rtol=1e-5, atol=1e-5)
+
+    def test_chain_split_order(self):
+        # Even-k products go to chain 0 (with C), odd-k to chain 1; the merge
+        # adds chain 1 after.  Same absorbing construction as above but with
+        # the huge values on the *even* positions only cancels post-merge.
+        a = np.array([[1.0, 1.0, 1.0, 1.0]], dtype=np.float32)
+        b = np.array([[2.0**27], [1.0], [-(2.0**27)], [1.0]], dtype=np.float32)
+        # chain0 = 2^27 - 2^27 = 0; chain1 = 1 + 1 = 2; merged = 2.
+        out = matmul_bf16_fp32_chained(a, b, chains=2)
+        assert out[0, 0] == np.float32(2.0)
+        # Plain ascending order absorbs the middle 1 into 2^27 (ulp 16), so
+        # only the final +1 survives: ((2^27 + 1) - 2^27) + 1 = 0 + 1.
+        assert matmul_bf16_fp32(a, b)[0, 0] == np.float32(1.0)
+
+    def test_k_not_multiple_of_chains_rejected(self):
+        with pytest.raises(ValueError):
+            matmul_bf16_fp32_chained(np.zeros((2, 3)), np.zeros((3, 2)), chains=2)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    m=st.integers(1, 6),
+    n=st.integers(1, 6),
+    k2=st.integers(1, 6),
+    seed=st.integers(0, 2**31),
+)
+def test_oracles_agree_with_float64_within_tolerance(m, n, k2, seed):
+    rng = np.random.default_rng(seed)
+    k = 2 * k2
+    a = rng.standard_normal((m, k)).astype(np.float32)
+    b = rng.standard_normal((k, n)).astype(np.float32)
+    ref = quantize_bf16(a).astype(np.float64) @ quantize_bf16(b).astype(np.float64)
+    for chains in (1, 2):
+        ours = matmul_bf16_fp32_chained(a, b, chains=chains)
+        np.testing.assert_allclose(ours, ref, rtol=1e-4, atol=1e-4)

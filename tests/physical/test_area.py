@@ -1,0 +1,71 @@
+"""Tests for the area model against the paper's published numbers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.designs import DESIGNS
+from repro.physical.area import ArrayAreaModel, area_report
+from repro.systolic.pe import BASELINE_PE, DB_PE, DM_PE, DMDB_PE
+
+BASELINE = DESIGNS["baseline"].config
+DB = DESIGNS["rasa-db-wls"].config
+DM = DESIGNS["rasa-dm-wlbp"].config
+DMDB = DESIGNS["rasa-dmdb-wls"].config
+
+
+@pytest.fixture(scope="module")
+def model() -> ArrayAreaModel:
+    return ArrayAreaModel()
+
+
+class TestPaperOverheads:
+    """Sec. V: DB +3.1 %, DM +2.6 %, DMDB +5.5 % over the baseline array."""
+
+    def test_db_overhead(self, model):
+        assert model.overhead_vs(DB, BASELINE) == pytest.approx(0.031, abs=0.003)
+
+    def test_dm_overhead(self, model):
+        assert model.overhead_vs(DM, BASELINE) == pytest.approx(0.026, abs=0.003)
+
+    def test_dmdb_overhead(self, model):
+        assert model.overhead_vs(DMDB, BASELINE) == pytest.approx(0.055, abs=0.003)
+
+    def test_dmdb_total_calibrated(self, model):
+        # The calibration anchor: "consuming a total 0.847mm2 in area".
+        assert model.array_area_mm2(DMDB) == pytest.approx(0.847, abs=0.005)
+
+    def test_die_fraction_plausible(self, model):
+        # Baseline = 0.7 % of the die implies a ~115 mm^2 die — in the right
+        # range for a Skylake GT2 4C part.
+        die = model.estimated_die_mm2(BASELINE)
+        assert 90 < die < 150
+
+
+class TestComposition:
+    def test_pe_area_ordering(self, model):
+        base = model.pe_area(BASELINE_PE)
+        assert model.pe_area(DB_PE) > base
+        assert model.pe_area(DM_PE) > 1.8 * base  # two datapaths
+        assert model.pe_area(DMDB_PE) > model.pe_area(DM_PE)
+
+    def test_dm_array_fewer_pes(self, model):
+        bd = model.breakdown(DM)
+        assert bd.pe_count == 256
+        assert bd.merge_row_area > 0
+        assert model.breakdown(BASELINE).merge_row_area == 0
+
+    def test_overhead_independent_of_layout_factor(self):
+        from repro.physical.components import ComponentLibrary
+
+        small = ArrayAreaModel(ComponentLibrary(layout_factor=1.0))
+        big = ArrayAreaModel(ComponentLibrary(layout_factor=2.0))
+        assert small.overhead_vs(DMDB, BASELINE) == pytest.approx(
+            big.overhead_vs(DMDB, BASELINE)
+        )
+
+
+def test_area_report_renders():
+    text = area_report({k: d.config for k, d in DESIGNS.items()})
+    assert "baseline" in text and "mm^2" in text
+    assert "+5." in text  # DMDB overhead appears

@@ -1,0 +1,84 @@
+"""Tests for the energy model's efficiency predictions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu.result import SimResult
+from repro.engine.designs import DESIGNS
+from repro.physical.energy import EnergyModel
+
+BASELINE = DESIGNS["baseline"].config
+
+
+def result_for(design: str, cycles: int, mm: int, bypass: int = 0) -> SimResult:
+    return SimResult(
+        design=design,
+        program="synthetic",
+        cycles=cycles,
+        instructions=mm * 3,
+        mm_count=mm,
+        bypass_count=bypass,
+        weight_loads=mm - bypass,
+        engine_busy_cycles=cycles // 4,
+        clock_mhz=2000,
+    )
+
+
+@pytest.fixture(scope="module")
+def model() -> EnergyModel:
+    return EnergyModel()
+
+
+class TestEfficiencyRatios:
+    """With the paper's normalized runtimes as input, the model must return
+    efficiency gains close to the published 4.38x / 2.19x / 4.59x."""
+
+    def test_db_efficiency(self, model):
+        mm = 10_000
+        base = result_for("baseline", cycles=mm * 95 * 4, mm=mm)
+        db = result_for("rasa-db-wls", cycles=int(mm * 95 * 4 * 0.219), mm=mm, bypass=mm // 2)
+        eff = model.efficiency_vs(db, DESIGNS["rasa-db-wls"].config, base, BASELINE)
+        assert eff == pytest.approx(4.38, rel=0.05)
+
+    def test_dm_efficiency(self, model):
+        mm = 10_000
+        base = result_for("baseline", cycles=mm * 95 * 4, mm=mm)
+        dm = result_for("rasa-dm-wlbp", cycles=int(mm * 95 * 4 * 0.445), mm=mm, bypass=mm // 2)
+        eff = model.efficiency_vs(dm, DESIGNS["rasa-dm-wlbp"].config, base, BASELINE)
+        assert eff == pytest.approx(2.19, rel=0.05)
+
+    def test_dmdb_efficiency(self, model):
+        mm = 10_000
+        base = result_for("baseline", cycles=mm * 95 * 4, mm=mm)
+        dmdb = result_for(
+            "rasa-dmdb-wls", cycles=int(mm * 95 * 4 * 0.208), mm=mm, bypass=mm // 2
+        )
+        eff = model.efficiency_vs(dmdb, DESIGNS["rasa-dmdb-wls"].config, base, BASELINE)
+        assert eff == pytest.approx(4.59, rel=0.06)
+
+
+class TestBreakdownStructure:
+    def test_static_dominates(self, model):
+        # The Nangate-15nm arrays are static/clock dominated (Sec. V's
+        # efficiency numbers track area x runtime almost exactly).
+        result = result_for("baseline", cycles=95 * 4 * 1000, mm=1000)
+        breakdown = model.run_energy(result, BASELINE)
+        assert breakdown.static_fraction > 0.8
+
+    def test_bypass_saves_weight_load_energy(self, model):
+        mm = 1000
+        no_bypass = result_for("rasa-wlbp", cycles=400_000, mm=mm, bypass=0)
+        half = result_for("rasa-wlbp", cycles=400_000, mm=mm, bypass=mm // 2)
+        config = DESIGNS["rasa-wlbp"].config
+        e_no = model.run_energy(no_bypass, config)
+        e_half = model.run_energy(half, config)
+        assert e_half.weight_load_j < e_no.weight_load_j
+        assert e_half.total_j < e_no.total_j
+
+    def test_energy_scales_with_runtime(self, model):
+        short = result_for("baseline", cycles=100_000, mm=100)
+        long = result_for("baseline", cycles=1_000_000, mm=100)
+        assert model.run_energy(long, BASELINE).static_j == pytest.approx(
+            10 * model.run_energy(short, BASELINE).static_j
+        )

@@ -1,0 +1,40 @@
+"""Tests for performance-per-area."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu.result import SimResult
+from repro.engine.designs import DESIGNS
+from repro.physical.ppa import performance_per_area
+
+
+def result(cycles: int) -> SimResult:
+    return SimResult(
+        design="d", program="p", cycles=cycles, instructions=1, mm_count=1,
+        bypass_count=0, weight_loads=1, engine_busy_cycles=1, clock_mhz=2000,
+    )
+
+
+def test_baseline_ppa_is_one():
+    base = DESIGNS["baseline"].config
+    assert performance_per_area(result(100), base, result(100), base) == pytest.approx(1.0)
+
+
+def test_speedup_discounted_by_area():
+    base = DESIGNS["baseline"].config
+    dmdb = DESIGNS["rasa-dmdb-wls"].config
+    # 5x speedup on a ~5.5 %-bigger array -> PPA just under 5.
+    ppa = performance_per_area(result(200), dmdb, result(1000), base)
+    assert 4.6 < ppa < 4.9
+
+
+def test_fig6_trend_follows_runtime():
+    # "performance per area shows the similar trend with runtime" (Sec. V).
+    base = DESIGNS["baseline"].config
+    runtimes = {"rasa-db-wls": 219, "rasa-dm-wlbp": 445, "rasa-dmdb-wls": 208}
+    ppas = {
+        key: performance_per_area(result(cycles), DESIGNS[key].config, result(1000), base)
+        for key, cycles in runtimes.items()
+    }
+    assert ppas["rasa-dmdb-wls"] > ppas["rasa-db-wls"] > ppas["rasa-dm-wlbp"]

@@ -1,0 +1,191 @@
+"""Tests for the cycle-accurate functional systolic array.
+
+These cross-validate the three levels of the model against each other:
+functional output vs the NumPy golden oracles (bit-exact), measured latency
+vs Eq. 1's closed form, and activity traces vs the paper's Fig. 1 numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimError
+from repro.numerics.mac import matmul_bf16_fp32, matmul_bf16_fp32_chained
+from repro.systolic.array import SystolicArray
+from repro.systolic.pe import BASELINE_PE, DB_PE, DM_PE, DMDB_PE
+from repro.systolic.timing import fold_latency
+
+
+class TestFig1Toy:
+    def test_activity_trace_matches_paper(self, rng):
+        a = rng.standard_normal((2, 2)).astype(np.float32)
+        b = rng.standard_normal((2, 2)).astype(np.float32)
+        run = SystolicArray(2, 2).execute(b, a)
+        # Fig. 1: utilizations 0%, 0%, 25%, 75%, 75%, 25%, 0% over 7 cycles.
+        assert run.active_pes == [0, 0, 1, 3, 3, 1, 0]
+        assert run.total_cycles == 7
+        assert run.utilization == pytest.approx(8 / 28)
+
+    def test_output_matches_oracle(self, rng):
+        a = rng.standard_normal((2, 2)).astype(np.float32)
+        b = rng.standard_normal((2, 2)).astype(np.float32)
+        run = SystolicArray(2, 2).execute(b, a)
+        assert np.array_equal(run.output, matmul_bf16_fp32(a, b))
+
+
+class TestLatencyClosedForm:
+    @pytest.mark.parametrize(
+        "rows,cols,m", [(2, 2, 2), (4, 4, 8), (8, 4, 16), (32, 16, 16), (3, 5, 7)]
+    )
+    def test_execute_latency_equals_eq1(self, rng, rows, cols, m):
+        a = rng.standard_normal((m, rows)).astype(np.float32)
+        b = rng.standard_normal((rows, cols)).astype(np.float32)
+        run = SystolicArray(rows, cols).execute(b, a)
+        assert run.total_cycles == fold_latency(tk=rows, tm=m, tn=cols)
+
+    def test_paper_configuration_is_95_cycles(self, rng):
+        a = rng.standard_normal((16, 32)).astype(np.float32)
+        b = rng.standard_normal((32, 16)).astype(np.float32)
+        run = SystolicArray(32, 16).execute(b, a)
+        assert run.total_cycles == 95
+
+    def test_total_macs_equal_mnk(self, rng):
+        m, rows, cols = 5, 4, 3
+        a = rng.standard_normal((m, rows)).astype(np.float32)
+        b = rng.standard_normal((rows, cols)).astype(np.float32)
+        run = SystolicArray(rows, cols).execute(b, a)
+        assert run.total_macs == m * rows * cols
+
+
+class TestAccumulation:
+    def test_c_initial_values_accumulate(self, rng):
+        a = rng.standard_normal((4, 4)).astype(np.float32)
+        b = rng.standard_normal((4, 4)).astype(np.float32)
+        c = rng.standard_normal((4, 4)).astype(np.float32)
+        run = SystolicArray(4, 4).execute(b, a, c)
+        assert np.array_equal(run.output, matmul_bf16_fp32(a, b, c))
+
+    def test_weight_reuse_stream(self, rng):
+        # Functional WLBP: stream twice without reloading weights.
+        array = SystolicArray(4, 4)
+        b = rng.standard_normal((4, 4)).astype(np.float32)
+        array.load_weights(b)
+        a1 = rng.standard_normal((4, 4)).astype(np.float32)
+        a2 = rng.standard_normal((4, 4)).astype(np.float32)
+        out1 = array.stream(a1).output
+        out2 = array.stream(a2).output
+        assert np.array_equal(out1, matmul_bf16_fp32(a1, b))
+        assert np.array_equal(out2, matmul_bf16_fp32(a2, b))
+
+    def test_stream_before_load_rejected(self, rng):
+        with pytest.raises(SimError):
+            SystolicArray(4, 4).stream(np.zeros((4, 4), dtype=np.float32))
+
+
+class TestDoubleMultiplier:
+    def test_dm_covers_double_k(self, rng):
+        array = SystolicArray(4, 4, pe=DM_PE)
+        assert array.k_extent == 8
+        a = rng.standard_normal((4, 8)).astype(np.float32)
+        b = rng.standard_normal((8, 4)).astype(np.float32)
+        run = array.execute(b, a)
+        assert np.array_equal(run.output, matmul_bf16_fp32_chained(a, b, chains=2))
+
+    def test_dm_close_to_plain_oracle(self, rng):
+        array = SystolicArray(8, 4, pe=DM_PE)
+        a = rng.standard_normal((8, 16)).astype(np.float32)
+        b = rng.standard_normal((16, 4)).astype(np.float32)
+        run = array.execute(b, a)
+        assert np.allclose(run.output, matmul_bf16_fp32(a, b), rtol=1e-5, atol=1e-5)
+
+    def test_dm_latency_includes_merge_cycle(self, rng):
+        # 16x16 DM array: WL 16 + stream (16+16+16-1) + 1 merge = 64.
+        a = rng.standard_normal((16, 32)).astype(np.float32)
+        b = rng.standard_normal((32, 16)).astype(np.float32)
+        run = SystolicArray(16, 16, pe=DM_PE).execute(b, a)
+        assert run.total_cycles == 64
+        assert run.macs_per_pe_cycle == 2
+
+    def test_dm_with_accumulator(self, rng):
+        array = SystolicArray(4, 4, pe=DM_PE)
+        a = rng.standard_normal((4, 8)).astype(np.float32)
+        b = rng.standard_normal((8, 4)).astype(np.float32)
+        c = rng.standard_normal((4, 4)).astype(np.float32)
+        run = array.execute(b, a, c)
+        assert np.array_equal(run.output, matmul_bf16_fp32_chained(a, b, c, chains=2))
+
+
+class TestDoubleBuffering:
+    def test_db_halves_weight_load(self):
+        array = SystolicArray(32, 16, pe=DB_PE)
+        wl = array.load_weights(np.zeros((32, 16), dtype=np.float32))
+        assert wl == 16
+
+    def test_shadow_load_and_swap(self, rng):
+        array = SystolicArray(4, 4, pe=DB_PE)
+        b1 = rng.standard_normal((4, 4)).astype(np.float32)
+        b2 = rng.standard_normal((4, 4)).astype(np.float32)
+        a = rng.standard_normal((4, 4)).astype(np.float32)
+        array.load_weights(b1)
+        array.load_shadow_weights(b2)
+        # Active weights still b1 until the swap.
+        assert np.array_equal(array.stream(a).output, matmul_bf16_fp32(a, b1))
+        array.swap_weight_buffers()
+        assert np.array_equal(array.stream(a).output, matmul_bf16_fp32(a, b2))
+
+    def test_shadow_on_single_buffer_rejected(self):
+        with pytest.raises(SimError):
+            SystolicArray(4, 4).load_shadow_weights(np.zeros((4, 4), dtype=np.float32))
+
+    def test_swap_without_shadow_rejected(self):
+        array = SystolicArray(4, 4, pe=DB_PE)
+        with pytest.raises(SimError):
+            array.swap_weight_buffers()
+
+
+class TestShapeChecking:
+    def test_wrong_weight_shape(self):
+        with pytest.raises(SimError):
+            SystolicArray(4, 4).load_weights(np.zeros((8, 4), dtype=np.float32))
+
+    def test_wrong_a_shape(self):
+        array = SystolicArray(4, 4)
+        array.load_weights(np.zeros((4, 4), dtype=np.float32))
+        with pytest.raises(SimError):
+            array.stream(np.zeros((4, 8), dtype=np.float32))
+
+    def test_wrong_c_shape(self):
+        array = SystolicArray(4, 4)
+        array.load_weights(np.zeros((4, 4), dtype=np.float32))
+        with pytest.raises(SimError):
+            array.stream(
+                np.zeros((4, 4), dtype=np.float32), np.zeros((2, 4), dtype=np.float32)
+            )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.integers(1, 6),
+    cols=st.integers(1, 6),
+    m=st.integers(1, 6),
+    pe=st.sampled_from([BASELINE_PE, DB_PE, DM_PE, DMDB_PE]),
+    seed=st.integers(0, 2**31),
+)
+def test_array_matches_oracle_property(rows, cols, m, pe, seed):
+    """Any small array, any PE variant: bit-exact vs the matching oracle and
+    latency equal to the closed form."""
+    rng = np.random.default_rng(seed)
+    array = SystolicArray(rows, cols, pe=pe)
+    k = array.k_extent
+    a = rng.standard_normal((m, k)).astype(np.float32)
+    b = rng.standard_normal((k, cols)).astype(np.float32)
+    c = rng.standard_normal((m, cols)).astype(np.float32)
+    run = array.execute(b, a, c)
+    expected = matmul_bf16_fp32_chained(a, b, c, chains=pe.psum_chains)
+    assert np.array_equal(run.output, expected)
+    wl = -(-rows // array.wl_rows_per_cycle)
+    extra = 1 if pe.is_double_multiplier else 0
+    assert run.total_cycles == wl + m + rows + cols - 1 + extra
+    assert run.total_macs == m * k * cols

@@ -1,0 +1,45 @@
+"""Tests for the SCALE-Sim-style dataflow models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.systolic.dataflow import Dataflow, fold_cycles, gemm_dataflow_latency
+from repro.systolic.timing import fold_latency
+
+
+def test_ws_fold_matches_eq1():
+    assert fold_cycles(Dataflow.WS, rows=32, cols=16, tm=16, tn=16, tk=32) == (
+        fold_latency(tk=32, tm=16, tn=16)
+    )
+
+
+def test_fold_counts():
+    r = gemm_dataflow_latency(Dataflow.WS, m=100, n=64, k=128, rows=32, cols=16)
+    assert r.folds == 4 * 4  # ceil(128/32) * ceil(64/16)
+    r = gemm_dataflow_latency(Dataflow.OS, m=100, n=64, k=128, rows=32, cols=16)
+    assert r.folds == 4 * 4  # ceil(100/32) * ceil(64/16)
+
+
+def test_utilization_bounded():
+    for df in Dataflow:
+        r = gemm_dataflow_latency(df, m=512, n=512, k=512, rows=32, cols=16)
+        assert 0 < r.utilization <= 1
+
+
+def test_large_streaming_dim_favors_ws():
+    # WS streams M: huge M amortizes fill/drain, tiny M does not.
+    big = gemm_dataflow_latency(Dataflow.WS, m=10_000, n=16, k=32, rows=32, cols=16)
+    small = gemm_dataflow_latency(Dataflow.WS, m=16, n=16, k=32, rows=32, cols=16)
+    assert big.utilization > 0.9
+    assert small.utilization < 0.2
+
+
+def test_total_is_folds_times_fold():
+    r = gemm_dataflow_latency(Dataflow.IS, m=64, n=64, k=64, rows=16, cols=16)
+    assert r.total_cycles == r.folds * r.fold_cycles
+
+
+def test_rejects_nonpositive():
+    with pytest.raises(Exception):
+        gemm_dataflow_latency(Dataflow.WS, m=0, n=1, k=1, rows=4, cols=4)

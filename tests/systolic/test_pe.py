@@ -1,0 +1,47 @@
+"""Tests for PE structural specs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.systolic.pe import BASELINE_PE, DB_PE, DM_PE, DMDB_PE, PE_SPECS, PESpec
+
+
+def test_registry_names():
+    assert set(PE_SPECS) == {"baseline", "db", "dm", "dmdb"}
+
+
+def test_baseline_structure():
+    assert BASELINE_PE.multipliers == 1
+    assert BASELINE_PE.weight_buffer_bytes == 2
+    assert not BASELINE_PE.is_double_buffered
+    assert BASELINE_PE.psum_chains == 1
+
+
+def test_db_adds_shadow_buffer():
+    assert DB_PE.is_double_buffered
+    assert DB_PE.weight_buffer_bytes == 4  # two 2 B buffers (Fig. 4c)
+
+
+def test_dm_structure():
+    assert DM_PE.is_double_multiplier
+    assert DM_PE.adders == 2
+    assert DM_PE.weight_buffer_bytes == 4  # one 4 B buffer
+    assert DM_PE.psum_chains == 2
+
+
+def test_dmdb_combines_both():
+    assert DMDB_PE.is_double_buffered and DMDB_PE.is_double_multiplier
+    assert DMDB_PE.weight_buffer_bytes == 8  # two 4 B buffers
+
+
+def test_invalid_specs_rejected():
+    with pytest.raises(ConfigError):
+        PESpec("bad", multipliers=3, adders=3, weight_buffers=1, weights_per_buffer=3)
+    with pytest.raises(ConfigError):
+        PESpec("bad", multipliers=2, adders=1, weight_buffers=1, weights_per_buffer=2)
+    with pytest.raises(ConfigError):
+        PESpec("bad", multipliers=1, adders=1, weight_buffers=3, weights_per_buffer=1)
+    with pytest.raises(ConfigError):
+        PESpec("bad", multipliers=1, adders=1, weight_buffers=1, weights_per_buffer=2)

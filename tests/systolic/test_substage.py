@@ -1,0 +1,49 @@
+"""Tests for sub-stage durations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.systolic.substage import StageDurations, SubStage
+
+
+class TestStageDurations:
+    def test_baseline_array(self):
+        d = StageDurations.for_array(phys_rows=32, phys_cols=16, tm=16)
+        assert (d.wl, d.ff, d.fs, d.dr) == (32, 16, 31, 16)
+        assert d.serial_total == 95
+
+    def test_db_doubles_weight_load_rate(self):
+        d = StageDurations.for_array(phys_rows=32, phys_cols=16, tm=16, wl_rows_per_cycle=2)
+        assert d.wl == 16
+        assert d.serial_total == 79
+
+    def test_dm_array(self):
+        d = StageDurations.for_array(phys_rows=16, phys_cols=16, tm=16, extra=1)
+        assert (d.wl, d.ff, d.fs, d.dr, d.extra) == (16, 16, 15, 16, 1)
+        assert d.serial_total == 64
+
+    def test_toy(self):
+        d = StageDurations.for_array(phys_rows=2, phys_cols=2, tm=2)
+        assert d.serial_total == 7
+
+    def test_of_accessor(self):
+        d = StageDurations.for_array(phys_rows=4, phys_cols=4, tm=8)
+        assert d.of(SubStage.WL) == 4
+        assert d.of(SubStage.FF) == 8
+        assert d.of(SubStage.FS) == 3
+        assert d.of(SubStage.DR) == 4
+
+    def test_stage_order(self):
+        assert [s.order for s in SubStage] == [0, 1, 2, 3]
+
+    def test_odd_wl_rate_rounds_up(self):
+        d = StageDurations.for_array(phys_rows=5, phys_cols=4, tm=4, wl_rows_per_cycle=2)
+        assert d.wl == 3
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ConfigError):
+            StageDurations.for_array(phys_rows=0, phys_cols=4, tm=4)
+        with pytest.raises(ConfigError):
+            StageDurations(wl=1, ff=1, fs=-1, dr=1)

@@ -1,0 +1,66 @@
+"""Tests for the closed-form timing model (Eq. 1 / Eq. 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.systolic.timing import (
+    drain_port_interval,
+    fold_latency,
+    inactive_time,
+    mac_interval,
+    output_exit_cycle,
+    pe_active_cycles,
+    weight_disturb_interval,
+)
+
+
+class TestFoldLatency:
+    def test_paper_baseline_is_95(self):
+        # Sec. V: "L_baseline = 95 cycles for the configuration in our
+        # evaluation" — the 32x16 array with TM = TN = 16.
+        assert fold_latency(tk=32, tm=16, tn=16) == 95
+
+    def test_toy_example_is_7(self):
+        assert fold_latency(tk=2, tm=2, tn=2) == 7
+
+    def test_overlap_form(self):
+        # Fig. 1's parenthetical: one cycle less when the last WL cycle
+        # overlaps the first FF cycle.
+        assert fold_latency(tk=2, tm=2, tn=2, overlap_wl_ff=True) == 6
+
+    def test_inactive_time(self):
+        # Eq. 2 for the toy example: each PE idles 5 of 7 cycles (71 %).
+        assert inactive_time(tk=2, tm=2, tn=2) == 5
+        assert pe_active_cycles(tm=2) == 2
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            fold_latency(tk=0, tm=16, tn=16)
+
+
+class TestOccupancyWindows:
+    def test_mac_interval_offsets(self):
+        # PE (k, n) starts k+n cycles after FF and computes TM cycles.
+        assert mac_interval(ff_start=100, k=0, n=0, tm=16) == (100, 116)
+        assert mac_interval(ff_start=100, k=3, n=5, tm=16) == (108, 124)
+
+    def test_weight_disturb_window(self):
+        assert weight_disturb_interval(wl_start=10, wl_cycles=32) == (10, 42)
+
+    def test_output_exit(self):
+        # Output (m, n) exits the bottom of column n one cycle after the
+        # bottom-row MAC: ff_start + m + (R-1) + n + 1.
+        assert output_exit_cycle(ff_start=0, m=0, n=0, phys_rows=32) == 32
+        assert output_exit_cycle(ff_start=0, m=15, n=15, phys_rows=32) == 62
+
+    def test_drain_port_interval(self):
+        start, end = drain_port_interval(ff_start=0, n=0, tm=16, phys_rows=32)
+        assert (start, end) == (32, 48)
+
+    def test_serial_latency_decomposes_into_stages(self):
+        # WL + FF + FS + DR must reproduce Eq. 1 for any geometry.
+        for tk, tm, tn in [(32, 16, 16), (2, 2, 2), (8, 4, 8), (16, 16, 16)]:
+            stages = tk + tm + (tk - 1) + tn
+            assert stages == fold_latency(tk, tm, tn)

@@ -1,0 +1,55 @@
+"""Tests for the Fig. 2 utilization model, cross-checked against the array."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.systolic.array import SystolicArray
+from repro.systolic.utilization import (
+    inactive_fraction,
+    utilization_single_fold,
+    utilization_sweep,
+)
+
+
+class TestClosedForm:
+    def test_toy_value(self):
+        assert utilization_single_fold(tm=2, tk=2, tn=2) == pytest.approx(2 / 7)
+
+    def test_paper_configuration(self):
+        assert utilization_single_fold(tm=16, tk=32, tn=16) == pytest.approx(16 / 95)
+
+    def test_inactive_fraction_toy(self):
+        # Sec. III: "active for TM = 2 cycles and inactive for the remaining
+        # 5 cycles (71 % performance degradation)".
+        assert inactive_fraction(tm=2, tk=2, tn=2) == pytest.approx(5 / 7)
+
+    def test_monotonically_increasing_in_tm(self):
+        values = [utilization_single_fold(tm, 32, 16) for tm in (4, 16, 64, 256, 4096)]
+        assert values == sorted(values)
+        assert values[-1] > 0.95  # converges toward 1 (Fig. 2's message)
+
+    def test_decreasing_in_array_size(self):
+        # At fixed TM, growing the array hurts utilization.
+        small = utilization_single_fold(tm=64, tk=8, tn=8)
+        large = utilization_single_fold(tm=64, tk=128, tn=128)
+        assert small > large
+
+
+class TestSweep:
+    def test_sweep_shape(self):
+        sweep = utilization_sweep([4, 16, 64], [(4, 4), (32, 16)])
+        assert set(sweep) == {(4, 4), (32, 16)}
+        assert len(sweep[(4, 4)]) == 3
+
+    def test_matches_cycle_accurate_array(self, rng):
+        # The closed form must equal the measured activity of the functional
+        # array for every small configuration.
+        for rows, cols, m in [(2, 2, 2), (4, 4, 8), (8, 4, 5), (4, 8, 16)]:
+            a = rng.standard_normal((m, rows)).astype(np.float32)
+            b = rng.standard_normal((rows, cols)).astype(np.float32)
+            run = SystolicArray(rows, cols).execute(b, a)
+            assert run.utilization == pytest.approx(
+                utilization_single_fold(tm=m, tk=rows, tn=cols)
+            )

@@ -1,0 +1,38 @@
+"""Top-level public API tests: the README quickstart must actually work."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_quickstart_snippet():
+    """The snippet from the package docstring / README, verbatim in spirit."""
+    from repro import DESIGNS, FastCoreModel, GemmShape, generate_gemm_program, get_design
+
+    shape = GemmShape(m=256, n=256, k=256, name="demo")
+    program = generate_gemm_program(shape)
+    baseline = FastCoreModel(engine=get_design("baseline").config).run(program)
+    rasa = FastCoreModel(engine=get_design("rasa-dmdb-wls").config).run(program)
+    ratio = rasa.cycles / baseline.cycles
+    assert 0.15 < ratio < 0.25  # "~0.17-0.2: the paper's headline"
+    assert len(DESIGNS) == 8
+
+
+def test_errors_are_catchable_under_one_base():
+    from repro.errors import ConfigError, IsaError, ReproError, TileError
+
+    for exc in (ConfigError, IsaError, TileError):
+        assert issubclass(exc, ReproError)
+    with pytest.raises(ReproError):
+        repro.get_design("nope")

@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInformational:
+    def test_designs(self, capsys):
+        assert main(["designs"]) == 0
+        out = capsys.readouterr().out
+        assert "rasa-dmdb-wls" in out and "95" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "ResNet50-2" in capsys.readouterr().out
+
+    def test_fig1(self, capsys):
+        assert main(["fig", "1"]) == 0
+        assert "28.6%" in capsys.readouterr().out
+
+    def test_fig2(self, capsys):
+        assert main(["fig", "2"]) == 0
+        assert "TM" in capsys.readouterr().out
+
+    def test_fig5_scaled(self, capsys):
+        assert main(["fig", "5", "--scale", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "GEOMEAN" in out and "paper avg" in out
+
+    def test_area(self, capsys):
+        assert main(["area", "--scale", "16"]) == 0
+        assert "0.847" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--design", "rasa-wlbp",
+                     "--m", "64", "--n", "64", "--k", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "rasa_mm" in out and "WLBP bypass" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "--m", "64", "--n", "64", "--k", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "Baseline" in out and "RASA-DMDB-WLS" in out
+
+    def test_unknown_design_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--design", "bogus", "--m", "16", "--n", "16", "--k", "32"])
+
+
+class TestAsmRoundtrip:
+    def test_asm_disasm(self, tmp_path, capsys):
+        source = tmp_path / "k.rasa"
+        source.write_text(
+            "rasa_tl treg0, ptr[0x1000]\n"
+            "rasa_tl treg4, ptr[0x2000]\n"
+            "rasa_tl treg6, ptr[0x3000]\n"
+            "rasa_mm treg0, treg6, treg4\n"
+            "rasa_ts ptr[0x1000], treg0\n"
+        )
+        trace = tmp_path / "k.jsonl"
+        assert main(["asm", str(source), str(trace)]) == 0
+        assert trace.exists()
+        capsys.readouterr()
+        assert main(["disasm", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "rasa_mm treg0, treg6, treg4" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["disasm", "/nonexistent/trace.jsonl"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_assembly(self, tmp_path, capsys):
+        source = tmp_path / "bad.rasa"
+        source.write_text("frobnicate treg0\n")
+        assert main(["asm", str(source), str(tmp_path / "out.jsonl")]) == 2
+        assert "unknown mnemonic" in capsys.readouterr().err
+
+
+def test_module_entry_point():
+    import subprocess
+    import sys
+
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "designs"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0
+    assert "baseline" in proc.stdout

@@ -1,0 +1,85 @@
+"""Tests for host-matrix layout and tile addressing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TileError
+from repro.tile.hostmem import HostMatrix, layout_gemm_operands
+from repro.tile.memory import TileMemory
+
+
+class TestTileAddressing:
+    def test_bf16_tile_geometry(self):
+        a = HostMatrix(base=0, rows=32, cols=64, element_bytes=2, name="A")
+        assert a.tile_cols_elems == 32
+        assert a.row_tiles == 2
+        assert a.col_tiles == 2
+        assert a.stride == 128
+        assert a.tile_address(0, 0) == 0
+        assert a.tile_address(0, 1) == 64          # 32 elems * 2 B
+        assert a.tile_address(1, 0) == 16 * 128    # 16 rows down
+
+    def test_fp32_tile_geometry(self):
+        c = HostMatrix(base=0x100, rows=32, cols=32, element_bytes=4, name="C")
+        assert c.tile_cols_elems == 16
+        assert c.tile_address(1, 1) == 0x100 + 16 * 128 + 16 * 4
+
+    def test_out_of_range_tile(self):
+        a = HostMatrix(base=0, rows=16, cols=32, element_bytes=2)
+        with pytest.raises(TileError):
+            a.tile_address(1, 0)
+        with pytest.raises(TileError):
+            a.tile_address(0, 1)
+
+    def test_bad_element_size(self):
+        with pytest.raises(TileError):
+            HostMatrix(base=0, rows=16, cols=16, element_bytes=3)
+
+
+class TestStoreLoad:
+    def test_fp32_roundtrip(self, rng):
+        mem = TileMemory()
+        c = HostMatrix(base=0x1000, rows=32, cols=32, element_bytes=4, name="C")
+        values = rng.standard_normal((32, 32)).astype(np.float32)
+        c.store(mem, values)
+        assert np.array_equal(c.load(mem), values)
+
+    def test_bf16_roundtrip_quantizes(self, rng):
+        from repro.numerics.bf16 import quantize_bf16
+
+        mem = TileMemory()
+        a = HostMatrix(base=0x1000, rows=16, cols=32, element_bytes=2, name="A")
+        values = rng.standard_normal((16, 32)).astype(np.float32)
+        a.store(mem, values)
+        assert np.array_equal(a.load(mem), quantize_bf16(values))
+
+    def test_wrong_shape_rejected(self):
+        mem = TileMemory()
+        a = HostMatrix(base=0, rows=16, cols=32, element_bytes=2)
+        with pytest.raises(TileError):
+            a.store(mem, np.zeros((16, 16), dtype=np.float32))
+
+    def test_tile_load_matches_matrix_slice(self, rng):
+        # Loading tile (i, j) through TileMemory must see exactly the
+        # corresponding matrix rows/cols — the address arithmetic contract
+        # between codegen and the functional engine.
+        mem = TileMemory()
+        c = HostMatrix(base=0x2000, rows=48, cols=48, element_bytes=4, name="C")
+        values = rng.standard_normal((48, 48)).astype(np.float32)
+        c.store(mem, values)
+        tile = mem.load_tile(c.tile_address(2, 1), stride=c.stride)
+        decoded = tile.view(np.float32).reshape(16, 16)
+        assert np.array_equal(decoded, values[32:48, 16:32])
+
+
+class TestLayoutGemm:
+    def test_operands_do_not_overlap(self):
+        a, b, c = layout_gemm_operands(m=64, n=48, k=96, base=0x10000)
+        assert a.base == 0x10000
+        assert b.base == a.end
+        assert c.base == b.end
+        # B is VNNI packed: K/2 rows of 2N elements.
+        assert (b.rows, b.cols) == (48, 96)
+        assert c.size_bytes == 64 * 48 * 4

@@ -1,0 +1,39 @@
+"""Tests for tile layout geometry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TileError
+from repro.tile.layout import BF16_TILE, FP32_TILE, ROW_BYTES, ROWS, TILE_BYTES, TileLayout
+
+
+def test_register_geometry_matches_amx():
+    assert ROWS == 16
+    assert ROW_BYTES == 64
+    assert TILE_BYTES == 1024
+
+
+def test_bf16_view():
+    assert BF16_TILE.shape == (16, 32)
+    assert BF16_TILE.element_bytes == 2
+
+
+def test_fp32_view():
+    assert FP32_TILE.shape == (16, 16)
+    assert FP32_TILE.element_bytes == 4
+
+
+def test_layout_must_fill_register():
+    with pytest.raises(TileError):
+        TileLayout("bad", np.dtype(np.float32), 4, 16, 15)
+
+
+def test_zeros_and_check():
+    z = FP32_TILE.zeros()
+    assert z.shape == (16, 16) and z.dtype == np.float32
+    checked = FP32_TILE.check(np.ones((16, 16)))
+    assert checked.dtype == np.float32
+    with pytest.raises(TileError):
+        FP32_TILE.check(np.ones((4, 4)))

@@ -1,0 +1,94 @@
+"""Tests for the sparse byte-addressable tile memory."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TileError
+from repro.tile.memory import TileMemory
+
+
+class TestReadWrite:
+    def test_roundtrip(self, rng):
+        mem = TileMemory()
+        data = rng.integers(0, 256, size=300, dtype=np.uint8)
+        mem.write(0x1234, data)
+        assert np.array_equal(mem.read(0x1234, 300), data)
+
+    def test_untouched_memory_reads_zero(self):
+        mem = TileMemory()
+        assert (mem.read(0xDEAD000, 128) == 0).all()
+
+    def test_page_crossing(self, rng):
+        mem = TileMemory()
+        addr = (1 << 16) - 100  # straddles the first page boundary
+        data = rng.integers(0, 256, size=300, dtype=np.uint8)
+        mem.write(addr, data)
+        assert np.array_equal(mem.read(addr, 300), data)
+
+    def test_partial_overlap_reads(self, rng):
+        mem = TileMemory()
+        data = rng.integers(0, 256, size=64, dtype=np.uint8)
+        mem.write(1000, data)
+        read = mem.read(990, 84)
+        assert (read[:10] == 0).all()
+        assert np.array_equal(read[10:74], data)
+        assert (read[74:] == 0).all()
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(TileError):
+            TileMemory().write(-1, np.zeros(4, dtype=np.uint8))
+        with pytest.raises(TileError):
+            TileMemory().read(-1, 4)
+
+
+class TestTileGranularity:
+    def test_tile_roundtrip_dense(self, rng):
+        mem = TileMemory()
+        tile = rng.integers(0, 256, size=(16, 64), dtype=np.uint8)
+        mem.store_tile(0x4000, tile)
+        assert np.array_equal(mem.load_tile(0x4000), tile)
+
+    def test_tile_roundtrip_strided(self, rng):
+        mem = TileMemory()
+        tile = rng.integers(0, 256, size=(16, 64), dtype=np.uint8)
+        mem.store_tile(0x4000, tile, stride=256)
+        assert np.array_equal(mem.load_tile(0x4000, stride=256), tile)
+        # Rows really are strided: the gap bytes are untouched (zero).
+        assert (mem.read(0x4000 + 64, 256 - 64) == 0).all()
+
+    def test_strided_tiles_interleave(self, rng):
+        # Two tiles side by side in a wider matrix must not clobber each other.
+        mem = TileMemory()
+        t0 = rng.integers(0, 256, size=(16, 64), dtype=np.uint8)
+        t1 = rng.integers(0, 256, size=(16, 64), dtype=np.uint8)
+        stride = 128
+        mem.store_tile(0x0, t0, stride=stride)
+        mem.store_tile(0x40, t1, stride=stride)
+        assert np.array_equal(mem.load_tile(0x0, stride=stride), t0)
+        assert np.array_equal(mem.load_tile(0x40, stride=stride), t1)
+
+    def test_bad_tile_shape(self):
+        with pytest.raises(TileError):
+            TileMemory().store_tile(0, np.zeros((8, 64), dtype=np.uint8))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    writes=st.lists(
+        st.tuples(st.integers(0, 1 << 20), st.integers(1, 200), st.integers(0, 255)),
+        max_size=8,
+    ),
+)
+def test_last_write_wins(writes):
+    """Sequential writes behave like a flat byte array (reference model)."""
+    mem = TileMemory()
+    reference = {}
+    for addr, size, value in writes:
+        mem.write(addr, np.full(size, value, dtype=np.uint8))
+        for offset in range(size):
+            reference[addr + offset] = value
+    for addr, expected in list(reference.items())[:200]:
+        assert mem.read(addr, 1)[0] == expected

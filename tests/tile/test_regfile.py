@@ -1,0 +1,107 @@
+"""Tests for the tile register file and the WLBP dirty-bit protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TileError
+from repro.isa.instructions import TileReg
+from repro.tile.regfile import TileRegisterFile
+
+
+@pytest.fixture
+def regfile() -> TileRegisterFile:
+    return TileRegisterFile()
+
+
+def _tile_bytes(seed: int) -> np.ndarray:
+    return np.full((16, 64), seed % 256, dtype=np.uint8)
+
+
+class TestDirtyBitProtocol:
+    def test_initially_dirty(self, regfile):
+        for i in range(8):
+            assert regfile.is_dirty(TileReg(i))
+            assert not regfile.can_bypass_weight_load(TileReg(i))
+
+    def test_load_then_consume_enables_bypass(self, regfile):
+        b = TileReg(4)
+        regfile.write_bytes(b, _tile_bytes(1))
+        assert regfile.is_dirty(b)
+        regfile.mark_weights_loaded(b)
+        assert not regfile.is_dirty(b)
+        assert regfile.can_bypass_weight_load(b)
+
+    def test_write_after_consume_clears_bypass(self, regfile):
+        b = TileReg(4)
+        regfile.write_bytes(b, _tile_bytes(1))
+        regfile.mark_weights_loaded(b)
+        regfile.write_bytes(b, _tile_bytes(2))
+        assert regfile.is_dirty(b)
+        assert not regfile.can_bypass_weight_load(b)
+        assert regfile.loaded_weight_reg is None
+
+    def test_other_register_write_keeps_bypass(self, regfile):
+        b, other = TileReg(4), TileReg(7)
+        regfile.write_bytes(b, _tile_bytes(1))
+        regfile.mark_weights_loaded(b)
+        regfile.write_bytes(other, _tile_bytes(2))
+        assert regfile.can_bypass_weight_load(b)
+
+    def test_loading_other_weights_displaces_residency(self, regfile):
+        b1, b2 = TileReg(4), TileReg(5)
+        regfile.write_bytes(b1, _tile_bytes(1))
+        regfile.write_bytes(b2, _tile_bytes(2))
+        regfile.mark_weights_loaded(b1)
+        regfile.mark_weights_loaded(b2)
+        assert not regfile.can_bypass_weight_load(b1)
+        assert regfile.can_bypass_weight_load(b2)
+
+    def test_touch_sets_dirty(self, regfile):
+        b = TileReg(4)
+        regfile.touch(b)
+        regfile.mark_weights_loaded(b)
+        regfile.touch(b)
+        assert not regfile.can_bypass_weight_load(b)
+
+    def test_mm_writeback_to_weight_reg_clears_residency(self, regfile):
+        # If a later mm accumulates into the register whose weights are
+        # resident, the array contents no longer mirror it.
+        b = TileReg(4)
+        regfile.write_bytes(b, _tile_bytes(1))
+        regfile.mark_weights_loaded(b)
+        regfile.write_fp32(b, np.zeros((16, 16), dtype=np.float32))
+        assert not regfile.can_bypass_weight_load(b)
+
+
+class TestAccess:
+    def test_versions_tracked_per_register(self, regfile):
+        regfile.write_bytes(TileReg(0), _tile_bytes(0))
+        regfile.write_bytes(TileReg(0), _tile_bytes(1))
+        regfile.write_bytes(TileReg(1), _tile_bytes(2))
+        assert regfile.version(TileReg(0)) == 2
+        assert regfile.version(TileReg(1)) == 1
+
+    def test_out_of_range_register(self):
+        small = TileRegisterFile(num_regs=2)
+        with pytest.raises(TileError):
+            small.read_bytes(TileReg(5))
+
+    def test_zero_registers_rejected(self):
+        with pytest.raises(TileError):
+            TileRegisterFile(num_regs=0)
+
+    def test_reset(self, regfile):
+        regfile.write_bytes(TileReg(4), _tile_bytes(1))
+        regfile.mark_weights_loaded(TileReg(4))
+        regfile.reset()
+        assert regfile.loaded_weight_reg is None
+        assert regfile.is_dirty(TileReg(4))
+        with pytest.raises(TileError):
+            regfile.read_bytes(TileReg(4))
+
+    def test_repr_shows_dirty_bits(self, regfile):
+        regfile.write_bytes(TileReg(4), _tile_bytes(1))
+        regfile.mark_weights_loaded(TileReg(4))
+        assert "dirty=dddd.ddd" in repr(regfile)

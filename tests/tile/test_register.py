@@ -1,0 +1,88 @@
+"""Tests for the byte-faithful tile register."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TileError
+from repro.numerics.bf16 import quantize_bf16
+from repro.tile.register import TileRegister
+
+
+class TestRawBytes:
+    def test_roundtrip(self, rng):
+        reg = TileRegister(0)
+        payload = rng.integers(0, 256, size=(16, 64), dtype=np.uint8)
+        reg.write_bytes(payload)
+        assert np.array_equal(reg.read_bytes(), payload)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(TileError):
+            TileRegister(0).write_bytes(np.zeros((16, 32), dtype=np.uint8))
+
+    def test_read_uninitialized_raises(self):
+        with pytest.raises(TileError, match="uninitialized"):
+            TileRegister(3).read_bytes()
+
+    def test_write_copies(self, rng):
+        reg = TileRegister(0)
+        payload = rng.integers(0, 256, size=(16, 64), dtype=np.uint8)
+        reg.write_bytes(payload)
+        payload[0, 0] ^= 0xFF
+        assert reg.read_bytes()[0, 0] != payload[0, 0]
+
+
+class TestTypedViews:
+    def test_fp32_roundtrip(self, rng):
+        reg = TileRegister(0)
+        matrix = rng.standard_normal((16, 16)).astype(np.float32)
+        reg.write_fp32(matrix)
+        assert np.array_equal(reg.read_fp32(), matrix)
+
+    def test_bf16_roundtrip_quantizes(self, rng):
+        reg = TileRegister(0)
+        matrix = rng.standard_normal((16, 32)).astype(np.float32)
+        reg.write_bf16(matrix)
+        assert np.array_equal(reg.read_bf16(), quantize_bf16(matrix))
+
+    def test_bf16_exact_values_unchanged(self, rng):
+        reg = TileRegister(0)
+        matrix = quantize_bf16(rng.standard_normal((16, 32)).astype(np.float32))
+        reg.write_bf16(matrix)
+        assert np.array_equal(reg.read_bf16(), matrix)
+
+    def test_wrong_matrix_shape(self):
+        with pytest.raises(TileError):
+            TileRegister(0).write_fp32(np.zeros((16, 32), dtype=np.float32))
+        with pytest.raises(TileError):
+            TileRegister(0).write_bf16(np.zeros((16, 16), dtype=np.float32))
+
+    def test_bytes_reinterpret_as_both_views(self, rng):
+        # A register holds bytes; both typed reads must be consistent with
+        # the same underlying 1 KB.
+        reg = TileRegister(0)
+        payload = rng.integers(0, 255, size=(16, 64), dtype=np.uint8)
+        reg.write_bytes(payload)
+        f32 = reg.read_fp32()
+        bf16 = reg.read_bf16()
+        assert f32.shape == (16, 16)
+        assert bf16.shape == (16, 32)
+
+
+class TestVersioning:
+    def test_version_bumps_on_every_write(self, rng):
+        reg = TileRegister(0)
+        assert reg.version == 0
+        reg.write_fp32(np.zeros((16, 16), dtype=np.float32))
+        assert reg.version == 1
+        reg.write_bytes(np.zeros((16, 64), dtype=np.uint8))
+        assert reg.version == 2
+        reg.touch()
+        assert reg.version == 3
+
+    def test_touch_marks_written(self):
+        reg = TileRegister(0)
+        assert not reg.is_written
+        reg.touch()
+        assert reg.is_written

@@ -1,0 +1,47 @@
+"""Tests for VNNI K-pair packing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TileError
+from repro.tile.vnni import pack_b_vnni, unpack_b_tile, unpack_b_vnni
+
+
+def test_pack_layout():
+    b = np.arange(8).reshape(4, 2)  # K=4, N=2
+    packed = pack_b_vnni(b)
+    # Row r interleaves logical rows 2r and 2r+1: [b[2r,0], b[2r+1,0], ...].
+    assert packed.shape == (2, 4)
+    assert packed.tolist() == [[0, 2, 1, 3], [4, 6, 5, 7]]
+
+
+def test_unpack_inverts_pack(rng):
+    b = rng.standard_normal((32, 16)).astype(np.float32)
+    assert np.array_equal(unpack_b_vnni(pack_b_vnni(b)), b)
+
+
+def test_unpack_b_tile_shape_checked():
+    with pytest.raises(TileError):
+        unpack_b_tile(np.zeros((32, 16), dtype=np.float32))
+
+
+def test_unpack_b_tile_is_register_view_decode(rng):
+    b = rng.standard_normal((32, 16)).astype(np.float32)
+    register_view = pack_b_vnni(b)  # exactly the 16x32 the register holds
+    assert np.array_equal(unpack_b_tile(register_view), b)
+
+
+def test_odd_k_rejected():
+    with pytest.raises(TileError):
+        pack_b_vnni(np.zeros((3, 4)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(half_k=st.integers(1, 8), n=st.integers(1, 8), seed=st.integers(0, 2**31))
+def test_pack_unpack_roundtrip(half_k, n, seed):
+    rng = np.random.default_rng(seed)
+    b = rng.standard_normal((2 * half_k, n)).astype(np.float32)
+    assert np.array_equal(unpack_b_vnni(pack_b_vnni(b)), b)

@@ -1,0 +1,43 @@
+"""Tests for the ASCII plot helper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.plot import ascii_plot
+
+
+def test_single_series_extremes_on_axis():
+    text = ascii_plot({"u": [0.0, 0.5, 1.0]}, x_labels=[1, 2, 3], height=5)
+    lines = text.splitlines()
+    # Max value appears in the top plot row, min in the bottom one.
+    assert "o" in lines[0]
+    assert "o" in lines[4]
+
+
+def test_multiple_series_get_distinct_marks():
+    text = ascii_plot(
+        {"a": [0.1, 0.2], "b": [0.9, 0.8]}, x_labels=["x", "y"], height=4
+    )
+    assert "o=a" in text and "x=b" in text
+
+
+def test_title_and_x_listing():
+    text = ascii_plot({"s": [1, 2]}, x_labels=[10, 20], title="T")
+    assert text.splitlines()[0] == "T"
+    assert "10, 20" in text
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        ascii_plot({"s": [1.0]}, x_labels=[1, 2])
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        ascii_plot({}, x_labels=[])
+
+
+def test_flat_series_does_not_divide_by_zero():
+    text = ascii_plot({"s": [0.5, 0.5, 0.5]}, x_labels=[1, 2, 3])
+    assert "o" in text

@@ -1,0 +1,36 @@
+"""Tests for table/series formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.tables import format_series, format_table
+
+
+def test_basic_table():
+    text = format_table(["a", "bb"], [(1, 2.5), ("x", 0.123456)], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert "0.1235" in text  # 4 significant digits
+
+
+def test_column_alignment():
+    text = format_table(["col"], [("short",), ("a-much-longer-cell",)])
+    lines = text.splitlines()
+    assert len(lines[0]) == len(lines[2])  # header padded to widest cell
+
+
+def test_row_arity_checked():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [(1,)])
+
+
+def test_series():
+    text = format_series("S", [1, 2], [0.5, 0.25], x_label="batch", y_label="norm")
+    assert "batch" in text and "norm" in text and "0.25" in text
+
+
+def test_series_length_mismatch():
+    with pytest.raises(ValueError):
+        format_series("S", [1], [0.5, 0.25])

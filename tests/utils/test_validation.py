@@ -1,0 +1,51 @@
+"""Tests for the validation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.utils.validation import (
+    check_in_range,
+    check_multiple_of,
+    check_non_negative,
+    check_positive,
+    check_power_of_two,
+)
+
+
+def test_check_positive():
+    assert check_positive("x", 5) == 5
+    for bad in (0, -1, 1.5, True, "3"):
+        with pytest.raises(ConfigError, match="x"):
+            check_positive("x", bad)
+
+
+def test_check_non_negative():
+    assert check_non_negative("x", 0) == 0
+    with pytest.raises(ConfigError):
+        check_non_negative("x", -1)
+    with pytest.raises(ConfigError):
+        check_non_negative("x", False)
+
+
+def test_check_power_of_two():
+    for good in (1, 2, 4, 1024):
+        assert check_power_of_two("x", good) == good
+    for bad in (0, 3, 6, -4):
+        with pytest.raises(ConfigError):
+            check_power_of_two("x", bad)
+
+
+def test_check_in_range():
+    assert check_in_range("x", 5, 0, 10) == 5
+    with pytest.raises(ConfigError):
+        check_in_range("x", 11, 0, 10)
+    with pytest.raises(ConfigError):
+        check_in_range("x", 5.0, 0, 10)
+
+
+def test_check_multiple_of():
+    assert check_multiple_of("x", 64, 16) == 64
+    with pytest.raises(ConfigError):
+        check_multiple_of("x", 65, 16)

@@ -1,0 +1,65 @@
+"""Tests for GEMM shape arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError, WorkloadError
+from repro.workloads.gemm import GemmShape, validate_padded
+
+
+class TestPadding:
+    def test_aligned_untouched(self):
+        s = GemmShape(m=64, n=32, k=96)
+        assert (s.padded_m, s.padded_n, s.padded_k) == (64, 32, 96)
+
+    def test_rounds_up(self):
+        s = GemmShape(m=17, n=1, k=33)
+        assert (s.padded_m, s.padded_n, s.padded_k) == (32, 16, 64)
+
+    def test_tile_counts(self):
+        s = GemmShape(m=64, n=48, k=96)
+        assert (s.m_tiles, s.n_tiles, s.k_tiles) == (4, 3, 3)
+        assert s.mm_count == 36
+
+    def test_paper_fc_example(self):
+        # DLRM-1: 512x1024x1024 -> 32 * 64 * 32 = 65536 rasa_mm.
+        s = GemmShape(m=512, n=1024, k=1024)
+        assert s.mm_count == 65_536
+
+    def test_padding_waste(self):
+        assert GemmShape(m=16, n=16, k=32).padding_waste == 0.0
+        assert GemmShape(m=8, n=16, k=32).padding_waste == pytest.approx(0.5)
+
+    def test_macs(self):
+        assert GemmShape(m=2, n=3, k=4).macs == 24
+
+
+class TestScaling:
+    def test_scale_one_is_identity(self):
+        s = GemmShape(m=100, n=200, k=300, name="x")
+        assert s.scaled(1) is s
+
+    def test_scale_divides(self):
+        s = GemmShape(m=1024, n=512, k=256, name="x").scaled(4)
+        assert (s.m, s.n, s.k) == (256, 128, 64)
+        assert "s4" in s.name
+
+    def test_scale_floors_at_block(self):
+        s = GemmShape(m=48, n=48, k=64).scaled(100)
+        assert s.m >= 32 and s.n >= 32 and s.k >= 32
+
+    def test_bad_factor(self):
+        with pytest.raises(ConfigError):
+            GemmShape(m=1, n=1, k=1).scaled(0)
+
+
+class TestValidation:
+    def test_validate_padded(self):
+        validate_padded(GemmShape(m=32, n=32, k=32))
+        with pytest.raises(WorkloadError):
+            validate_padded(GemmShape(m=33, n=32, k=32))
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigError):
+            GemmShape(m=0, n=1, k=1)

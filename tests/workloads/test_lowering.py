@@ -1,0 +1,83 @@
+"""Tests for im2col convolution lowering against the direct-conv oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.layers import ConvLayer
+from repro.workloads.lowering import (
+    conv_reference,
+    filters_to_gemm_b,
+    gemm_output_to_conv,
+    im2col,
+)
+
+
+def lower_and_multiply(inputs, weights):
+    """The full lowering path in float64 (no BF16): im2col @ reshaped filters."""
+    n, c, x, y = inputs.shape
+    k, _, r, s = weights.shape
+    a = im2col(inputs.astype(np.float64), r, s)
+    b = filters_to_gemm_b(weights.astype(np.float64))
+    return gemm_output_to_conv(a @ b, n, x, y)
+
+
+class TestLoweringExactness:
+    @pytest.mark.parametrize("r,s", [(1, 1), (3, 3), (5, 3)])
+    def test_matches_direct_convolution(self, rng, r, s):
+        inputs = rng.standard_normal((2, 3, 6, 7))
+        weights = rng.standard_normal((4, 3, r, s))
+        direct = conv_reference(inputs, weights)
+        lowered = lower_and_multiply(inputs, weights)
+        np.testing.assert_allclose(lowered, direct, rtol=1e-12, atol=1e-12)
+
+    def test_pointwise_conv_is_plain_reshape(self, rng):
+        # R=S=1: im2col must be a pure channel permutation (no padding taps).
+        inputs = rng.standard_normal((2, 5, 4, 4))
+        a = im2col(inputs, 1, 1)
+        assert a.shape == (2 * 4 * 4, 5)
+        np.testing.assert_array_equal(
+            a, inputs.transpose(0, 2, 3, 1).reshape(-1, 5)
+        )
+
+    def test_zero_padding_at_borders(self):
+        # A single bright pixel at a corner: the 3x3 im2col row for that
+        # output must contain zeros for out-of-image taps.
+        inputs = np.zeros((1, 1, 3, 3))
+        inputs[0, 0, 0, 0] = 7.0
+        a = im2col(inputs, 3, 3)
+        # Output position (0,0): the pixel sits at tap (dr=1, ds=1) (center).
+        row = a[0].reshape(1, 3, 3)
+        assert row[0, 1, 1] == 7.0
+        assert row.sum() == 7.0  # everything else is padding zeros
+
+
+class TestGemmShapes:
+    def test_table1_shape_consistency(self):
+        layer = ConvLayer("t", batch=2, filters=8, channels=3, x=5, y=5, r=3, s=3)
+        g = layer.gemm()
+        assert (g.m, g.n, g.k) == (2 * 5 * 5, 8, 27)
+
+    def test_im2col_dims_match_layer_gemm(self, rng):
+        layer = ConvLayer("t", batch=2, filters=8, channels=3, x=5, y=5, r=3, s=3)
+        inputs = rng.standard_normal((2, 3, 5, 5))
+        a = im2col(inputs, 3, 3)
+        assert a.shape == (layer.gemm().m, layer.gemm().k)
+
+
+class TestValidation:
+    def test_even_filter_rejected(self, rng):
+        with pytest.raises(WorkloadError):
+            im2col(rng.standard_normal((1, 1, 4, 4)), 2, 2)
+
+    def test_channel_mismatch(self, rng):
+        with pytest.raises(WorkloadError):
+            conv_reference(
+                rng.standard_normal((1, 3, 4, 4)), rng.standard_normal((2, 4, 1, 1))
+            )
+
+    def test_bad_rank(self, rng):
+        with pytest.raises(WorkloadError):
+            conv_reference(rng.standard_normal((3, 4, 4)), rng.standard_normal((2, 3, 1, 1)))

@@ -1,0 +1,36 @@
+"""Tests for training-pass GEMM derivation."""
+
+from __future__ import annotations
+
+from repro.workloads.layers import TABLE1_LAYERS, FCLayer
+from repro.workloads.training import TrainingStep, training_gemms
+
+
+def test_pass_shapes():
+    step = TrainingStep(FCLayer("fc", batch=512, nin=1024, non=2048))
+    assert (step.forward.m, step.forward.n, step.forward.k) == (512, 2048, 1024)
+    assert (step.dgrad.m, step.dgrad.n, step.dgrad.k) == (512, 1024, 2048)
+    assert (step.wgrad.m, step.wgrad.n, step.wgrad.k) == (1024, 2048, 512)
+
+
+def test_all_passes_equal_macs():
+    # Forward, dgrad and wgrad perform the same number of MACs.
+    step = TrainingStep(FCLayer("fc", batch=128, nin=768, non=3072))
+    macs = {name: shape.macs for name, shape in step.gemms().items()}
+    assert len(set(macs.values())) == 1
+    assert step.total_macs == 3 * macs["forward"]
+
+
+def test_training_gemms_flattened():
+    layers = [TABLE1_LAYERS["DLRM-1"], TABLE1_LAYERS["BERT-1"]]
+    gemms = training_gemms(layers)
+    assert len(gemms) == 6
+    assert gemms["DLRM-1-wgrad"].m == 1024  # NIN becomes the streamed M
+
+
+def test_wgrad_streams_large_m():
+    # wgrad's M is NIN: the large-TM regime where even the serialized
+    # baseline amortizes fill/drain (Sec. III's accelerator escape hatch).
+    step = TrainingStep(TABLE1_LAYERS["BERT-2"])
+    assert step.wgrad.m == 3072
+    assert step.forward.m == 256
