@@ -14,7 +14,8 @@ import dataclasses
 
 from repro.cpu.fast import FastCoreModel
 from repro.engine.config import ControlPolicy, EngineConfig
-from repro.experiments.runner import workload_shapes, _cached_program
+from repro.experiments.runner import workload_shapes
+from repro.runtime.sweep import cached_program
 from repro.utils.tables import format_table
 
 
@@ -24,7 +25,7 @@ def run(config: EngineConfig, program) -> int:
 
 def test_wlbp_ff_overlap_ablation(benchmark, emit, settings):
     shape = workload_shapes(settings)["DLRM-1"]
-    program = _cached_program(shape, settings.codegen)
+    program = cached_program(shape, settings.codegen)
     full = EngineConfig(control=ControlPolicy.WLBP, wlbp_ff_overlaps_fs=True)
     restricted = dataclasses.replace(full, wlbp_ff_overlaps_fs=False)
     base = EngineConfig(control=ControlPolicy.BASE)
@@ -50,7 +51,7 @@ def test_wlbp_ff_overlap_ablation(benchmark, emit, settings):
 def test_control_ladder(benchmark, emit, settings):
     """BASE -> PIPE -> WLBP on the baseline PE: each rule must help."""
     shape = workload_shapes(settings)["BERT-1"]
-    program = _cached_program(shape, settings.codegen)
+    program = cached_program(shape, settings.codegen)
     rows = []
     cycles = {}
     for policy in (ControlPolicy.BASE, ControlPolicy.PIPE, ControlPolicy.WLBP):

@@ -18,7 +18,8 @@ from repro.cpu.memory import (
     IdealMemory,
 )
 from repro.engine.designs import DESIGNS
-from repro.experiments.runner import workload_shapes, _cached_program
+from repro.experiments.runner import workload_shapes
+from repro.runtime.sweep import cached_program
 from repro.utils.tables import format_table
 
 MEMORIES = [
@@ -44,7 +45,7 @@ MEMORIES = [
 
 def test_memory_sensitivity(benchmark, emit, settings):
     shape = workload_shapes(settings)["BERT-1"]
-    program = _cached_program(shape, settings.codegen)
+    program = cached_program(shape, settings.codegen)
 
     def run(design_key, memory):
         return FastCoreModel(engine=DESIGNS[design_key].config, memory=memory).run(

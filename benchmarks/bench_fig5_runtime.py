@@ -1,19 +1,24 @@
 """E6 — Fig. 5: runtime of every RASA design normalized to the baseline.
 
 Regenerates the paper's headline figure: 8 designs x 9 Table I layers.
-The benchmark timer measures one representative design-on-workload
-simulation; the printed table is the full grid.
+The grid goes through the :mod:`repro.runtime` layer — the benchmark timer
+measures one representative backend simulation (registry-resolved, no
+caching) while the printed table is the full cache-backed sweep.
 """
 
 from __future__ import annotations
 
-from repro.experiments.runner import run_design, workload_shapes
+from repro.experiments.runner import workload_shapes
 from repro.experiments.runtime_sweep import fig5_normalized_runtime
+from repro.runtime import resolve_backend
+from repro.runtime.sweep import cached_program
 
 
 def test_fig5_runtime(benchmark, emit, settings):
     shapes = workload_shapes(settings)
-    benchmark(run_design, "rasa-dmdb-wls", shapes["DLRM-2"], settings)
+    program = cached_program(shapes["DLRM-2"], settings.codegen)
+    backend = resolve_backend("rasa-dmdb-wls", core=settings.core)
+    benchmark(backend.simulate, program)
 
     sweep = fig5_normalized_runtime(settings)
     # The paper's qualitative claims must hold in the regenerated figure.

@@ -6,13 +6,15 @@ end-to-end normalized runtime per model.  Because the paper's per-layer
 result is workload-independent, the whole-model numbers should land at the
 same ~0.17-0.21 the Fig. 5 geomean shows — this bench verifies that the
 three-layer sample was representative.
+
+Each model's layer suite is one :class:`repro.runtime.SweepRunner` grid
+(two designs x all layers) fanned out through the backend registry.
 """
 
 from __future__ import annotations
 
-from repro.cpu.fast import FastCoreModel
-from repro.engine.designs import DESIGNS
-from repro.experiments.runner import _cached_program
+from repro.runtime import SweepRunner, resolve_backend
+from repro.runtime.sweep import cached_program
 from repro.utils.tables import format_table
 from repro.workloads.models import bert_encoder_gemms, dlrm_gemms, resnet50_gemms
 
@@ -24,28 +26,41 @@ MODELS = {
     "dlrm (MLPs)": lambda scale: dlrm_gemms(batch=128),
 }
 
+DESIGN_KEYS = ("baseline", "rasa-dmdb-wls")
+
 
 def test_full_models(benchmark, emit, settings):
+    runner = SweepRunner(workers=1)  # small grids; cache-free for honest timing
     rows = []
     sample = None
     for model_name, factory in MODELS.items():
-        totals = {"baseline": 0, "rasa-dmdb-wls": 0}
-        layer_count = 0
-        for shape in factory(settings.scale).values():
-            scaled = shape.scaled(settings.scale * 2)
-            program = _cached_program(scaled, settings.codegen)
-            if sample is None:
-                sample = program
-            for key in totals:
-                totals[key] += FastCoreModel(engine=DESIGNS[key].config).run(program).cycles
-            layer_count += 1
+        shapes = {
+            name: shape.scaled(settings.scale * 2)
+            for name, shape in factory(settings.scale).items()
+        }
+        if sample is None:
+            sample = cached_program(next(iter(shapes.values())), settings.codegen)
+        grid = runner.run_grid(
+            DESIGN_KEYS, shapes, core=settings.core, codegen=settings.codegen
+        )
+        totals = {
+            key: sum(grid[name][key].cycles for name in shapes)
+            for key in DESIGN_KEYS
+        }
         norm = totals["rasa-dmdb-wls"] / totals["baseline"]
         rows.append(
-            (model_name, layer_count, totals["baseline"], totals["rasa-dmdb-wls"], f"{norm:.3f}")
+            (
+                model_name,
+                len(shapes),
+                totals["baseline"],
+                totals["rasa-dmdb-wls"],
+                f"{norm:.3f}",
+            )
         )
         assert norm < 0.25, model_name
 
-    benchmark(FastCoreModel(engine=DESIGNS["rasa-dmdb-wls"].config).run, sample)
+    backend = resolve_backend("rasa-dmdb-wls", core=settings.core)
+    benchmark(backend.simulate, sample)
     emit(
         "Extension E15 — whole-model GEMM suites (RASA-DMDB-WLS vs baseline)",
         format_table(

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from repro.cpu.fast import FastCoreModel
 from repro.engine.designs import DESIGNS
-from repro.experiments.runner import _cached_program
+from repro.runtime.sweep import cached_program
 from repro.utils.tables import format_table
 from repro.workloads.layers import TABLE1_LAYERS
 from repro.workloads.training import TrainingStep
@@ -27,7 +27,7 @@ def test_training_passes(benchmark, emit, settings):
         step = TrainingStep(TABLE1_LAYERS[layer_name])
         for pass_name, shape in step.gemms().items():
             scaled = shape.scaled(settings.scale)
-            program = _cached_program(scaled, settings.codegen)
+            program = cached_program(scaled, settings.codegen)
             if sample is None:
                 sample = program
             base = FastCoreModel(engine=DESIGNS["baseline"].config).run(program)

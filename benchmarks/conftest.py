@@ -18,6 +18,18 @@ from repro.experiments.runner import ExperimentSettings
 BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "4"))
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_cache(tmp_path_factory):
+    """Benchmarks simulate fresh: no reads from the user's persistent cache."""
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
+
+
 @pytest.fixture(scope="session")
 def settings() -> ExperimentSettings:
     return ExperimentSettings(scale=BENCH_SCALE)

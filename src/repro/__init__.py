@@ -8,7 +8,9 @@ pipelining engine with its control (PIPE/WLBP/WLS) and data (DB/DM/DMDB)
 optimizations, a Skylake-like trace-driven out-of-order CPU model, the
 LIBXSMM-style GEMM/convolution code generator, and Nangate-15nm-calibrated
 area/energy models — plus experiment drivers regenerating every table and
-figure in the paper's evaluation.
+figure in the paper's evaluation.  All simulation flows through
+:mod:`repro.runtime`: a pluggable :class:`SimBackend` registry, an on-disk
+result cache, and a multiprocessing :class:`SweepRunner` for grids.
 
 Quickstart::
 
@@ -32,6 +34,13 @@ from repro.engine import (
     get_design,
 )
 from repro.isa import Program, ProgramBuilder, assemble, disassemble
+from repro.runtime import (
+    ResultCache,
+    SimBackend,
+    SweepJob,
+    SweepRunner,
+    resolve_backend,
+)
 from repro.systolic import SystolicArray
 from repro.tile import TileMemory, TileRegisterFile
 from repro.workloads import (
@@ -61,6 +70,11 @@ __all__ = [
     "get_design",
     "Program",
     "ProgramBuilder",
+    "SimBackend",
+    "resolve_backend",
+    "ResultCache",
+    "SweepJob",
+    "SweepRunner",
     "assemble",
     "disassemble",
     "SystolicArray",

@@ -6,10 +6,14 @@ Commands:
 - ``table1``                        print Table I (+ lowered GEMMs)
 - ``fig {1,2,5,6,7}``               regenerate a paper figure
 - ``area``                          the Sec. V area/energy report
-- ``simulate``                      run one GEMM on one design
-- ``sweep``                         run one GEMM on every design
+- ``simulate``                      run one GEMM on one design (any fidelity)
+- ``sweep``                         run a (designs x workloads) grid — parallel
+                                    and cache-backed via :mod:`repro.runtime` —
+                                    or one ad-hoc GEMM via ``--m/--n/--k``
 - ``asm`` / ``disasm``              assemble ``.rasa`` text <-> JSONL traces
 
+All simulation commands resolve their backend through the
+:mod:`repro.runtime` registry; nothing in the CLI hand-wires a simulator.
 Every command prints to stdout and returns a process exit code, so the CLI
 is unit-testable by calling :func:`main` directly.
 """
@@ -18,22 +22,30 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional
 
-from repro.cpu.fast import FastCoreModel
 from repro.engine.designs import DESIGNS, get_design
 from repro.errors import ReproError
 from repro.experiments.area_energy import area_energy_report
 from repro.experiments.batch_sweep import fig7_batch_sensitivity
 from repro.experiments.layer_table import table1_report
 from repro.experiments.ppa_sweep import fig6_performance_per_area
-from repro.experiments.runner import ExperimentSettings
+from repro.experiments.runner import (
+    ExperimentSettings,
+    geometric_mean,
+    normalized_runtimes,
+    workload_shapes,
+)
 from repro.experiments.runtime_sweep import fig5_normalized_runtime
 from repro.experiments.toy import fig1_toy_example
 from repro.experiments.utilization_sweep import fig2_utilization
 from repro.isa.assembler import assemble, disassemble
 from repro.isa.trace import load_trace, save_trace
+from repro.runtime.cache import ResultCache
+from repro.runtime.registry import FIDELITIES, resolve_backend
+from repro.runtime.sweep import SweepRunner
 from repro.utils.tables import format_table
 from repro.workloads.codegen import generate_gemm_program
 from repro.workloads.gemm import GemmShape
@@ -67,11 +79,29 @@ def _build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--m", type=int, required=True)
     sim.add_argument("--n", type=int, required=True)
     sim.add_argument("--k", type=int, required=True)
+    sim.add_argument("--fidelity", default="fast", choices=sorted(FIDELITIES),
+                     help="simulation backend (default: fast)")
 
-    sweep = sub.add_parser("sweep", help="run one GEMM on every design")
-    sweep.add_argument("--m", type=int, required=True)
-    sweep.add_argument("--n", type=int, required=True)
-    sweep.add_argument("--k", type=int, required=True)
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a (designs x workloads) grid, parallel and cache-backed",
+    )
+    sweep.add_argument("--designs", default="all",
+                       help='"all" or comma-separated design keys (default: all)')
+    sweep.add_argument("--workloads", default="table1",
+                       help='"table1" or comma-separated Table I layer names')
+    sweep.add_argument("--m", type=int, help="ad-hoc GEMM M (with --n/--k)")
+    sweep.add_argument("--n", type=int, help="ad-hoc GEMM N")
+    sweep.add_argument("--k", type=int, help="ad-hoc GEMM K")
+    sweep.add_argument("--scale", type=int, default=4,
+                       help="divide each workload dimension by this (default 4)")
+    sweep.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: CPU count)")
+    sweep.add_argument("--fidelity", default="fast", choices=sorted(FIDELITIES))
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="bypass the on-disk result cache")
+    sweep.add_argument("--cache-dir", type=Path, default=None,
+                       help="result-cache directory (default: ~/.cache/repro)")
 
     asm = sub.add_parser("asm", help="assemble .rasa text into a JSONL trace")
     asm.add_argument("source", type=Path)
@@ -116,17 +146,17 @@ def _cmd_fig(number: int, scale: int) -> int:
     return 0
 
 
-def _simulate(design_key: str, shape: GemmShape):
+def _simulate(design_key: str, shape: GemmShape, fidelity: str = "fast"):
     program = generate_gemm_program(shape)
-    model = FastCoreModel(engine=get_design(design_key).config)
-    return model.run(program)
+    return resolve_backend(design_key, fidelity=fidelity).prepare(program).run()
 
 
 def _cmd_simulate(args) -> int:
     shape = GemmShape(m=args.m, n=args.n, k=args.k, name="cli")
-    result = _simulate(args.design, shape)
+    result = _simulate(args.design, shape, args.fidelity)
     print(f"design      : {get_design(args.design).label}")
     print(f"workload    : {shape}")
+    print(f"fidelity    : {args.fidelity}")
     print(f"instructions: {result.instructions} ({result.mm_count} rasa_mm)")
     print(f"cycles      : {result.cycles} ({result.seconds * 1e3:.3f} ms @ 2 GHz)")
     print(f"IPC         : {result.ipc:.3f}")
@@ -134,21 +164,80 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _sweep_designs(spec: str) -> List[str]:
+    if spec == "all":
+        return list(DESIGNS)
+    keys = [key.strip() for key in spec.split(",") if key.strip()]
+    for key in keys:
+        get_design(key)  # raises ConfigError with the known keys
+    if "baseline" not in keys:
+        keys.insert(0, "baseline")  # normalization needs the baseline run
+    return keys
+
+
+def _sweep_shapes(spec: str, settings: ExperimentSettings) -> Dict[str, GemmShape]:
+    table1 = workload_shapes(settings)
+    if spec == "table1":
+        return table1
+    shapes: Dict[str, GemmShape] = {}
+    for name in (part.strip() for part in spec.split(",")):
+        if not name:
+            continue
+        if name not in table1:
+            raise ReproError(
+                f"unknown workload {name!r}; known: table1, {', '.join(table1)}"
+            )
+        shapes[name] = table1[name]
+    return shapes
+
+
 def _cmd_sweep(args) -> int:
-    shape = GemmShape(m=args.m, n=args.n, k=args.k, name="cli")
-    results = {key: _simulate(key, shape) for key in DESIGNS}
-    base = results["baseline"]
-    rows = [
-        (
-            DESIGNS[key].label,
-            r.cycles,
-            f"{r.normalized_to(base):.3f}",
-            f"{r.bypass_rate:.2f}",
+    if (args.m, args.n, args.k) != (None, None, None):
+        if None in (args.m, args.n, args.k):
+            raise ReproError("--m/--n/--k must be given together")
+        shapes = {"cli": GemmShape(m=args.m, n=args.n, k=args.k, name="cli")}
+    else:
+        shapes = _sweep_shapes(args.workloads, ExperimentSettings(scale=args.scale))
+    design_keys = _sweep_designs(args.designs)
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    runner = SweepRunner(cache=cache, workers=args.jobs)
+    start = time.perf_counter()
+    grid = runner.run_grid(design_keys, shapes, fidelity=args.fidelity)
+    elapsed = time.perf_counter() - start
+
+    normalized = normalized_runtimes(grid)
+    headers = ["workload"] + [DESIGNS[key].label for key in design_keys]
+    rows = []
+    for workload in shapes:
+        per_design = grid[workload]
+        rows.append(
+            [workload]
+            + [
+                f"{per_design[key].cycles} ({normalized[workload][key]:.3f})"
+                for key in design_keys
+            ]
         )
-        for key, r in results.items()
-    ]
-    print(format_table(["design", "cycles", "normalized", "bypass rate"], rows,
-                       title=str(shape)))
+    if len(shapes) > 1:
+        rows.append(
+            ["GEOMEAN"]
+            + [
+                f"{geometric_mean(normalized[w][key] for w in shapes):.3f}"
+                for key in design_keys
+            ]
+        )
+    print(format_table(
+        headers, rows,
+        title=f"sweep — cycles (normalized to baseline), fidelity={args.fidelity}",
+    ))
+    jobs = len(shapes) * len(design_keys)
+    if cache is not None:
+        print(
+            f"{jobs} simulations in {elapsed:.2f}s — cache: {cache.hits} hits, "
+            f"{cache.misses} misses ({cache.path})"
+        )
+    else:
+        print(f"{jobs} simulations in {elapsed:.2f}s — cache disabled")
     return 0
 
 

@@ -37,3 +37,7 @@ class ScheduleError(SimError):
 
 class WorkloadError(ReproError):
     """A workload/layer definition is malformed or cannot be lowered."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver was given an inconsistent sweep or grid."""

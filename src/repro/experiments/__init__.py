@@ -2,7 +2,9 @@
 
 Every driver returns plain data structures *and* a formatted text rendering
 (the same rows/series the paper's figure plots), so the benchmark harness
-under ``benchmarks/`` just invokes these and prints.
+under ``benchmarks/`` just invokes these and prints.  All simulation flows
+through :mod:`repro.runtime` (backend registry + parallel, cache-backed
+:class:`SweepRunner`); the drivers only build grids and render tables.
 
 | Driver                  | Paper artifact                          |
 |-------------------------|------------------------------------------|

@@ -4,6 +4,10 @@ Paper numbers: baseline array = 0.7 % of a Skylake GT2 4C die; DB/DM/DMDB
 area overheads 3.1 %/2.6 %/5.5 %; RASA-DMDB total 0.847 mm²; average
 energy-efficiency gains (best control per data optimization) 4.38x (DB),
 2.19x (DM), 4.59x (DMDB).
+
+Runtime numbers reuse the cached Fig. 5 grid from
+:func:`repro.experiments.runner.runtime_sweep` (the :mod:`repro.runtime`
+layer underneath); only the area/energy models run here.
 """
 
 from __future__ import annotations

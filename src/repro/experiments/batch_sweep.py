@@ -16,10 +16,14 @@ initiation-interval ratio, not the layer size.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Sequence
+from typing import Dict, List, Sequence
 
-from repro.engine.designs import DESIGNS
-from repro.experiments.runner import DEFAULT_SETTINGS, ExperimentSettings, run_design
+from repro.experiments.runner import (
+    DEFAULT_SETTINGS,
+    ExperimentSettings,
+    default_runner,
+)
+from repro.runtime.sweep import SweepJob
 from repro.utils.tables import format_table
 from repro.workloads.layers import FC_LAYER_NAMES, TABLE1_LAYERS
 
@@ -54,11 +58,15 @@ def fig7_batch_sensitivity(
     batches: Sequence[int] = DEFAULT_BATCHES,
     design_key: str = "rasa-dmdb-wls",
 ) -> BatchSweep:
-    """Sweep batch size for every FC layer on ``design_key`` vs the baseline."""
-    series: Dict[str, Dict[int, float]] = {}
+    """Sweep batch size for every FC layer on ``design_key`` vs the baseline.
+
+    The (layer x batch x {design, baseline}) grid is flattened into one
+    :class:`SweepJob` list and fanned out through the shared
+    :func:`default_runner` — parallel workers plus the persistent cache.
+    """
+    jobs: List[SweepJob] = []
     for name in FC_LAYER_NAMES:
         layer = TABLE1_LAYERS[name]
-        series[name] = {}
         for batch in batches:
             gemm = layer.with_batch(batch).gemm()
             # Shrink the fixed layer dimensions, sweep the batch at full range.
@@ -68,7 +76,26 @@ def fig7_batch_sensitivity(
                 n=max(32, gemm.n // settings.scale),
                 k=max(32, gemm.k // settings.scale),
             )
-            design = run_design(design_key, shape, settings)
-            base = run_design("baseline", shape, settings)
+            for key in (design_key, "baseline"):
+                jobs.append(
+                    SweepJob(
+                        design_key=key,
+                        shape=shape,
+                        workload=f"{name}@b{batch}",
+                        core=settings.core,
+                        codegen=settings.codegen,
+                    )
+                )
+    results = default_runner().run(jobs)
+    by_pair = {
+        (job.workload, job.design_key): result
+        for job, result in zip(jobs, results)
+    }
+    series: Dict[str, Dict[int, float]] = {name: {} for name in FC_LAYER_NAMES}
+    for name in FC_LAYER_NAMES:
+        for batch in batches:
+            workload = f"{name}@b{batch}"
+            design = by_pair[(workload, design_key)]
+            base = by_pair[(workload, "baseline")]
             series[name][batch] = design.normalized_to(base)
     return BatchSweep(batches=tuple(batches), series=series)

@@ -4,6 +4,11 @@ The figure compares RASA-DB-WLS, RASA-DM-WLBP and RASA-DMDB-WLS (each data
 optimization under its best control optimization), normalized to the
 baseline.  Because the data optimizations cost only a few percent of area,
 PPA tracks the runtime trend of Fig. 5.
+
+Timing comes from the cached Fig. 5 grid — one
+:func:`repro.experiments.runner.runtime_sweep` call through the
+:mod:`repro.runtime` layer — combined with the analytic area model; no
+extra simulation runs here.
 """
 
 from __future__ import annotations

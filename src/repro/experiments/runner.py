@@ -1,4 +1,13 @@
-"""Common experiment plumbing: generate streams, run designs, cache sweeps.
+"""Common experiment plumbing, now a thin client of :mod:`repro.runtime`.
+
+Every simulation below goes through the backend registry
+(:func:`repro.runtime.resolve_backend`) and every grid through
+:class:`repro.runtime.SweepRunner` — parallel across worker processes and
+memoized in the on-disk result cache.  Environment knobs:
+
+- ``REPRO_SWEEP_WORKERS`` — worker process count (default: CPU count);
+- ``REPRO_NO_CACHE``      — any non-empty value disables the disk cache;
+- ``REPRO_CACHE_DIR``     — cache location (default ``~/.cache/repro``).
 
 The paper's absolute cycle counts come from full-size layers on MacSim; our
 default sweeps run the same layers *scaled down* (every GEMM dimension
@@ -11,33 +20,58 @@ from __future__ import annotations
 
 import dataclasses
 import functools
-from typing import Dict, Tuple
+import os
+from pathlib import Path
+from typing import Dict, Optional
 
 from repro.cpu.config import CoreConfig
-from repro.cpu.fast import FastCoreModel
 from repro.cpu.result import SimResult
-from repro.engine.designs import DESIGNS, get_design
-from repro.isa.program import Program
-from repro.workloads.codegen import CodegenOptions, generate_gemm_program
+from repro.engine.designs import DESIGNS
+from repro.errors import ExperimentError
+from repro.runtime.cache import ResultCache
+from repro.runtime.registry import resolve_backend
+from repro.runtime.sweep import SweepRunner, cached_program
+from repro.workloads.codegen import CodegenOptions
 from repro.workloads.gemm import GemmShape
 from repro.workloads.layers import table1_gemms
 
 
 @dataclasses.dataclass(frozen=True)
 class ExperimentSettings:
-    """Shared knobs for every sweep."""
+    """Shared knobs for every sweep.
+
+    ``core`` and ``codegen`` use ``default_factory`` so no single shared
+    instance leaks across settings objects; all three fields are frozen
+    dataclasses, keeping settings hashable — they feed both the in-process
+    memoization below and the runtime layer's persistent cache keys.
+    """
 
     scale: int = 4
-    core: CoreConfig = CoreConfig()
-    codegen: CodegenOptions = CodegenOptions()
+    core: CoreConfig = dataclasses.field(default_factory=CoreConfig)
+    codegen: CodegenOptions = dataclasses.field(default_factory=CodegenOptions)
 
 
 DEFAULT_SETTINGS = ExperimentSettings()
 
 
-@functools.lru_cache(maxsize=64)
-def _cached_program(shape: GemmShape, codegen: CodegenOptions) -> Program:
-    return generate_gemm_program(shape, codegen)
+def default_runner(
+    workers: Optional[int] = None,
+    cache_dir: Optional[Path] = None,
+    use_cache: bool = True,
+) -> SweepRunner:
+    """The :class:`SweepRunner` the experiment drivers share.
+
+    Honors the ``REPRO_SWEEP_WORKERS`` / ``REPRO_NO_CACHE`` /
+    ``REPRO_CACHE_DIR`` environment knobs documented in the module doc.
+    """
+    if use_cache and not os.environ.get("REPRO_NO_CACHE"):
+        cache: Optional[ResultCache] = ResultCache(cache_dir)
+    else:
+        cache = None
+    if workers is None:
+        env = os.environ.get("REPRO_SWEEP_WORKERS")
+        workers = int(env) if env else None
+    return SweepRunner(cache=cache, workers=workers)
 
 
 def workload_shapes(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Dict[str, GemmShape]:
@@ -51,12 +85,12 @@ def run_design(
     design_key: str,
     shape: GemmShape,
     settings: ExperimentSettings = DEFAULT_SETTINGS,
+    fidelity: str = "fast",
 ) -> SimResult:
     """Generate the stream for ``shape`` and simulate it on one design."""
-    program = _cached_program(shape, settings.codegen)
-    design = get_design(design_key)
-    model = FastCoreModel(core=settings.core, engine=design.config)
-    return model.run(program)
+    program = cached_program(shape, settings.codegen)
+    backend = resolve_backend(design_key, fidelity=fidelity, core=settings.core)
+    return backend.prepare(program).run()
 
 
 @functools.lru_cache(maxsize=8)
@@ -65,25 +99,39 @@ def runtime_sweep(
 ) -> Dict[str, Dict[str, SimResult]]:
     """Run every design on every Table I workload (the Fig. 5 grid).
 
-    Returns ``results[workload_name][design_key]``.  Cached: Fig. 6 and the
-    energy table reuse the same grid.
+    Fans out over the shared :func:`default_runner` — parallel workers plus
+    the persistent result cache — and memoizes in-process on top: Fig. 6
+    and the energy table reuse the same grid without a second lookup pass.
+
+    Returns ``results[workload_name][design_key]``.
     """
-    results: Dict[str, Dict[str, SimResult]] = {}
-    for name, shape in workload_shapes(settings).items():
-        results[name] = {
-            key: run_design(key, shape, settings) for key in DESIGNS
-        }
-    return results
+    return default_runner().run_grid(
+        DESIGNS,
+        workload_shapes(settings),
+        core=settings.core,
+        codegen=settings.codegen,
+    )
 
 
 def normalized_runtimes(
     results: Dict[str, Dict[str, SimResult]],
     baseline_key: str = "baseline",
 ) -> Dict[str, Dict[str, float]]:
-    """Normalize each design's cycles to the baseline, per workload."""
+    """Normalize each design's cycles to the baseline, per workload.
+
+    An empty grid yields an empty table; a workload row lacking
+    ``baseline_key`` raises :class:`ExperimentError` (not ``KeyError``) so
+    callers see which row was malformed.
+    """
     table: Dict[str, Dict[str, float]] = {}
     for workload, per_design in results.items():
-        base = per_design[baseline_key]
+        try:
+            base = per_design[baseline_key]
+        except KeyError:
+            raise ExperimentError(
+                f"workload {workload!r} has no baseline design "
+                f"{baseline_key!r}; present: {', '.join(per_design) or 'none'}"
+            ) from None
         table[workload] = {
             key: result.normalized_to(base) for key, result in per_design.items()
         }
@@ -91,7 +139,10 @@ def normalized_runtimes(
 
 
 def geometric_mean(values) -> float:
-    """Geometric mean (the conventional normalized-runtime average)."""
+    """Geometric mean (the conventional normalized-runtime average).
+
+    Empty input returns 0.0 — the "no data" sentinel the tables render.
+    """
     values = list(values)
     if not values:
         return 0.0

@@ -4,6 +4,10 @@ The paper's headline numbers (average runtime *reductions*): PIPE 15.7 %,
 WLBP 30.9 %, DM-WLBP 55.5 %, DB-WLS 78.1 %, DMDB-WLS 79.2 %.  The paper
 also observes "the relative performances of various configurations are
 independent of workloads" — visible here as near-identical rows.
+
+The 8-design x 9-workload grid itself comes from
+:func:`repro.experiments.runner.runtime_sweep`, which fans it out through
+the :mod:`repro.runtime` layer (parallel workers + persistent cache).
 """
 
 from __future__ import annotations

@@ -4,6 +4,10 @@ The figure shows utilization of a serialized fold rising toward 1 as TM
 grows, for arrays from small to large; growing TK/TN depresses utilization
 at fixed TM — the structural reason CPUs (TM pinned to 16 by the tile
 registers) cannot use the standalone accelerators' big-TM escape hatch.
+
+This sweep is purely analytic (closed-form utilization arithmetic, no
+instruction streams), so it does not go through the :mod:`repro.runtime`
+simulation backends — there is nothing to cache or parallelize.
 """
 
 from __future__ import annotations

@@ -1,0 +1,52 @@
+"""``repro.runtime`` — the unified execution layer.
+
+Every simulation in the repository — engine-bound, in-order fast-model, or
+cycle-accurate OoO — runs through this subsystem:
+
+- :mod:`repro.runtime.backend` defines the :class:`SimBackend` protocol
+  (``prepare(program)`` then ``run()`` -> :class:`repro.cpu.result.SimResult`)
+  and the three adapters wrapping :class:`repro.engine.engine.MatrixEngine`,
+  :class:`repro.cpu.fast.FastCoreModel` and
+  :class:`repro.cpu.ooo.core.OutOfOrderCore`;
+- :mod:`repro.runtime.registry` maps (design key x fidelity) to a ready
+  backend in one lookup (:func:`resolve_backend`);
+- :mod:`repro.runtime.cache` persists :class:`SimResult`s in an on-disk
+  JSON store keyed by a stable hash of the full simulation input;
+- :mod:`repro.runtime.sweep` fans (design x workload x settings) grids out
+  over ``multiprocessing`` workers with cache-aware memoization
+  (:class:`SweepRunner`).
+
+The experiment drivers (:mod:`repro.experiments`), the CLI (``repro sweep``)
+and the benchmark suite are all thin clients of this layer; future scaling
+work (sharding, async serving, new backends) plugs in here.
+"""
+
+from repro.runtime.backend import (
+    EngineBackend,
+    FastCoreBackend,
+    OoOCoreBackend,
+    SimBackend,
+)
+from repro.runtime.cache import CODE_VERSION, ResultCache, cache_key
+from repro.runtime.registry import (
+    FIDELITIES,
+    register_backend,
+    resolve_backend,
+)
+from repro.runtime.sweep import SweepJob, SweepRunner, cached_program
+
+__all__ = [
+    "SimBackend",
+    "EngineBackend",
+    "FastCoreBackend",
+    "OoOCoreBackend",
+    "FIDELITIES",
+    "register_backend",
+    "resolve_backend",
+    "ResultCache",
+    "cache_key",
+    "CODE_VERSION",
+    "SweepJob",
+    "SweepRunner",
+    "cached_program",
+]

@@ -1,0 +1,181 @@
+"""Persistent memoization of :class:`SimResult`s.
+
+Simulations here are deterministic: the same (design, workload shape, core
+config, codegen options, simulator version) always produces the same
+:class:`SimResult`.  :class:`ResultCache` exploits that with an on-disk JSON
+store keyed by :func:`cache_key` — a SHA-256 over a canonical JSON rendering
+of the full simulation input plus :data:`CODE_VERSION`.
+
+Bump :data:`CODE_VERSION` whenever a change alters *timing semantics*
+(scheduler, core models, codegen ordering): every existing key is thereby
+invalidated without touching the store.
+
+The store location defaults to ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``;
+writes are atomic (tempfile + rename) and corrupt/alien files are treated
+as an empty cache rather than an error.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.cpu.result import SimResult
+
+#: Bump on any change to timing semantics; invalidates every cached result.
+CODE_VERSION = 1
+
+_CACHE_FILENAME = "simresults.json"
+
+
+def _canonical(value: Any) -> Any:
+    """Render configs/shapes as JSON-stable primitives (order-independent)."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            f.name: _canonical(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return {"__type__": type(value).__name__, **fields}
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(f"cannot canonicalize {type(value).__name__!r} for cache keys")
+
+
+def cache_key(
+    design_key: str,
+    shape: Any,
+    core: Any,
+    codegen: Any,
+    fidelity: str = "fast",
+    version: int = CODE_VERSION,
+) -> str:
+    """Stable hash of one simulation's full input.
+
+    ``shape``/``core``/``codegen`` are the (frozen) dataclasses the runner
+    uses; any field change — including nested enums like the mm ordering —
+    produces a different key, as does a :data:`CODE_VERSION` bump.
+    """
+    payload = {
+        "design": design_key,
+        "shape": _canonical(shape),
+        "core": _canonical(core),
+        "codegen": _canonical(codegen),
+        "fidelity": fidelity,
+        "version": version,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+class ResultCache:
+    """A dict-like JSON-backed store of :class:`SimResult` by cache key.
+
+    Usage::
+
+        cache = ResultCache()               # default location
+        result = cache.get(key)             # None on miss
+        cache.put(key, result)
+        cache.flush()                       # atomic write-back
+
+    ``hits``/``misses`` count ``get`` outcomes since construction.
+    """
+
+    def __init__(self, directory: Optional[Path] = None):
+        self.directory = Path(directory) if directory is not None else default_cache_dir()
+        self.path = self.directory / _CACHE_FILENAME
+        self._entries: Dict[str, Dict[str, Any]] = self._load()
+        self._dirty = False
+        self._cleared = False
+        self.hits = 0
+        self.misses = 0
+
+    def _load(self) -> Dict[str, Dict[str, Any]]:
+        try:
+            raw = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return {}
+        entries = raw.get("results")
+        if raw.get("format") != 1 or not isinstance(entries, dict):
+            return {}
+        return entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Optional[SimResult]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        try:
+            result = SimResult(**entry)
+        except TypeError:
+            # Field set drifted without a version bump: drop the stale entry.
+            del self._entries[key]
+            self._dirty = True
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: SimResult) -> None:
+        self._entries[key] = dataclasses.asdict(result)
+        self._dirty = True
+
+    def clear(self) -> None:
+        """Drop every entry; the next flush truncates the store (no merge)."""
+        self._entries = {}
+        self._dirty = True
+        self._cleared = True
+
+    def flush(self) -> None:
+        """Atomically persist pending entries (no-op when nothing changed).
+
+        Entries written to the file by other processes since this cache
+        loaded are re-read and merged first (our entries win ties), so
+        concurrent sweeps sharing one store don't drop each other's work.
+        """
+        if not self._dirty:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if not self._cleared:
+            merged = self._load()
+            merged.update(self._entries)
+            self._entries = merged
+        payload = json.dumps({"format": 1, "results": self._entries})
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._dirty = False
+        self._cleared = False

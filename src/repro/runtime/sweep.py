@@ -1,0 +1,164 @@
+"""Parallel, cache-backed sweep execution.
+
+A sweep is a flat list of :class:`SweepJob`s — one (design, workload shape,
+core config, codegen options, fidelity) tuple each.  :class:`SweepRunner`
+executes them with two accelerations layered on top of the backend
+registry:
+
+1. **memoization** — each job's :func:`repro.runtime.cache.cache_key` is
+   looked up in a :class:`repro.runtime.cache.ResultCache` first; only
+   misses simulate, and fresh results are written back once at the end;
+2. **parallelism** — misses fan out over a ``multiprocessing`` pool
+   (``fork`` start method where available, so workers inherit the warm
+   per-process program cache).  ``workers=1`` — or a single-CPU host —
+   degrades to plain serial execution in-process, with bit-identical
+   results: jobs are independent deterministic simulations.
+
+Program generation is itself memoized per process keyed on
+``(shape, codegen)``: the usual grid runs every design on the same nine
+programs, so each worker lowers each GEMM only once.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import multiprocessing
+import os
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.cpu.config import CoreConfig
+from repro.cpu.result import SimResult
+from repro.isa.program import Program
+from repro.runtime.cache import ResultCache, cache_key
+from repro.runtime.registry import resolve_backend
+from repro.workloads.codegen import CodegenOptions, generate_gemm_program
+from repro.workloads.gemm import GemmShape
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepJob:
+    """One simulation of the grid: design x shape under shared settings."""
+
+    design_key: str
+    shape: GemmShape
+    workload: str = ""
+    core: CoreConfig = dataclasses.field(default_factory=CoreConfig)
+    codegen: CodegenOptions = dataclasses.field(default_factory=CodegenOptions)
+    fidelity: str = "fast"
+
+    @property
+    def key(self) -> str:
+        """The job's stable cache key."""
+        return cache_key(
+            self.design_key, self.shape, self.core, self.codegen, self.fidelity
+        )
+
+
+@functools.lru_cache(maxsize=32)
+def cached_program(shape: GemmShape, codegen: CodegenOptions) -> Program:
+    """Per-process program cache: every design reuses one lowered stream."""
+    return generate_gemm_program(shape, codegen)
+
+
+def _execute_job(job: SweepJob) -> SimResult:
+    """Simulate one job (top-level so worker processes can unpickle it)."""
+    program = cached_program(job.shape, job.codegen)
+    backend = resolve_backend(job.design_key, fidelity=job.fidelity, core=job.core)
+    return backend.prepare(program).run()
+
+
+def _pool_context():
+    """Prefer ``fork`` (cheap, inherits warm caches); fall back otherwise."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+class SweepRunner:
+    """Run sweep grids through the backend layer, in parallel, memoized.
+
+    Args:
+        cache: a :class:`ResultCache` for persistent memoization, or
+            ``None`` to always simulate.
+        workers: worker process count for cache misses; defaults to the
+            CPU count.  ``1`` forces serial in-process execution.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[ResultCache] = None,
+        workers: Optional[int] = None,
+    ):
+        self.cache = cache
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+
+    # -- flat job lists ----------------------------------------------------------
+
+    def run(self, jobs: Sequence[SweepJob]) -> List[SimResult]:
+        """Execute ``jobs``; returns results aligned with the input order."""
+        jobs = list(jobs)
+        by_key: Dict[str, SimResult] = {}
+        misses: List[SweepJob] = []
+        for job in jobs:
+            key = job.key
+            if key in by_key:
+                continue
+            cached = self.cache.get(key) if self.cache is not None else None
+            if cached is not None:
+                by_key[key] = cached
+            else:
+                misses.append(job)
+        for job, result in zip(misses, self._simulate(misses)):
+            by_key[job.key] = result
+            if self.cache is not None:
+                self.cache.put(job.key, result)
+        if self.cache is not None:
+            self.cache.flush()
+        return [by_key[job.key] for job in jobs]
+
+    def _simulate(self, jobs: Sequence[SweepJob]) -> List[SimResult]:
+        if not jobs:
+            return []
+        workers = min(self.workers, len(jobs))
+        if workers <= 1:
+            return [_execute_job(job) for job in jobs]
+        ctx = _pool_context()
+        chunksize = max(1, len(jobs) // (workers * 4))
+        with ctx.Pool(processes=workers) as pool:
+            return pool.map(_execute_job, jobs, chunksize=chunksize)
+
+    # -- (design x workload) grids ----------------------------------------------
+
+    def run_grid(
+        self,
+        design_keys: Iterable[str],
+        shapes: Mapping[str, GemmShape],
+        core: Optional[CoreConfig] = None,
+        codegen: Optional[CodegenOptions] = None,
+        fidelity: str = "fast",
+    ) -> Dict[str, Dict[str, SimResult]]:
+        """Run every design on every workload.
+
+        Returns ``results[workload_name][design_key]`` — the layout the
+        experiment drivers consume.
+        """
+        core = core if core is not None else CoreConfig()
+        codegen = codegen if codegen is not None else CodegenOptions()
+        design_keys = list(design_keys)
+        jobs = [
+            SweepJob(
+                design_key=design,
+                shape=shape,
+                workload=name,
+                core=core,
+                codegen=codegen,
+                fidelity=fidelity,
+            )
+            for name, shape in shapes.items()
+            for design in design_keys
+        ]
+        results = self.run(jobs)
+        grid: Dict[str, Dict[str, SimResult]] = {name: {} for name in shapes}
+        for job, result in zip(jobs, results):
+            grid[job.workload][job.design_key] = result
+        return grid

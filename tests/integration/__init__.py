@@ -1,0 +1,1 @@
+"""Test package (unique basenames are not required across subpackages)."""

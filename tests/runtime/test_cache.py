@@ -1,0 +1,143 @@
+"""Result-cache tests: keys, hit/miss, invalidation, persistence."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.cpu.config import CoreConfig
+from repro.cpu.result import SimResult
+from repro.runtime.cache import CODE_VERSION, ResultCache, cache_key
+from repro.workloads.codegen import CodegenOptions
+from repro.workloads.gemm import GemmShape
+from repro.workloads.tiling import BlockingConfig, MMOrder
+
+SHAPE = GemmShape(m=64, n=64, k=64, name="cache-test")
+CORE = CoreConfig()
+CODEGEN = CodegenOptions()
+
+RESULT = SimResult(
+    design="test design",
+    program="cache-test",
+    cycles=1234,
+    instructions=100,
+    mm_count=32,
+    bypass_count=16,
+    weight_loads=16,
+    engine_busy_cycles=300,
+    clock_mhz=2000,
+)
+
+
+class TestCacheKey:
+    def test_deterministic(self):
+        assert cache_key("baseline", SHAPE, CORE, CODEGEN) == cache_key(
+            "baseline", SHAPE, CORE, CODEGEN
+        )
+
+    def test_sensitive_to_every_component(self):
+        base = cache_key("baseline", SHAPE, CORE, CODEGEN)
+        assert cache_key("rasa-pipe", SHAPE, CORE, CODEGEN) != base
+        assert cache_key("baseline", dataclasses.replace(SHAPE, m=128), CORE, CODEGEN) != base
+        assert (
+            cache_key("baseline", SHAPE, dataclasses.replace(CORE, rob_size=224), CODEGEN)
+            != base
+        )
+        assert cache_key("baseline", SHAPE, CORE, CODEGEN, fidelity="ooo") != base
+
+    def test_sensitive_to_nested_enum(self):
+        alternate = CodegenOptions(
+            blocking=BlockingConfig(mm_order=MMOrder.ALTERNATE)
+        )
+        assert cache_key("baseline", SHAPE, CORE, alternate) != cache_key(
+            "baseline", SHAPE, CORE, CODEGEN
+        )
+
+    def test_version_bump_invalidates(self):
+        assert cache_key(
+            "baseline", SHAPE, CORE, CODEGEN, version=CODE_VERSION + 1
+        ) != cache_key("baseline", SHAPE, CORE, CODEGEN)
+
+    def test_rejects_unhashable_junk(self):
+        with pytest.raises(TypeError, match="canonicalize"):
+            cache_key("baseline", object(), CORE, CODEGEN)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("baseline", SHAPE, CORE, CODEGEN)
+        assert cache.get(key) is None
+        cache.put(key, RESULT)
+        assert cache.get(key) == RESULT
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_roundtrip_through_disk(self, tmp_path):
+        key = cache_key("baseline", SHAPE, CORE, CODEGEN)
+        first = ResultCache(tmp_path)
+        first.put(key, RESULT)
+        first.flush()
+        second = ResultCache(tmp_path)
+        assert len(second) == 1
+        assert second.get(key) == RESULT
+
+    def test_flush_without_changes_writes_nothing(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.flush()
+        assert not cache.path.exists()
+
+    def test_corrupt_file_treated_as_empty(self, tmp_path):
+        path = tmp_path / "simresults.json"
+        path.write_text("{this is not json")
+        cache = ResultCache(tmp_path)
+        assert len(cache) == 0
+
+    def test_alien_format_treated_as_empty(self, tmp_path):
+        (tmp_path / "simresults.json").write_text(json.dumps({"format": 99}))
+        assert len(ResultCache(tmp_path)) == 0
+
+    def test_stale_field_set_dropped(self, tmp_path):
+        key = cache_key("baseline", SHAPE, CORE, CODEGEN)
+        blob = {
+            "format": 1,
+            "results": {key: {"cycles": 1, "unknown_field": 2}},
+        }
+        (tmp_path / "simresults.json").write_text(json.dumps(blob))
+        cache = ResultCache(tmp_path)
+        assert cache.get(key) is None
+        assert key not in cache
+
+    def test_version_bumped_key_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(cache_key("baseline", SHAPE, CORE, CODEGEN), RESULT)
+        bumped = cache_key("baseline", SHAPE, CORE, CODEGEN, version=CODE_VERSION + 1)
+        assert cache.get(bumped) is None
+
+    def test_flush_merges_concurrent_writers(self, tmp_path):
+        """Two caches over one store: the second flush keeps both entries."""
+        key_a = cache_key("baseline", SHAPE, CORE, CODEGEN)
+        key_b = cache_key("rasa-pipe", SHAPE, CORE, CODEGEN)
+        first = ResultCache(tmp_path)
+        second = ResultCache(tmp_path)  # loaded before first's flush
+        first.put(key_a, RESULT)
+        first.flush()
+        second.put(key_b, RESULT)
+        second.flush()
+        merged = ResultCache(tmp_path)
+        assert merged.get(key_a) == RESULT
+        assert merged.get(key_b) == RESULT
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("baseline", SHAPE, CORE, CODEGEN)
+        cache.put(key, RESULT)
+        cache.clear()
+        cache.flush()
+        assert len(ResultCache(tmp_path)) == 0
+
+    def test_env_var_controls_default_location(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        cache = ResultCache()
+        assert cache.directory == tmp_path / "custom"

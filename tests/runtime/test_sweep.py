@@ -1,0 +1,137 @@
+"""SweepRunner tests: parallel == serial, memoization, grid layout.
+
+Also covers the ``normalized_runtimes`` / ``geometric_mean`` edge cases the
+grid consumers rely on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu.config import CoreConfig
+from repro.cpu.result import SimResult
+from repro.engine.designs import DESIGNS
+from repro.errors import ExperimentError
+from repro.experiments.runner import geometric_mean, normalized_runtimes
+from repro.runtime import ResultCache, SweepJob, SweepRunner
+from repro.workloads.gemm import GemmShape
+
+SHAPES = {
+    "small": GemmShape(m=64, n=64, k=64, name="small"),
+    "tall": GemmShape(m=128, n=32, k=64, name="tall"),
+}
+DESIGN_KEYS = ["baseline", "rasa-wlbp", "rasa-dmdb-wls"]
+
+
+def _jobs():
+    return [
+        SweepJob(design_key=key, shape=shape, workload=name)
+        for name, shape in SHAPES.items()
+        for key in DESIGN_KEYS
+    ]
+
+
+class TestSweepRunner:
+    def test_serial_results(self):
+        results = SweepRunner(workers=1).run(_jobs())
+        assert len(results) == 6
+        assert all(isinstance(r, SimResult) for r in results)
+
+    def test_parallel_matches_serial_bit_identical(self):
+        serial = SweepRunner(workers=1).run(_jobs())
+        parallel = SweepRunner(workers=2).run(_jobs())
+        assert serial == parallel
+
+    def test_duplicate_jobs_share_one_simulation(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = _jobs()[0]
+        results = SweepRunner(cache=cache, workers=1).run([job, job, job])
+        assert results[0] == results[1] == results[2]
+        assert len(cache) == 1  # one key, simulated once
+
+    def test_cache_hit_on_second_run(self, tmp_path):
+        first = ResultCache(tmp_path)
+        cold = SweepRunner(cache=first, workers=1).run(_jobs())
+        assert (first.hits, first.misses) == (0, 6)
+
+        warm_cache = ResultCache(tmp_path)
+        warm = SweepRunner(cache=warm_cache, workers=1).run(_jobs())
+        assert (warm_cache.hits, warm_cache.misses) == (6, 0)
+        assert warm == cold
+
+    def test_parallel_cold_equals_warm_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold = SweepRunner(cache=cache, workers=2).run(_jobs())
+        warm = SweepRunner(cache=ResultCache(tmp_path), workers=2).run(_jobs())
+        assert cold == warm
+
+    def test_empty_job_list(self):
+        assert SweepRunner(workers=1).run([]) == []
+
+    def test_run_grid_layout(self):
+        grid = SweepRunner(workers=1).run_grid(DESIGN_KEYS, SHAPES)
+        assert set(grid) == set(SHAPES)
+        for per_design in grid.values():
+            assert set(per_design) == set(DESIGN_KEYS)
+
+    def test_grid_matches_flat_jobs(self):
+        grid = SweepRunner(workers=1).run_grid(DESIGN_KEYS, SHAPES)
+        flat = SweepRunner(workers=1).run(_jobs())
+        by_pair = {
+            (job.workload, job.design_key): result
+            for job, result in zip(_jobs(), flat)
+        }
+        for workload, per_design in grid.items():
+            for key, result in per_design.items():
+                assert result == by_pair[(workload, key)]
+
+    def test_fidelity_flows_through(self):
+        job = SweepJob(
+            design_key="rasa-wlbp", shape=SHAPES["small"], fidelity="engine"
+        )
+        engine = SweepRunner(workers=1).run([job])[0]
+        fast = SweepRunner(workers=1).run(
+            [SweepJob(design_key="rasa-wlbp", shape=SHAPES["small"])]
+        )[0]
+        assert engine.mm_count == fast.mm_count
+        assert engine.cycles < fast.cycles
+
+    def test_job_key_distinguishes_core_config(self):
+        a = SweepJob(design_key="baseline", shape=SHAPES["small"])
+        b = SweepJob(
+            design_key="baseline",
+            shape=SHAPES["small"],
+            core=CoreConfig(rob_size=224),
+        )
+        assert a.key != b.key
+
+
+class TestGridEdgeCases:
+    def test_normalized_runtimes_empty_grid(self):
+        assert normalized_runtimes({}) == {}
+
+    def test_normalized_runtimes_missing_baseline(self):
+        grid = SweepRunner(workers=1).run_grid(["rasa-wlbp"], SHAPES)
+        with pytest.raises(ExperimentError, match="no baseline"):
+            normalized_runtimes(grid)
+
+    def test_normalized_runtimes_custom_baseline(self):
+        grid = SweepRunner(workers=1).run_grid(["rasa-wlbp"], SHAPES)
+        table = normalized_runtimes(grid, baseline_key="rasa-wlbp")
+        for per_design in table.values():
+            assert per_design["rasa-wlbp"] == pytest.approx(1.0)
+
+    def test_geometric_mean_empty(self):
+        assert geometric_mean([]) == 0.0
+
+    def test_geometric_mean_values(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_full_design_registry_grid(self):
+        """Every registered design runs through the runner unchanged."""
+        grid = SweepRunner(workers=1).run_grid(
+            DESIGNS, {"small": SHAPES["small"]}
+        )
+        normalized = normalized_runtimes(grid)["small"]
+        assert normalized["baseline"] == pytest.approx(1.0)
+        assert normalized["rasa-dmdb-wls"] < 0.25

@@ -42,14 +42,54 @@ class TestSimulate:
         out = capsys.readouterr().out
         assert "rasa_mm" in out and "WLBP bypass" in out
 
+    def test_simulate_fidelity(self, capsys):
+        assert main(["simulate", "--design", "rasa-wlbp", "--fidelity", "engine",
+                     "--m", "64", "--n", "64", "--k", "64"]) == 0
+        assert "fidelity    : engine" in capsys.readouterr().out
+
     def test_sweep(self, capsys):
-        assert main(["sweep", "--m", "64", "--n", "64", "--k", "64"]) == 0
+        assert main(["sweep", "--m", "64", "--n", "64", "--k", "64",
+                     "--no-cache"]) == 0
         out = capsys.readouterr().out
         assert "Baseline" in out and "RASA-DMDB-WLS" in out
 
     def test_unknown_design_rejected(self, capsys):
         with pytest.raises(SystemExit):
             main(["simulate", "--design", "bogus", "--m", "16", "--n", "16", "--k", "32"])
+
+
+class TestGridSweep:
+    def test_table1_grid_cold_then_warm(self, tmp_path, capsys):
+        argv = ["sweep", "--designs", "all", "--workloads", "table1",
+                "--scale", "16", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "GEOMEAN" in cold and "72 simulations" in cold
+        assert "0 hits, 72 misses" in cold
+
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "72 hits, 0 misses" in warm
+        # Bit-identical cycles: the tables match apart from the stats line.
+        assert cold.splitlines()[:-1] == warm.splitlines()[:-1]
+
+    def test_design_subset_gets_baseline_for_normalization(self, tmp_path, capsys):
+        assert main(["sweep", "--designs", "rasa-wlbp", "--workloads", "DLRM-2",
+                     "--scale", "16", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Baseline" in out and "RASA-WLBP" in out
+
+    def test_unknown_workload(self, capsys):
+        assert main(["sweep", "--workloads", "nope", "--no-cache"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_unknown_design_key(self, capsys):
+        assert main(["sweep", "--designs", "nope", "--no-cache"]) == 2
+        assert "unknown design" in capsys.readouterr().err
+
+    def test_partial_mnk_rejected(self, capsys):
+        assert main(["sweep", "--m", "64", "--no-cache"]) == 2
+        assert "together" in capsys.readouterr().err
 
 
 class TestAsmRoundtrip:
