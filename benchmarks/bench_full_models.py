@@ -1,14 +1,16 @@
 """E15 — extension: whole-model GEMM suites, not just three layers apiece.
 
-Simulates the complete GEMM portion of ResNet-50, BERT-base (one encoder
-layer — all layers are identical) and the DLRM MLPs, and reports the
-end-to-end normalized runtime per model.  Because the paper's per-layer
-result is workload-independent, the whole-model numbers should land at the
-same ~0.17-0.21 the Fig. 5 geomean shows — this bench verifies that the
+Simulates the complete GEMM portion of every registered workload suite
+(:mod:`repro.workloads.suites`) and reports the end-to-end normalized
+runtime per model.  Because the paper's per-layer result is
+workload-independent, the whole-model numbers should land at the same
+~0.17-0.21 the Fig. 5 geomean shows — this bench verifies that the
 three-layer sample was representative.
 
-Each model's layer suite is one :class:`repro.runtime.SweepRunner` grid
-(two designs x all layers) fanned out through the backend registry.
+The bench is a thin client of :meth:`repro.runtime.SweepRunner.run_suite`:
+each suite simulates its *distinct* shapes once per design and expands the
+results by occurrence count, so the full 12-layer BERT-base stack costs 3
+simulations per design instead of 72.
 """
 
 from __future__ import annotations
@@ -16,15 +18,9 @@ from __future__ import annotations
 from repro.runtime import SweepRunner, resolve_backend
 from repro.runtime.sweep import cached_program
 from repro.utils.tables import format_table
-from repro.workloads.models import bert_encoder_gemms, dlrm_gemms, resnet50_gemms
+from repro.workloads.suites import get_suite
 
-MODELS = {
-    # Reduced batch and one encoder layer keep the bench quick; per-layer
-    # normalized results are batch-insensitive past one tile row block.
-    "resnet50 (convs)": lambda scale: resnet50_gemms(batch=1),
-    "bert-base (1 encoder)": lambda scale: bert_encoder_gemms(layers=1),
-    "dlrm (MLPs)": lambda scale: dlrm_gemms(batch=128),
-}
+MODEL_SUITES = ("resnet50", "bert-base", "dlrm", "training")
 
 DESIGN_KEYS = ("baseline", "rasa-dmdb-wls")
 
@@ -33,38 +29,35 @@ def test_full_models(benchmark, emit, settings):
     runner = SweepRunner(workers=1)  # small grids; cache-free for honest timing
     rows = []
     sample = None
-    for model_name, factory in MODELS.items():
-        shapes = {
-            name: shape.scaled(settings.scale * 2)
-            for name, shape in factory(settings.scale).items()
-        }
+    for name in MODEL_SUITES:
+        # Doubled scale keeps the bench quick; per-layer normalized results
+        # are batch-insensitive past one tile row block.
+        suite = get_suite(name, scale=settings.scale * 2)
         if sample is None:
-            sample = cached_program(next(iter(shapes.values())), settings.codegen)
-        grid = runner.run_grid(
-            DESIGN_KEYS, shapes, core=settings.core, codegen=settings.codegen
+            sample = cached_program(suite.gemms[0][1], settings.codegen)
+        totals = runner.run_suite(
+            DESIGN_KEYS, suite, core=settings.core, codegen=settings.codegen
         )
-        totals = {
-            key: sum(grid[name][key].cycles for name in shapes)
-            for key in DESIGN_KEYS
-        }
-        norm = totals["rasa-dmdb-wls"] / totals["baseline"]
+        base, best = totals["baseline"], totals["rasa-dmdb-wls"]
+        norm = best.normalized_to(base)
         rows.append(
             (
-                model_name,
-                len(shapes),
-                totals["baseline"],
-                totals["rasa-dmdb-wls"],
+                name,
+                base.gemm_count,
+                base.simulations,
+                base.cycles,
+                best.cycles,
                 f"{norm:.3f}",
             )
         )
-        assert norm < 0.25, model_name
+        assert norm < 0.25, name
 
     backend = resolve_backend("rasa-dmdb-wls", core=settings.core)
     benchmark(backend.simulate, sample)
     emit(
         "Extension E15 — whole-model GEMM suites (RASA-DMDB-WLS vs baseline)",
         format_table(
-            ["model", "GEMM layers", "baseline cyc", "DMDB-WLS cyc", "normalized"],
+            ["model", "GEMMs", "distinct", "baseline cyc", "DMDB-WLS cyc", "normalized"],
             rows,
         ),
     )

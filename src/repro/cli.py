@@ -3,13 +3,17 @@
 Commands:
 
 - ``designs``                       list the registered design points
+- ``models``                        list the registered workload suites
 - ``table1``                        print Table I (+ lowered GEMMs)
 - ``fig {1,2,5,6,7}``               regenerate a paper figure
 - ``area``                          the Sec. V area/energy report
 - ``simulate``                      run one GEMM on one design (any fidelity)
 - ``sweep``                         run a (designs x workloads) grid — parallel
                                     and cache-backed via :mod:`repro.runtime` —
-                                    or one ad-hoc GEMM via ``--m/--n/--k``
+                                    a whole-model suite sweep
+                                    (``--workloads resnet50|bert-base|dlrm|
+                                    training|all``, dedup-aware), or one
+                                    ad-hoc GEMM via ``--m/--n/--k``
 - ``asm`` / ``disasm``              assemble ``.rasa`` text <-> JSONL traces
 
 All simulation commands resolve their backend through the
@@ -35,7 +39,6 @@ from repro.experiments.ppa_sweep import fig6_performance_per_area
 from repro.experiments.runner import (
     ExperimentSettings,
     geometric_mean,
-    normalized_runtimes,
     workload_shapes,
 )
 from repro.experiments.runtime_sweep import fig5_normalized_runtime
@@ -49,6 +52,8 @@ from repro.runtime.sweep import SweepRunner
 from repro.utils.tables import format_table
 from repro.workloads.codegen import generate_gemm_program
 from repro.workloads.gemm import GemmShape
+from repro.workloads.layers import TABLE1_LAYERS
+from repro.workloads.suites import SUITES, get_suite, suite_names
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -60,6 +65,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("designs", help="list the registered design points")
     sub.add_parser("table1", help="print Table I")
+
+    models = sub.add_parser("models", help="list the registered workload suites")
+    models.add_argument("--batch", type=int, default=None,
+                        help="override the streamed-rows (batch) dimension")
+    models.add_argument("--scale", type=int, default=1,
+                        help="divide each GEMM dimension by this (default 1)")
 
     fig = sub.add_parser("fig", help="regenerate a paper figure")
     fig.add_argument("number", type=int, choices=(1, 2, 5, 6, 7))
@@ -89,10 +100,14 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--designs", default="all",
                        help='"all" or comma-separated design keys (default: all)')
     sweep.add_argument("--workloads", default="table1",
-                       help='"table1" or comma-separated Table I layer names')
+                       help='"table1", comma-separated Table I layer names, '
+                            'model suite names (resnet50, bert-base, dlrm, '
+                            'training), or "all" (every suite)')
     sweep.add_argument("--m", type=int, help="ad-hoc GEMM M (with --n/--k)")
     sweep.add_argument("--n", type=int, help="ad-hoc GEMM N")
     sweep.add_argument("--k", type=int, help="ad-hoc GEMM K")
+    sweep.add_argument("--batch", type=int, default=None,
+                       help="override a suite's streamed-rows (batch) dimension")
     sweep.add_argument("--scale", type=int, default=4,
                        help="divide each workload dimension by this (default 4)")
     sweep.add_argument("--jobs", type=int, default=None,
@@ -127,6 +142,31 @@ def _cmd_designs() -> int:
     ]
     print(format_table(
         ["key", "label", "PE", "control", "array", "serial mm latency"], rows
+    ))
+    return 0
+
+
+def _cmd_models(args) -> int:
+    rows = []
+    for name in suite_names():
+        spec = SUITES[name]
+        suite = get_suite(name, batch=args.batch, scale=args.scale)
+        batch = args.batch if args.batch is not None else spec.default_batch
+        rows.append(
+            (
+                name,
+                len(suite),
+                len(suite.distinct()),
+                f"{suite.dedup_factor:.1f}x",
+                f"{suite.total_macs / 1e6:.0f}",
+                batch if batch is not None else "per-layer",
+                spec.description,
+            )
+        )
+    print(format_table(
+        ["suite", "GEMMs", "distinct", "dedup", "MMACs", "batch", "description"],
+        rows,
+        title="workload suites — sweep with: repro sweep --workloads <suite>",
     ))
     return 0
 
@@ -175,29 +215,158 @@ def _sweep_designs(spec: str) -> List[str]:
     return keys
 
 
+def _split_spec(spec: str) -> List[str]:
+    return [part.strip() for part in spec.split(",") if part.strip()]
+
+
+def _is_suite_spec(spec: str, batch: Optional[int]) -> bool:
+    """Whether ``--workloads`` names model suites (vs Table I layers).
+
+    Plain ``table1`` without ``--batch`` keeps the historical per-layer grid
+    output; any other suite name — or ``table1`` rebatched or mixed with
+    other suites — takes the dedup-aware suite path.
+    """
+    parts = _split_spec(spec)
+    if not parts or not any(part in SUITES or part == "all" for part in parts):
+        return False  # layer names (or typos): _sweep_shapes reports them
+    others = [part for part in parts if part not in SUITES and part != "all"]
+    if not others:
+        return "all" in parts or parts != ["table1"] or batch is not None
+    unknown = [part for part in others if part not in TABLE1_LAYERS]
+    if unknown:
+        raise ReproError(
+            f"unknown workload {unknown[0]!r}; known suites: "
+            f"{', '.join(SUITES)}, all; known layers: {', '.join(TABLE1_LAYERS)}"
+        )
+    raise ReproError(
+        "--workloads cannot mix suite names with Table I layer names; "
+        f"suites: {', '.join(SUITES)}"
+    )
+
+
 def _sweep_shapes(spec: str, settings: ExperimentSettings) -> Dict[str, GemmShape]:
     table1 = workload_shapes(settings)
     if spec == "table1":
         return table1
     shapes: Dict[str, GemmShape] = {}
-    for name in (part.strip() for part in spec.split(",")):
-        if not name:
-            continue
+    for name in _split_spec(spec):
         if name not in table1:
             raise ReproError(
-                f"unknown workload {name!r}; known: table1, {', '.join(table1)}"
+                f"unknown workload {name!r}; known: table1, "
+                f"{', '.join(table1)}, suites: {', '.join(SUITES)}, all"
             )
         shapes[name] = table1[name]
     return shapes
+
+
+def _normalized_cycle_cells(cycles: Dict[str, Dict[str, int]], design_keys: List[str]):
+    """Shared "cycles (normalized to baseline)" cell assembly.
+
+    ``cycles`` maps row label -> design key -> end-to-end cycles.  Returns
+    per-row formatted cells plus the GEOMEAN cells (``None`` for
+    single-row tables).  Both sweep output modes build on this, so their
+    formatting and geomean semantics cannot diverge.
+    """
+    normalized = {
+        row: {
+            key: (per[key] / per["baseline"]) if per["baseline"] else 0.0
+            for key in design_keys
+        }
+        for row, per in cycles.items()
+    }
+    cells = {
+        row: [
+            f"{cycles[row][key]} ({normalized[row][key]:.3f})" for key in design_keys
+        ]
+        for row in cycles
+    }
+    geomean = (
+        [
+            f"{geometric_mean(normalized[row][key] for row in cycles):.3f}"
+            for key in design_keys
+        ]
+        if len(cycles) > 1
+        else None
+    )
+    return cells, geomean
+
+
+def _cmd_sweep_suites(args) -> int:
+    """Suite mode: simulate distinct shapes only, report end-to-end totals."""
+    names = [
+        name
+        for part in _split_spec(args.workloads)
+        for name in (suite_names() if part == "all" else [part])
+    ]
+    names = list(dict.fromkeys(names))  # "dlrm,dlrm" / "all,dlrm" don't repeat
+    suites = [get_suite(n, batch=args.batch, scale=args.scale) for n in names]
+    design_keys = _sweep_designs(args.designs)
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    runner = SweepRunner(cache=cache, workers=args.jobs)
+    start = time.perf_counter()
+    totals = runner.run_suites(design_keys, suites, fidelity=args.fidelity)
+    elapsed = time.perf_counter() - start
+
+    cycles = {
+        name: {key: per_design[key].cycles for key in design_keys}
+        for name, per_design in totals.items()
+    }
+    cells, geomean = _normalized_cycle_cells(cycles, design_keys)
+    headers = ["model", "GEMMs", "distinct"] + [
+        DESIGNS[key].label for key in design_keys
+    ]
+    rows = []
+    for name, per_design in totals.items():
+        base = per_design["baseline"]
+        rows.append([name, base.gemm_count, base.simulations] + cells[name])
+    if geomean is not None:
+        rows.append(["GEOMEAN", "", ""] + geomean)
+    print(format_table(
+        headers, rows,
+        title=(
+            "suite sweep — end-to-end cycles (normalized to baseline), "
+            f"fidelity={args.fidelity}"
+        ),
+    ))
+    # run_suites dedups across suites too, so count the dims union.
+    distinct_dims = {e.shape.dims for suite in suites for e in suite.distinct()}
+    distinct = len(distinct_dims) * len(design_keys)
+    layer_runs = sum(len(suite) for suite in suites) * len(design_keys)
+    line = (
+        f"{distinct} distinct points for {layer_runs} suite GEMM runs "
+        f"({layer_runs / distinct:.1f}x dedup) in {elapsed:.2f}s"
+    )
+    if cache is not None:
+        # The cache counters report what actually ran: one miss per
+        # simulated point, one hit per point served from the store.
+        line += (
+            f" — {cache.misses} simulated, {cache.hits} cached ({cache.path})"
+        )
+    else:
+        line += f" — {distinct} simulated, cache disabled"
+    print(line)
+    return 0
 
 
 def _cmd_sweep(args) -> int:
     if (args.m, args.n, args.k) != (None, None, None):
         if None in (args.m, args.n, args.k):
             raise ReproError("--m/--n/--k must be given together")
+        if args.batch is not None:
+            raise ReproError("--batch applies to suite workloads, not --m/--n/--k")
         shapes = {"cli": GemmShape(m=args.m, n=args.n, k=args.k, name="cli")}
+    elif _is_suite_spec(args.workloads, args.batch):
+        return _cmd_sweep_suites(args)
     else:
+        # Resolve the spec first so a typo'd suite name reports "unknown
+        # workload", not a misleading --batch complaint.
         shapes = _sweep_shapes(args.workloads, ExperimentSettings(scale=args.scale))
+        if args.batch is not None:
+            raise ReproError(
+                "--batch applies to suite workloads "
+                f"({', '.join(SUITES)}), not Table I layer names"
+            )
     design_keys = _sweep_designs(args.designs)
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
@@ -206,26 +375,15 @@ def _cmd_sweep(args) -> int:
     grid = runner.run_grid(design_keys, shapes, fidelity=args.fidelity)
     elapsed = time.perf_counter() - start
 
-    normalized = normalized_runtimes(grid)
+    cycles = {
+        workload: {key: grid[workload][key].cycles for key in design_keys}
+        for workload in shapes
+    }
+    cells, geomean = _normalized_cycle_cells(cycles, design_keys)
     headers = ["workload"] + [DESIGNS[key].label for key in design_keys]
-    rows = []
-    for workload in shapes:
-        per_design = grid[workload]
-        rows.append(
-            [workload]
-            + [
-                f"{per_design[key].cycles} ({normalized[workload][key]:.3f})"
-                for key in design_keys
-            ]
-        )
-    if len(shapes) > 1:
-        rows.append(
-            ["GEOMEAN"]
-            + [
-                f"{geometric_mean(normalized[w][key] for w in shapes):.3f}"
-                for key in design_keys
-            ]
-        )
+    rows = [[workload] + cells[workload] for workload in shapes]
+    if geomean is not None:
+        rows.append(["GEOMEAN"] + geomean)
     print(format_table(
         headers, rows,
         title=f"sweep — cycles (normalized to baseline), fidelity={args.fidelity}",
@@ -259,6 +417,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "designs":
             return _cmd_designs()
+        if args.command == "models":
+            return _cmd_models(args)
         if args.command == "table1":
             print(table1_report())
             return 0

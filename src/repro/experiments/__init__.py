@@ -15,6 +15,7 @@ through :mod:`repro.runtime` (backend registry + parallel, cache-backed
 | ``ppa_sweep``           | Fig. 6 — performance per area            |
 | ``batch_sweep``         | Fig. 7 — batch-size sensitivity          |
 | ``area_energy``         | Sec. V text — area + energy efficiency   |
+| ``model_report``        | E15 — whole-model suite runtime/speedup  |
 """
 
 from repro.experiments.runner import ExperimentSettings, run_design, runtime_sweep
@@ -25,6 +26,7 @@ from repro.experiments.runtime_sweep import fig5_normalized_runtime
 from repro.experiments.ppa_sweep import fig6_performance_per_area
 from repro.experiments.batch_sweep import fig7_batch_sensitivity
 from repro.experiments.area_energy import area_energy_report
+from repro.experiments.model_report import ModelReport, model_report
 from repro.experiments.register_scaling import (
     register_scaling_sweep,
     render_register_scaling,
@@ -42,6 +44,8 @@ __all__ = [
     "fig6_performance_per_area",
     "fig7_batch_sensitivity",
     "area_energy_report",
+    "ModelReport",
+    "model_report",
     "register_scaling_sweep",
     "render_register_scaling",
     "full_report",

@@ -1,9 +1,9 @@
 """One-shot reproduction report: every paper artifact in a single document.
 
 ``python -m repro report`` (or :func:`full_report`) regenerates Fig. 1, 2,
-5, 6, 7, Table I, the Sec. V area/energy table and the E16 counterfactual,
-and stitches them into a markdown document — the quickest way to eyeball
-the whole reproduction at once.
+5, 6, 7, Table I, the Sec. V area/energy table, the E15 whole-model suite
+table and the E16 counterfactual, and stitches them into a markdown
+document — the quickest way to eyeball the whole reproduction at once.
 """
 
 from __future__ import annotations
@@ -11,6 +11,7 @@ from __future__ import annotations
 from repro.experiments.area_energy import area_energy_report
 from repro.experiments.batch_sweep import fig7_batch_sensitivity
 from repro.experiments.layer_table import table1_report
+from repro.experiments.model_report import model_report
 from repro.experiments.ppa_sweep import fig6_performance_per_area
 from repro.experiments.register_scaling import (
     register_scaling_sweep,
@@ -52,6 +53,10 @@ def full_report(settings: ExperimentSettings = DEFAULT_SETTINGS) -> str:
         _section(
             "Sec. V — area and energy",
             area_energy_report(settings).render(),
+        ),
+        _section(
+            "E15 — whole-model workload suites",
+            model_report(settings).render(),
         ),
         _section(
             "E16 — register-scaling counterfactual",

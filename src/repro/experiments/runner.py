@@ -70,7 +70,14 @@ def default_runner(
         cache = None
     if workers is None:
         env = os.environ.get("REPRO_SWEEP_WORKERS")
-        workers = int(env) if env else None
+        if env:
+            try:
+                workers = int(env)
+            except ValueError:
+                raise ExperimentError(
+                    f"REPRO_SWEEP_WORKERS must be an integer worker count, "
+                    f"got {env!r}"
+                ) from None
     return SweepRunner(cache=cache, workers=workers)
 
 

@@ -11,10 +11,16 @@ cycle-accurate OoO — runs through this subsystem:
 - :mod:`repro.runtime.registry` maps (design key x fidelity) to a ready
   backend in one lookup (:func:`resolve_backend`);
 - :mod:`repro.runtime.cache` persists :class:`SimResult`s in an on-disk
-  JSON store keyed by a stable hash of the full simulation input;
+  JSON store keyed by a stable, *label-independent* hash of the full
+  simulation input (bump :data:`CODE_VERSION` on timing or key-schema
+  changes — version 2 dropped display labels from keys);
 - :mod:`repro.runtime.sweep` fans (design x workload x settings) grids out
   over ``multiprocessing`` workers with cache-aware memoization
-  (:class:`SweepRunner`).
+  (:class:`SweepRunner`), deduplicates jobs so each distinct point
+  simulates once per sweep, and aggregates whole-model
+  :class:`repro.workloads.suites.WorkloadSuite` multisets into
+  occurrence-weighted end-to-end totals (:meth:`SweepRunner.run_suite` ->
+  :class:`SuiteTotals`).
 
 The experiment drivers (:mod:`repro.experiments`), the CLI (``repro sweep``)
 and the benchmark suite are all thin clients of this layer; future scaling
@@ -33,7 +39,13 @@ from repro.runtime.registry import (
     register_backend,
     resolve_backend,
 )
-from repro.runtime.sweep import SweepJob, SweepRunner, cached_program
+from repro.runtime.sweep import (
+    PROGRAM_CACHE_SIZE,
+    SuiteTotals,
+    SweepJob,
+    SweepRunner,
+    cached_program,
+)
 
 __all__ = [
     "SimBackend",
@@ -48,5 +60,7 @@ __all__ = [
     "CODE_VERSION",
     "SweepJob",
     "SweepRunner",
+    "SuiteTotals",
+    "PROGRAM_CACHE_SIZE",
     "cached_program",
 ]

@@ -7,8 +7,16 @@ store keyed by :func:`cache_key` — a SHA-256 over a canonical JSON rendering
 of the full simulation input plus :data:`CODE_VERSION`.
 
 Bump :data:`CODE_VERSION` whenever a change alters *timing semantics*
-(scheduler, core models, codegen ordering): every existing key is thereby
-invalidated without touching the store.
+(scheduler, core models, codegen ordering) or the key schema itself: every
+existing key is thereby invalidated without touching the store.
+
+Keys are **label-independent**: dataclass fields declared with
+``metadata={"cache_key": False}`` (display labels such as
+:attr:`repro.workloads.gemm.GemmShape.name`) are skipped by the canonical
+rendering, so two simulations that differ only in how a layer is *named*
+share one key.  Full-model suites rely on this — BERT-base's 48
+identically-shaped q/k/v/attn-out projections collapse to a single cached
+entry.
 
 The store location defaults to ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``;
 writes are atomic (tempfile + rename) and corrupt/alien files are treated
@@ -28,18 +36,25 @@ from typing import Any, Dict, Optional
 
 from repro.cpu.result import SimResult
 
-#: Bump on any change to timing semantics; invalidates every cached result.
-CODE_VERSION = 1
+#: Bump on any change to timing semantics or the key schema; invalidates
+#: every cached result.  History: 1 = initial schema; 2 = display labels
+#: (``cache_key: False`` fields) excluded from keys.
+CODE_VERSION = 2
 
 _CACHE_FILENAME = "simresults.json"
 
 
 def _canonical(value: Any) -> Any:
-    """Render configs/shapes as JSON-stable primitives (order-independent)."""
+    """Render configs/shapes as JSON-stable primitives (order-independent).
+
+    Dataclass fields marked ``metadata={"cache_key": False}`` are display
+    labels, not simulation inputs, and are excluded from the rendering.
+    """
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         fields = {
             f.name: _canonical(getattr(value, f.name))
             for f in dataclasses.fields(value)
+            if f.metadata.get("cache_key", True)
         }
         return {"__type__": type(value).__name__, **fields}
     if isinstance(value, enum.Enum):
@@ -64,8 +79,11 @@ def cache_key(
     """Stable hash of one simulation's full input.
 
     ``shape``/``core``/``codegen`` are the (frozen) dataclasses the runner
-    uses; any field change — including nested enums like the mm ordering —
-    produces a different key, as does a :data:`CODE_VERSION` bump.
+    uses; any *semantic* field change — including nested enums like the mm
+    ordering — produces a different key, as does a :data:`CODE_VERSION`
+    bump.  Display labels (``cache_key: False`` fields, e.g. the shape's
+    ``name``) do not participate: identically-dimensioned GEMMs hit the
+    same entry regardless of what their layers are called.
     """
     payload = {
         "design": design_key,

@@ -8,15 +8,27 @@ registry:
 1. **memoization** — each job's :func:`repro.runtime.cache.cache_key` is
    looked up in a :class:`repro.runtime.cache.ResultCache` first; only
    misses simulate, and fresh results are written back once at the end;
-2. **parallelism** — misses fan out over a ``multiprocessing`` pool
+2. **deduplication** — jobs are identified by their cache key, which is
+   *label-independent* (see :mod:`repro.runtime.cache`): within one sweep,
+   every distinct (design, dims, core, codegen, fidelity) point simulates
+   **exactly once**, no matter how many jobs map to it or what their shapes
+   are named.  Full-model suites lean on this hard — BERT-base's 72
+   per-layer GEMMs are only 3 distinct points;
+3. **parallelism** — misses fan out over a ``multiprocessing`` pool
    (``fork`` start method where available, so workers inherit the warm
    per-process program cache).  ``workers=1`` — or a single-CPU host —
    degrades to plain serial execution in-process, with bit-identical
    results: jobs are independent deterministic simulations.
 
-Program generation is itself memoized per process keyed on
-``(shape, codegen)``: the usual grid runs every design on the same nine
-programs, so each worker lowers each GEMM only once.
+Program generation is itself memoized per process keyed on the *unlabeled*
+``(shape, codegen)`` (bounded by :data:`PROGRAM_CACHE_SIZE`): the usual
+grid runs every design on the same programs, so each worker lowers each
+distinct GEMM only once.
+
+:meth:`SweepRunner.run_suite` layers model-level aggregation on top: a
+:class:`repro.workloads.suites.WorkloadSuite` multiset is simulated at its
+distinct shapes only, then expanded back into occurrence-weighted
+end-to-end totals (:class:`SuiteTotals`) per design.
 """
 
 from __future__ import annotations
@@ -25,15 +37,17 @@ import dataclasses
 import functools
 import multiprocessing
 import os
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.cpu.config import CoreConfig
 from repro.cpu.result import SimResult
+from repro.errors import ExperimentError
 from repro.isa.program import Program
 from repro.runtime.cache import ResultCache, cache_key
 from repro.runtime.registry import resolve_backend
 from repro.workloads.codegen import CodegenOptions, generate_gemm_program
 from repro.workloads.gemm import GemmShape
+from repro.workloads.suites import WorkloadSuite
 
 
 @dataclasses.dataclass(frozen=True)
@@ -55,10 +69,30 @@ class SweepJob:
         )
 
 
-@functools.lru_cache(maxsize=32)
-def cached_program(shape: GemmShape, codegen: CodegenOptions) -> Program:
-    """Per-process program cache: every design reuses one lowered stream."""
+#: Bound of the per-process program memo.  32 thrashed on full-model suites
+#: (ResNet-50 alone lowers 53 shapes); 256 holds every catalog in the
+#: repository simultaneously with room for ad-hoc shapes.
+PROGRAM_CACHE_SIZE = 256
+
+
+@functools.lru_cache(maxsize=PROGRAM_CACHE_SIZE)
+def _unlabeled_program(shape: GemmShape, codegen: CodegenOptions) -> Program:
     return generate_gemm_program(shape, codegen)
+
+
+def cached_program(shape: GemmShape, codegen: CodegenOptions) -> Program:
+    """Per-process program cache: every design reuses one lowered stream.
+
+    Memoized on the *unlabeled* shape — a GEMM's display name never changes
+    the generated stream, so BERT's 48 identically-shaped projections share
+    one lowering.  Introspect/reset via ``cached_program.cache_info()`` /
+    ``cached_program.cache_clear()``.
+    """
+    return _unlabeled_program(shape.unlabeled(), codegen)
+
+
+cached_program.cache_info = _unlabeled_program.cache_info
+cached_program.cache_clear = _unlabeled_program.cache_clear
 
 
 def _execute_job(job: SweepJob) -> SimResult:
@@ -66,6 +100,43 @@ def _execute_job(job: SweepJob) -> SimResult:
     program = cached_program(job.shape, job.codegen)
     backend = resolve_backend(job.design_key, fidelity=job.fidelity, core=job.core)
     return backend.prepare(program).run()
+
+
+@dataclasses.dataclass(frozen=True)
+class SuiteTotals:
+    """Occurrence-weighted end-to-end totals of one suite on one design.
+
+    ``per_shape`` keeps the distinct points behind the aggregate as
+    ``(representative shape, occurrence count, result)`` triples, so
+    downstream consumers (energy models, reports) can re-weight without
+    re-simulating.  ``cycles``/``instructions``/``mm_count``/
+    ``bypass_count``/``weight_loads`` are the multiset-weighted sums —
+    i.e. what a back-to-back run of every suite GEMM would accumulate.
+    """
+
+    suite: str
+    design_key: str
+    gemm_count: int      # suite GEMMs, duplicates included
+    simulations: int     # distinct points actually simulated
+    cycles: int
+    instructions: int
+    mm_count: int
+    bypass_count: int
+    weight_loads: int
+    per_shape: Tuple[Tuple[GemmShape, int, SimResult], ...]
+
+    @property
+    def dedup_factor(self) -> float:
+        """How many per-layer simulations each distinct point stood in for."""
+        return self.gemm_count / self.simulations if self.simulations else 0.0
+
+    def normalized_to(self, baseline: "SuiteTotals") -> float:
+        """End-to-end runtime normalized to a baseline suite run."""
+        return self.cycles / baseline.cycles if baseline.cycles else 0.0
+
+    def speedup_over(self, baseline: "SuiteTotals") -> float:
+        """End-to-end speedup over a baseline suite run (>1 is faster)."""
+        return baseline.cycles / self.cycles if self.cycles else 0.0
 
 
 def _pool_context():
@@ -95,20 +166,27 @@ class SweepRunner:
     # -- flat job lists ----------------------------------------------------------
 
     def run(self, jobs: Sequence[SweepJob]) -> List[SimResult]:
-        """Execute ``jobs``; returns results aligned with the input order."""
+        """Execute ``jobs``; returns results aligned with the input order.
+
+        Jobs are deduplicated by cache key *before* anything simulates:
+        each distinct (design, dims, core, codegen, fidelity) point runs —
+        and counts one cache miss — exactly once per sweep, however many
+        input jobs collapse onto it.
+        """
         jobs = list(jobs)
         by_key: Dict[str, SimResult] = {}
-        misses: List[SweepJob] = []
+        misses: Dict[str, SweepJob] = {}  # insertion-ordered, key-distinct
         for job in jobs:
             key = job.key
-            if key in by_key:
+            if key in by_key or key in misses:
                 continue
             cached = self.cache.get(key) if self.cache is not None else None
             if cached is not None:
                 by_key[key] = cached
             else:
-                misses.append(job)
-        for job, result in zip(misses, self._simulate(misses)):
+                misses[key] = job
+        miss_jobs = list(misses.values())
+        for job, result in zip(miss_jobs, self._simulate(miss_jobs)):
             by_key[job.key] = result
             if self.cache is not None:
                 self.cache.put(job.key, result)
@@ -162,3 +240,92 @@ class SweepRunner:
         for job, result in zip(jobs, results):
             grid[job.workload][job.design_key] = result
         return grid
+
+    # -- (design x suite) multisets ----------------------------------------------
+
+    def run_suite(
+        self,
+        design_keys: Iterable[str],
+        suite: WorkloadSuite,
+        core: Optional[CoreConfig] = None,
+        codegen: Optional[CodegenOptions] = None,
+        fidelity: str = "fast",
+    ) -> Dict[str, SuiteTotals]:
+        """Run a whole-model suite on every design, dedup-aware.
+
+        Only the suite's *distinct* shapes are submitted — one job per
+        (design, dims) — and each result is expanded back by its occurrence
+        count into end-to-end totals, so a full BERT-base stack costs 3
+        simulations per design instead of 72 while the aggregate matches a
+        brute-force per-layer run bit for bit.
+
+        Returns ``totals[design_key]`` in design order.
+        """
+        return self.run_suites(design_keys, [suite], core, codegen, fidelity)[
+            suite.name
+        ]
+
+    def run_suites(
+        self,
+        design_keys: Iterable[str],
+        suites: Sequence[WorkloadSuite],
+        core: Optional[CoreConfig] = None,
+        codegen: Optional[CodegenOptions] = None,
+        fidelity: str = "fast",
+    ) -> Dict[str, Dict[str, SuiteTotals]]:
+        """Run several suites through **one** sweep, dedup-aware across them.
+
+        All suites' distinct shapes are submitted as a single job list, so
+        :meth:`run`'s key dedup also collapses *cross-suite* duplicates
+        (e.g. training's forward GEMMs are dimensionally identical to the
+        Table I FC layers): each distinct point simulates once for the
+        whole batch, then every suite's totals are expanded from the shared
+        results.
+
+        Returns ``totals[suite_name][design_key]``.
+        """
+        core = core if core is not None else CoreConfig()
+        codegen = codegen if codegen is not None else CodegenOptions()
+        design_keys = list(design_keys)
+        names = [suite.name for suite in suites]
+        if len(set(names)) != len(names):
+            raise ExperimentError(
+                "run_suites totals are keyed by suite name; got duplicates: "
+                f"{', '.join(sorted({n for n in names if names.count(n) > 1}))}"
+            )
+        distinct = {suite.name: suite.distinct() for suite in suites}
+        jobs = [
+            SweepJob(
+                design_key=design,
+                shape=entry.shape,
+                workload=entry.shape.name,
+                core=core,
+                codegen=codegen,
+                fidelity=fidelity,
+            )
+            for suite in suites
+            for design in design_keys
+            for entry in distinct[suite.name]
+        ]
+        results = iter(self.run(jobs))
+        totals: Dict[str, Dict[str, SuiteTotals]] = {}
+        for suite in suites:
+            entries = distinct[suite.name]
+            totals[suite.name] = {}
+            for design in design_keys:
+                per_shape = tuple(
+                    (entry.shape, entry.count, next(results)) for entry in entries
+                )
+                totals[suite.name][design] = SuiteTotals(
+                    suite=suite.name,
+                    design_key=design,
+                    gemm_count=len(suite),
+                    simulations=len(entries),
+                    cycles=sum(c * r.cycles for _, c, r in per_shape),
+                    instructions=sum(c * r.instructions for _, c, r in per_shape),
+                    mm_count=sum(c * r.mm_count for _, c, r in per_shape),
+                    bypass_count=sum(c * r.bypass_count for _, c, r in per_shape),
+                    weight_loads=sum(c * r.weight_loads for _, c, r in per_shape),
+                    per_shape=per_shape,
+                )
+        return totals

@@ -9,7 +9,11 @@ convolutions, three DLRM FC layers, three BERT FC layers.  This package
   register blocking (:mod:`repro.workloads.tiling`), and
 - generates the LIBXSMM-like instruction streams the simulators replay
   (:mod:`repro.workloads.codegen`), substituting for the paper's Intel-SDE
-  trace collection.
+  trace collection, and
+- packages whole-model GEMM multisets as sweepable
+  :class:`~repro.workloads.suites.WorkloadSuite`\\ s
+  (:mod:`repro.workloads.suites`): ``table1``, ``resnet50``, ``bert-base``,
+  ``dlrm`` and ``training``.
 """
 
 from repro.workloads.gemm import GemmShape
@@ -37,6 +41,14 @@ from repro.workloads.models import (
     resnet50_conv_layers,
     resnet50_gemms,
 )
+from repro.workloads.suites import (
+    DistinctGemm,
+    SUITES,
+    SuiteSpec,
+    WorkloadSuite,
+    get_suite,
+    suite_names,
+)
 
 __all__ = [
     "GemmShape",
@@ -62,4 +74,10 @@ __all__ = [
     "resnet50_gemms",
     "bert_encoder_gemms",
     "dlrm_gemms",
+    "DistinctGemm",
+    "SUITES",
+    "SuiteSpec",
+    "WorkloadSuite",
+    "get_suite",
+    "suite_names",
 ]

@@ -8,6 +8,7 @@ granularities and decomposed into a 3-D grid of tiles.
 from __future__ import annotations
 
 import dataclasses
+from typing import Tuple
 
 from repro.errors import WorkloadError
 from repro.utils.validation import check_positive
@@ -29,12 +30,17 @@ class GemmShape:
     ``m``, ``n``, ``k`` are the *logical* dimensions; the ``padded_*``
     properties round up to whole rasa_mm tiles (zero padding, which is exact
     for GEMM).
+
+    ``name`` is a display label only — it never changes what gets simulated,
+    so it is declared ``metadata={"cache_key": False}`` and the runtime layer
+    excludes it from result-cache keys and the program memo: two shapes that
+    differ only in label share one simulation.
     """
 
     m: int
     n: int
     k: int
-    name: str = ""
+    name: str = dataclasses.field(default="", metadata={"cache_key": False})
 
     def __post_init__(self) -> None:
         check_positive("m", self.m)
@@ -74,6 +80,17 @@ class GemmShape:
     def macs(self) -> int:
         """Useful multiply-accumulates (unpadded)."""
         return self.m * self.n * self.k
+
+    @property
+    def dims(self) -> Tuple[int, int, int]:
+        """The label-free identity ``(m, n, k)`` — the suite multiset key."""
+        return (self.m, self.n, self.k)
+
+    def unlabeled(self) -> "GemmShape":
+        """This shape with the display label stripped (memo/cache identity)."""
+        if not self.name:
+            return self
+        return GemmShape(m=self.m, n=self.n, k=self.k)
 
     @property
     def padding_waste(self) -> float:

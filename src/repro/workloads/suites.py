@@ -1,0 +1,220 @@
+"""First-class model workload suites: name -> GEMM multiset.
+
+The paper evaluates three layers per MLPerf model (Table I); the catalogs
+in :mod:`repro.workloads.models` and :mod:`repro.workloads.training` carry
+the *complete* GEMM work of each network.  A :class:`WorkloadSuite` makes
+that sweepable: an ordered multiset of (layer label, GEMM shape) pairs
+whose :meth:`~WorkloadSuite.distinct` view collapses dimensionally
+identical layers into one representative plus an occurrence count — the
+unit :meth:`repro.runtime.sweep.SweepRunner.run_suite` simulates.
+
+Real models repeat shapes heavily: BERT-base's 72 encoder GEMMs are 3
+distinct points (48 identical q/k/v/attn-out projections alone), DLRM's
+MLP stacks repeat their 1024x1024 and 2048x2048 FCs, and ResNet-50's
+within-stage bottleneck blocks reuse the same three convolutions.  The
+registry (:data:`SUITES` / :func:`get_suite`) covers ``table1``,
+``resnet50``, ``bert-base``, ``dlrm`` and ``training`` (fwd/dgrad/wgrad
+over the Table I FC layers), each with an optional batch override and the
+same ``scale`` convention the experiment layer uses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import WorkloadError
+from repro.workloads.gemm import GemmShape
+from repro.workloads.layers import FC_LAYER_NAMES, FCLayer, TABLE1_LAYERS, table1_gemms
+from repro.workloads.models import (
+    bert_encoder_gemms,
+    dlrm_gemms,
+    resnet50_gemms,
+)
+from repro.workloads.training import training_gemms
+from repro.utils.validation import check_positive
+
+
+@dataclasses.dataclass(frozen=True)
+class DistinctGemm:
+    """One distinct (m, n, k) point of a suite and the layers it covers."""
+
+    shape: GemmShape          # first-occurrence representative (label kept)
+    count: int                # occurrences in the suite multiset
+    layers: Tuple[str, ...]   # every layer label that maps onto this point
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadSuite:
+    """An ordered GEMM multiset: the full matrix-engine work of one model.
+
+    ``gemms`` keeps every (layer label, shape) pair in network order —
+    duplicates included — so occurrence-weighted end-to-end aggregation
+    stays exact; :meth:`distinct` is the deduplicated view sweeps simulate.
+    """
+
+    name: str
+    gemms: Tuple[Tuple[str, GemmShape], ...]
+
+    @classmethod
+    def from_gemms(cls, name: str, gemms: Mapping[str, GemmShape]) -> "WorkloadSuite":
+        if not gemms:
+            raise WorkloadError(f"suite {name!r} has no GEMMs")
+        return cls(name=name, gemms=tuple(gemms.items()))
+
+    def __len__(self) -> int:
+        """Total GEMM count, duplicates included."""
+        return len(self.gemms)
+
+    def as_dict(self) -> Dict[str, GemmShape]:
+        """The suite as a {layer label: shape} mapping (network order)."""
+        return dict(self.gemms)
+
+    def distinct(self) -> List[DistinctGemm]:
+        """The multiset collapsed by (m, n, k), in first-occurrence order."""
+        order: List[Tuple[int, int, int]] = []
+        rep: Dict[Tuple[int, int, int], GemmShape] = {}
+        layers: Dict[Tuple[int, int, int], List[str]] = {}
+        for label, shape in self.gemms:
+            dims = shape.dims
+            if dims not in rep:
+                order.append(dims)
+                rep[dims] = shape
+                layers[dims] = []
+            layers[dims].append(label)
+        return [
+            DistinctGemm(shape=rep[d], count=len(layers[d]), layers=tuple(layers[d]))
+            for d in order
+        ]
+
+    @property
+    def dedup_factor(self) -> float:
+        """Per-layer simulations each distinct point stands in for."""
+        return len(self) / len(self.distinct())
+
+    @property
+    def total_macs(self) -> int:
+        """Useful MACs over the whole multiset (duplicates included)."""
+        return sum(shape.macs for _, shape in self.gemms)
+
+    def scaled(self, factor: int) -> "WorkloadSuite":
+        """Every shape shrunk by ``factor`` (same floors as ``GemmShape.scaled``).
+
+        Scaling can only merge distinct points (floored dimensions
+        coincide), never split them, so dedup bookkeeping stays exact.
+        """
+        check_positive("factor", factor)
+        if factor == 1:
+            return self
+        return WorkloadSuite(
+            name=self.name,
+            gemms=tuple((label, shape.scaled(factor)) for label, shape in self.gemms),
+        )
+
+
+# -- registry ----------------------------------------------------------------------
+
+
+def _table1_suite(batch: Optional[int]) -> Dict[str, GemmShape]:
+    if batch is None:
+        return table1_gemms()
+    out: Dict[str, GemmShape] = {}
+    for name, layer in TABLE1_LAYERS.items():
+        if isinstance(layer, FCLayer):
+            layer = layer.with_batch(batch)
+        else:
+            layer = dataclasses.replace(layer, batch=batch)
+        out[name] = layer.gemm()
+    return out
+
+
+def _training_suite(batch: Optional[int]) -> Dict[str, GemmShape]:
+    layers = [TABLE1_LAYERS[name] for name in FC_LAYER_NAMES]
+    if batch is not None:
+        layers = [layer.with_batch(batch) for layer in layers]
+    return training_gemms(layers)
+
+
+@dataclasses.dataclass(frozen=True)
+class SuiteSpec:
+    """Registry entry: how to build one named suite.
+
+    ``default_batch`` is the single source of the suite's batch fallback —
+    :meth:`build` resolves it before calling the factory.  ``None`` means
+    the factory keeps its catalog's per-layer defaults (Table I batches
+    differ per model).
+    """
+
+    name: str
+    description: str
+    default_batch: Optional[int]
+    factory: Callable[[Optional[int]], Dict[str, GemmShape]]
+
+    def build(self, batch: Optional[int] = None, scale: int = 1) -> WorkloadSuite:
+        if batch is not None:
+            check_positive("batch", batch)
+        else:
+            batch = self.default_batch
+        suite = WorkloadSuite.from_gemms(self.name, self.factory(batch))
+        return suite.scaled(scale)
+
+
+#: Every registered model workload suite, by name.
+SUITES: Dict[str, SuiteSpec] = {
+    spec.name: spec
+    for spec in (
+        SuiteSpec(
+            "table1",
+            "the paper's nine Table I layers (three per MLPerf model)",
+            None,
+            _table1_suite,
+        ),
+        SuiteSpec(
+            "resnet50",
+            "every ResNet-50 convolution, im2col-lowered (ImageNet geometry)",
+            32,
+            lambda batch: resnet50_gemms(batch=batch),
+        ),
+        SuiteSpec(
+            "bert-base",
+            "full 12-layer BERT-base encoder projections + FFNs "
+            "(batch = token rows)",
+            256,
+            lambda batch: bert_encoder_gemms(tokens=batch),
+        ),
+        SuiteSpec(
+            "dlrm",
+            "DLRM bottom + top MLP stacks (RM2-class widths)",
+            512,
+            lambda batch: dlrm_gemms(batch=batch),
+        ),
+        SuiteSpec(
+            "training",
+            "fwd/dgrad/wgrad GEMMs of the six Table I FC layers",
+            None,
+            _training_suite,
+        ),
+    )
+}
+
+
+def suite_names() -> List[str]:
+    """Registered suite names, registry order."""
+    return list(SUITES)
+
+
+def get_suite(
+    name: str, batch: Optional[int] = None, scale: int = 1
+) -> WorkloadSuite:
+    """Build the named suite, optionally rebatched and scaled.
+
+    ``batch`` overrides the streamed-rows dimension (FC/MLP batch, BERT
+    token rows, conv batch); ``None`` keeps each catalog's defaults.
+    """
+    try:
+        spec = SUITES[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload suite {name!r}; known: {', '.join(SUITES)}"
+        ) from None
+    return spec.build(batch=batch, scale=scale)

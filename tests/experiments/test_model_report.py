@@ -1,0 +1,72 @@
+"""Tests for the E15 whole-model suite report and runner env parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.model_report import model_report, suite_energy_j
+from repro.experiments.runner import ExperimentSettings, default_runner
+from repro.runtime import SweepRunner
+
+SETTINGS = ExperimentSettings(scale=16)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return model_report(
+        SETTINGS,
+        suites=("bert-base", "dlrm"),
+        runner=SweepRunner(workers=1),
+    )
+
+
+class TestModelReport:
+    def test_totals_layout(self, report):
+        assert set(report.totals) == {"bert-base", "dlrm"}
+        for per_design in report.totals.values():
+            assert set(per_design) == set(report.design_keys)
+
+    def test_normalized_anchored_at_baseline(self, report):
+        normalized = report.normalized()
+        for per_design in normalized.values():
+            assert per_design["baseline"] == pytest.approx(1.0)
+            assert per_design["rasa-dmdb-wls"] < 0.25
+
+    def test_dedup_carried_through(self, report):
+        base = report.totals["bert-base"]["baseline"]
+        assert base.gemm_count == 72
+        assert base.simulations == 3
+
+    def test_render_contains_speedup_and_geomean(self, report):
+        text = report.render()
+        assert "E15" in text
+        assert "speedup" in text
+        assert "GEOMEAN" in text
+        assert "bert-base" in text
+
+    def test_energy_positive_and_best_design_wins(self, report):
+        per_design = report.totals["dlrm"]
+        base = suite_energy_j(per_design["baseline"])
+        best = suite_energy_j(per_design["rasa-dmdb-wls"])
+        assert base > best > 0.0
+
+    def test_missing_baseline_rejected(self):
+        with pytest.raises(ExperimentError, match="baseline"):
+            model_report(
+                SETTINGS,
+                suites=("dlrm",),
+                design_keys=["rasa-wlbp"],
+                runner=SweepRunner(workers=1),
+            )
+
+
+class TestDefaultRunnerEnv:
+    def test_bad_workers_env_raises_experiment_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "lots")
+        with pytest.raises(ExperimentError, match="REPRO_SWEEP_WORKERS"):
+            default_runner()
+
+    def test_good_workers_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "3")
+        assert default_runner().workers == 3

@@ -47,6 +47,24 @@ class TestCacheKey:
         )
         assert cache_key("baseline", SHAPE, CORE, CODEGEN, fidelity="ooo") != base
 
+    def test_label_independent(self):
+        """Display names never change what simulates, so never change keys."""
+        q = GemmShape(m=256, n=768, k=768, name="enc0.q")
+        v = GemmShape(m=256, n=768, k=768, name="enc11.v")
+        anonymous = GemmShape(m=256, n=768, k=768)
+        assert (
+            cache_key("baseline", q, CORE, CODEGEN)
+            == cache_key("baseline", v, CORE, CODEGEN)
+            == cache_key("baseline", anonymous, CORE, CODEGEN)
+        )
+
+    def test_label_independence_does_not_leak_to_dims(self):
+        a = GemmShape(m=64, n=64, k=64, name="same-label")
+        b = GemmShape(m=64, n=64, k=32, name="same-label")
+        assert cache_key("baseline", a, CORE, CODEGEN) != cache_key(
+            "baseline", b, CORE, CODEGEN
+        )
+
     def test_sensitive_to_nested_enum(self):
         alternate = CodegenOptions(
             blocking=BlockingConfig(mm_order=MMOrder.ALTERNATE)

@@ -1,4 +1,4 @@
-"""SweepRunner tests: parallel == serial, memoization, grid layout.
+"""SweepRunner tests: parallel == serial, memoization, dedup, suites.
 
 Also covers the ``normalized_runtimes`` / ``geometric_mean`` edge cases the
 grid consumers rely on.
@@ -13,8 +13,11 @@ from repro.cpu.result import SimResult
 from repro.engine.designs import DESIGNS
 from repro.errors import ExperimentError
 from repro.experiments.runner import geometric_mean, normalized_runtimes
-from repro.runtime import ResultCache, SweepJob, SweepRunner
+from repro.runtime import ResultCache, SweepJob, SweepRunner, cached_program
+from repro.runtime.registry import FIDELITIES, resolve_backend
+from repro.workloads.codegen import generate_gemm_program
 from repro.workloads.gemm import GemmShape
+from repro.workloads.suites import WorkloadSuite
 
 SHAPES = {
     "small": GemmShape(m=64, n=64, k=64, name="small"),
@@ -29,6 +32,49 @@ def _jobs():
         for name, shape in SHAPES.items()
         for key in DESIGN_KEYS
     ]
+
+
+@pytest.fixture
+def counting_fidelity():
+    """Register a backend that records every simulation it executes.
+
+    Runs with ``workers=1`` keep execution in-process, so the shared list
+    observes exactly how many simulations a sweep performed.
+    """
+    calls = []
+
+    class CountingBackend:
+        fidelity = "counting-test"
+
+        def __init__(self):
+            self._program = None
+
+        def prepare(self, program):
+            self._program = program
+            return self
+
+        def run(self):
+            calls.append(self._program.name)
+            return SimResult(
+                design="counting",
+                program=self._program.name,
+                cycles=100 + len(self._program),
+                instructions=len(self._program),
+                mm_count=1,
+                bypass_count=0,
+                weight_loads=1,
+                engine_busy_cycles=10,
+                clock_mhz=2000,
+            )
+
+        def simulate(self, program):
+            return self.prepare(program).run()
+
+    FIDELITIES["counting-test"] = lambda engine, core, functional: CountingBackend()
+    try:
+        yield calls
+    finally:
+        del FIDELITIES["counting-test"]
 
 
 class TestSweepRunner:
@@ -104,6 +150,149 @@ class TestSweepRunner:
             core=CoreConfig(rob_size=224),
         )
         assert a.key != b.key
+
+
+class TestDedup:
+    """Each distinct (design, dims, config, fidelity) point simulates once."""
+
+    def test_duplicate_jobs_simulate_once_uncached(self, counting_fidelity):
+        job = SweepJob(
+            design_key="baseline", shape=SHAPES["small"], fidelity="counting-test"
+        )
+        results = SweepRunner(workers=1).run([job, job, job])
+        assert len(counting_fidelity) == 1
+        assert results[0] == results[1] == results[2]
+
+    def test_identically_dimensioned_names_simulate_once(self, counting_fidelity):
+        jobs = [
+            SweepJob(
+                design_key="baseline",
+                shape=GemmShape(64, 64, 64, name=f"layer{i}"),
+                workload=f"layer{i}",
+                fidelity="counting-test",
+            )
+            for i in range(5)
+        ]
+        results = SweepRunner(workers=1).run(jobs)
+        assert len(counting_fidelity) == 1
+        assert len(set(map(id, results))) == 1
+
+    def test_distinct_dims_still_simulate_separately(self, counting_fidelity):
+        jobs = [
+            SweepJob(design_key="baseline", shape=shape, fidelity="counting-test")
+            for shape in SHAPES.values()
+        ]
+        SweepRunner(workers=1).run(jobs)
+        assert len(counting_fidelity) == 2
+
+    def test_repeated_keys_count_one_cache_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = _jobs()[0]
+        SweepRunner(cache=cache, workers=1).run([job] * 4)
+        assert (cache.hits, cache.misses) == (0, 1)
+
+    def test_program_memo_is_name_independent(self):
+        from repro.workloads.codegen import CodegenOptions
+
+        codegen = CodegenOptions()
+        a = cached_program(GemmShape(64, 64, 64, name="enc0.q"), codegen)
+        b = cached_program(GemmShape(64, 64, 64, name="enc7.v"), codegen)
+        assert a is b
+
+
+class TestRunSuite:
+    SUITE = WorkloadSuite.from_gemms(
+        "toy-model",
+        {
+            "a": GemmShape(64, 64, 64, name="a"),
+            "b": GemmShape(64, 64, 64, name="b"),   # duplicate dims of "a"
+            "c": GemmShape(128, 32, 64, name="c"),
+            "d": GemmShape(64, 64, 64, name="d"),   # duplicate dims of "a"
+        },
+    )
+
+    def test_simulates_distinct_points_only(self, counting_fidelity):
+        totals = SweepRunner(workers=1).run_suite(
+            DESIGN_KEYS, self.SUITE, fidelity="counting-test"
+        )
+        assert len(counting_fidelity) == 2 * len(DESIGN_KEYS)
+        for totals_one in totals.values():
+            assert totals_one.gemm_count == 4
+            assert totals_one.simulations == 2
+            assert totals_one.dedup_factor == pytest.approx(2.0)
+
+    def test_aggregation_matches_brute_force_per_layer(self):
+        """Oracle independence: per-layer runs bypass the dedup layer.
+
+        Every layer simulates directly through ``resolve_backend`` — not
+        ``SweepRunner.run`` — so a cache-key conflation or a wrong dedup
+        expansion cannot leak into both sides of the comparison.
+        """
+        totals = SweepRunner(workers=1).run_suite(DESIGN_KEYS, self.SUITE)
+        for key in DESIGN_KEYS:
+            per_layer = [
+                resolve_backend(key).simulate(generate_gemm_program(shape))
+                for _, shape in self.SUITE.gemms
+            ]
+            agg = totals[key]
+            assert agg.cycles == sum(r.cycles for r in per_layer)
+            assert agg.instructions == sum(r.instructions for r in per_layer)
+            assert agg.mm_count == sum(r.mm_count for r in per_layer)
+            assert agg.bypass_count == sum(r.bypass_count for r in per_layer)
+            assert agg.weight_loads == sum(r.weight_loads for r in per_layer)
+
+    def test_normalized_and_speedup(self):
+        totals = SweepRunner(workers=1).run_suite(
+            ["baseline", "rasa-dmdb-wls"], self.SUITE
+        )
+        base = totals["baseline"]
+        best = totals["rasa-dmdb-wls"]
+        assert base.normalized_to(base) == pytest.approx(1.0)
+        assert best.normalized_to(base) < 0.25
+        assert best.speedup_over(base) > 4.0
+
+    def test_per_shape_counts_cover_the_multiset(self):
+        totals = SweepRunner(workers=1).run_suite(["baseline"], self.SUITE)
+        per_shape = totals["baseline"].per_shape
+        assert sum(count for _, count, _ in per_shape) == len(self.SUITE)
+        assert [count for _, count, _ in per_shape] == [3, 1]
+
+    def test_run_suites_dedups_across_suites(self, counting_fidelity):
+        other = WorkloadSuite.from_gemms(
+            "toy-sibling",
+            {
+                "x": GemmShape(64, 64, 64, name="x"),    # shared with SUITE
+                "y": GemmShape(32, 256, 64, name="y"),   # unique
+            },
+        )
+        totals = SweepRunner(workers=1).run_suites(
+            ["baseline"], [self.SUITE, other], fidelity="counting-test"
+        )
+        # 2 distinct in SUITE + 1 new in other: the shared 64^3 point
+        # simulates once for the whole batch.
+        assert len(counting_fidelity) == 3
+        assert set(totals) == {"toy-model", "toy-sibling"}
+        assert totals["toy-sibling"]["baseline"].gemm_count == 2
+
+    def test_run_suites_rejects_duplicate_names(self):
+        with pytest.raises(ExperimentError, match="duplicates: toy-model"):
+            SweepRunner(workers=1).run_suites(
+                ["baseline"], [self.SUITE, self.SUITE]
+            )
+
+    def test_run_suites_matches_run_suite(self):
+        runner = SweepRunner(workers=1)
+        combined = runner.run_suites(DESIGN_KEYS, [self.SUITE])
+        assert combined["toy-model"] == runner.run_suite(DESIGN_KEYS, self.SUITE)
+
+    def test_suite_uses_result_cache(self, tmp_path):
+        cold = ResultCache(tmp_path)
+        first = SweepRunner(cache=cold, workers=1).run_suite(DESIGN_KEYS, self.SUITE)
+        assert (cold.hits, cold.misses) == (0, 2 * len(DESIGN_KEYS))
+        warm = ResultCache(tmp_path)
+        second = SweepRunner(cache=warm, workers=1).run_suite(DESIGN_KEYS, self.SUITE)
+        assert (warm.hits, warm.misses) == (2 * len(DESIGN_KEYS), 0)
+        assert first == second
 
 
 class TestGridEdgeCases:

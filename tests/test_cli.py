@@ -92,6 +92,104 @@ class TestGridSweep:
         assert "together" in capsys.readouterr().err
 
 
+class TestSuiteSweep:
+    def test_bert_base_dedups_72_layers_to_3_points(self, tmp_path, capsys):
+        argv = ["sweep", "--workloads", "bert-base", "--scale", "16",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        # 8 designs x 3 distinct points, standing in for 8 x 72 layer runs.
+        assert "24 distinct points for 576 suite GEMM runs (24.0x dedup)" in cold
+        assert "24 simulated, 0 cached" in cold
+        assert "bert-base | 72    | 3" in cold
+
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "0 simulated, 24 cached" in warm
+        assert cold.splitlines()[:-1] == warm.splitlines()[:-1]
+
+    def test_all_suites(self, tmp_path, capsys):
+        assert main(["sweep", "--workloads", "all", "--designs",
+                     "rasa-dmdb-wls", "--scale", "16",
+                     "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        for suite in ("table1", "resnet50", "bert-base", "dlrm", "training"):
+            assert suite in out
+        assert "GEOMEAN" in out
+
+    def test_suite_batch_override(self, tmp_path, capsys):
+        assert main(["sweep", "--workloads", "dlrm", "--batch", "64",
+                     "--designs", "rasa-wlbp", "--scale", "8",
+                     "--cache-dir", str(tmp_path)]) == 0
+        assert "dlrm" in capsys.readouterr().out
+
+    def test_batch_rejected_for_layer_names(self, capsys):
+        assert main(["sweep", "--workloads", "DLRM-2", "--batch", "64",
+                     "--no-cache"]) == 2
+        assert "--batch applies to suite workloads" in capsys.readouterr().err
+
+    def test_batch_rejected_for_adhoc_gemm(self, capsys):
+        assert main(["sweep", "--m", "64", "--n", "64", "--k", "64",
+                     "--batch", "8", "--no-cache"]) == 2
+        assert "--batch" in capsys.readouterr().err
+
+    def test_mixed_suite_and_layer_names_rejected(self, capsys):
+        assert main(["sweep", "--workloads", "bert-base,DLRM-2",
+                     "--no-cache"]) == 2
+        assert "cannot mix" in capsys.readouterr().err
+
+    def test_all_mixed_with_layer_name_rejected(self, capsys):
+        assert main(["sweep", "--workloads", "all,DLRM-2", "--no-cache"]) == 2
+        assert "cannot mix" in capsys.readouterr().err
+
+    def test_all_mixed_into_a_list_expands_once(self, tmp_path, capsys):
+        assert main(["sweep", "--workloads", "all,bert-base", "--designs",
+                     "rasa-wlbp", "--scale", "16",
+                     "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        for suite in ("table1", "resnet50", "bert-base", "dlrm", "training"):
+            assert suite in out
+        assert out.count("bert-base") == 1
+
+    def test_repeated_suite_names_collapse_to_one(self, tmp_path, capsys):
+        assert main(["sweep", "--workloads", "dlrm,dlrm", "--designs",
+                     "rasa-wlbp", "--scale", "16",
+                     "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("dlrm") == 1  # one row, honest stats
+        assert "18 suite GEMM runs" in out  # 9 GEMMs x 2 designs, not x2 suites
+
+    def test_suite_with_typo_names_the_unknown_token(self, capsys):
+        assert main(["sweep", "--workloads", "bert-base,bertbase",
+                     "--no-cache"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown workload 'bertbase'" in err
+
+    def test_cross_suite_dedup_in_stats_line(self, tmp_path, capsys):
+        # training's forward GEMMs share dims with table1's FC layers: the
+        # union has 16 distinct points at scale 16, not 9 + 13 = 22.
+        assert main(["sweep", "--workloads", "table1,training", "--designs",
+                     "rasa-wlbp", "--scale", "16",
+                     "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        sims, runs = 2 * 16, 2 * (9 + 18)  # baseline + rasa-wlbp
+        assert f"{sims} distinct points for {runs} suite GEMM runs" in out
+        assert f"{sims} simulated, 0 cached" in out
+
+
+class TestModels:
+    def test_models_lists_suites(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        for suite in ("table1", "resnet50", "bert-base", "dlrm", "training"):
+            assert suite in out
+        assert "24.0x" in out  # bert-base dedup factor
+
+    def test_models_batch_override(self, capsys):
+        assert main(["models", "--batch", "64"]) == 0
+        assert "64" in capsys.readouterr().out
+
+
 class TestAsmRoundtrip:
     def test_asm_disasm(self, tmp_path, capsys):
         source = tmp_path / "k.rasa"

@@ -1,0 +1,110 @@
+"""WorkloadSuite tests: multiset semantics, registry, batch/scale overrides."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.gemm import GemmShape
+from repro.workloads.suites import (
+    SUITES,
+    WorkloadSuite,
+    get_suite,
+    suite_names,
+)
+
+
+class TestWorkloadSuite:
+    def test_multiset_orders_and_counts(self):
+        suite = WorkloadSuite.from_gemms(
+            "toy",
+            {
+                "a": GemmShape(64, 64, 64, name="a"),
+                "b": GemmShape(128, 64, 64, name="b"),
+                "c": GemmShape(64, 64, 64, name="c"),  # duplicate dims of "a"
+            },
+        )
+        assert len(suite) == 3
+        distinct = suite.distinct()
+        assert [(e.shape.dims, e.count) for e in distinct] == [
+            ((64, 64, 64), 2),
+            ((128, 64, 64), 1),
+        ]
+        assert distinct[0].layers == ("a", "c")
+        assert distinct[0].shape.name == "a"  # first-occurrence representative
+        assert suite.dedup_factor == pytest.approx(1.5)
+
+    def test_empty_suite_rejected(self):
+        with pytest.raises(WorkloadError, match="no GEMMs"):
+            WorkloadSuite.from_gemms("empty", {})
+
+    def test_scaled_shrinks_every_shape(self):
+        suite = get_suite("dlrm").scaled(4)
+        for _, shape in suite.gemms:
+            assert shape.m <= 512
+        assert get_suite("dlrm", scale=4).as_dict() == suite.as_dict()
+
+    def test_total_macs_counts_duplicates(self):
+        suite = WorkloadSuite.from_gemms(
+            "toy",
+            {
+                "a": GemmShape(64, 64, 64, name="a"),
+                "b": GemmShape(64, 64, 64, name="b"),
+            },
+        )
+        assert suite.total_macs == 2 * 64 ** 3
+
+
+class TestRegistry:
+    def test_registry_names(self):
+        assert suite_names() == ["table1", "resnet50", "bert-base", "dlrm", "training"]
+
+    def test_unknown_suite(self):
+        with pytest.raises(WorkloadError, match="unknown workload suite"):
+            get_suite("alexnet")
+
+    def test_bert_base_collapses_72_to_3(self):
+        suite = get_suite("bert-base")
+        assert len(suite) == 72
+        distinct = suite.distinct()
+        assert len(distinct) == 3
+        # 12 layers x 4 identically-shaped projections each.
+        assert distinct[0].count == 48
+        assert suite.dedup_factor == pytest.approx(24.0)
+
+    def test_resnet50_full_catalog(self):
+        suite = get_suite("resnet50")
+        assert len(suite) == 53
+        assert len(suite.distinct()) < len(suite)  # bottleneck blocks repeat
+
+    def test_table1_matches_layer_catalog(self):
+        from repro.workloads.layers import table1_gemms
+
+        assert get_suite("table1").as_dict() == table1_gemms()
+
+    def test_training_covers_three_passes_per_fc(self):
+        suite = get_suite("training")
+        assert len(suite) == 18  # six Table I FC layers x fwd/dgrad/wgrad
+        labels = [label for label, _ in suite.gemms]
+        assert "DLRM-1-forward" in labels and "BERT-3-wgrad" in labels
+
+    def test_batch_override(self):
+        small = get_suite("dlrm", batch=64)
+        assert all(shape.m == 64 for _, shape in small.gemms)
+        tokens = get_suite("bert-base", batch=128)
+        assert all(shape.m == 128 for _, shape in tokens.gemms)
+
+    def test_batch_override_table1_rebatches_convs_and_fcs(self):
+        suite = get_suite("table1", batch=8)
+        gemms = suite.as_dict()
+        assert gemms["DLRM-1"].m == 8
+        assert gemms["ResNet50-1"].m == 8 * 56 * 56
+
+    def test_bad_batch_rejected(self):
+        with pytest.raises(Exception):
+            get_suite("dlrm", batch=0)
+
+    def test_specs_have_descriptions(self):
+        for name, spec in SUITES.items():
+            assert spec.name == name
+            assert spec.description
