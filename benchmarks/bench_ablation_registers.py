@@ -1,4 +1,4 @@
-"""E16 — extension: bigger tile registers vs RASA pipelining, per area.
+"""E17 — extension: bigger tile registers vs RASA pipelining, per area.
 
 Quantifies Sec. III's argument: matching RASA's engine throughput with a
 *serialized* baseline would take TM in the hundreds — tens of KiB of
@@ -27,4 +27,4 @@ def test_register_scaling(benchmark, emit):
     # Even TM=256 (128 KiB of registers) does not reach RASA's throughput.
     tm256 = next(p for p in points if p.tile_m == 256)
     assert tm256.macs_per_cycle < rasa.macs_per_cycle
-    emit("Ablation E16 — register scaling counterfactual", render_register_scaling(points))
+    emit("Ablation E17 — register scaling counterfactual", render_register_scaling(points))

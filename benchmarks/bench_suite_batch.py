@@ -1,0 +1,66 @@
+"""E16 — per-model batch curves: cross-batch dedup vs per-batch suite runs.
+
+The suite batch sweep submits every (suite, batch, design) point through
+one flat job list, so tile-padded key dedup collapses batches that lower
+to identical streams.  This bench runs the DLRM MLPs over a batch axis
+whose low end sits below the scaled one-register-block floor (those
+batches are one point), measures the curve path, and asserts every curve
+point is bit-identical to a standalone per-batch
+:meth:`repro.runtime.SweepRunner.run_suite` oracle.
+"""
+
+from __future__ import annotations
+
+from repro.runtime import SweepRunner
+from repro.utils.tables import format_table
+from repro.workloads.suites import SUITES
+
+DESIGN_KEYS = ("baseline", "rasa-dmdb-wls")
+BATCHES = (1, 16, 256, 1024)
+SUITE = "dlrm"
+
+
+def test_suite_batch_curves(benchmark, emit, settings):
+    runner = SweepRunner(workers=1)  # cache-free: honest simulation counts
+
+    def run_curves():
+        return runner.run_suite_batches(
+            DESIGN_KEYS, SUITE, BATCHES,
+            core=settings.core, codegen=settings.codegen,
+            scale=settings.scale,
+        )
+
+    curves = run_curves()
+
+    # Independent oracle: each batch rebuilt and run on its own, without
+    # the cross-batch job list, so a dedup bug cannot corrupt both sides.
+    for batch in BATCHES:
+        oracle = SweepRunner(workers=1).run_suite(
+            DESIGN_KEYS, SUITES[SUITE].build(batch=batch, scale=settings.scale),
+            core=settings.core, codegen=settings.codegen,
+        )
+        for key in DESIGN_KEYS:
+            point = curves[key].totals_by_batch()[batch]
+            assert point.cycles == oracle[key].cycles, (key, batch)
+            assert point.instructions == oracle[key].instructions, (key, batch)
+
+    normalized = curves["rasa-dmdb-wls"].normalized_to(curves["baseline"])
+    assert all(0.0 < v < 1.0 for v in normalized.values())
+
+    benchmark(run_curves)
+    rows = [
+        (
+            batch,
+            curves["baseline"].totals_by_batch()[batch].cycles,
+            curves["rasa-dmdb-wls"].totals_by_batch()[batch].cycles,
+            f"{normalized[batch]:.3f}",
+        )
+        for batch in BATCHES
+    ]
+    emit(
+        "E16 — DLRM batch curve (RASA-DMDB-WLS vs baseline)",
+        format_table(
+            ["batch", "baseline cycles", "rasa-dmdb-wls cycles", "normalized"],
+            rows,
+        ),
+    )

@@ -5,14 +5,18 @@ Commands:
 - ``designs``                       list the registered design points
 - ``models``                        list the registered workload suites
 - ``table1``                        print Table I (+ lowered GEMMs)
-- ``fig {1,2,5,6,7}``               regenerate a paper figure
+- ``fig {1,2,5,6,7}``               regenerate a paper figure (``fig 7
+                                    --workloads <suite>`` sweeps whole-model
+                                    batch curves instead of the FC layers)
 - ``area``                          the Sec. V area/energy report
 - ``simulate``                      run one GEMM on one design (any fidelity)
 - ``sweep``                         run a (designs x workloads) grid — parallel
                                     and cache-backed via :mod:`repro.runtime` —
                                     a whole-model suite sweep
                                     (``--workloads resnet50|bert-base|dlrm|
-                                    training|all``, dedup-aware), or one
+                                    training|all``, dedup-aware), a suite
+                                    *batch* sweep (``--batches 1,16,256``:
+                                    Fig. 7-style curves per model), or one
                                     ad-hoc GEMM via ``--m/--n/--k``
 - ``asm`` / ``disasm``              assemble ``.rasa`` text <-> JSONL traces
 
@@ -42,6 +46,7 @@ from repro.experiments.runner import (
     workload_shapes,
 )
 from repro.experiments.runtime_sweep import fig5_normalized_runtime
+from repro.experiments.suite_batch_sweep import curve_point_counts, suite_batch_sweep
 from repro.experiments.toy import fig1_toy_example
 from repro.experiments.utilization_sweep import fig2_utilization
 from repro.isa.assembler import assemble, disassemble
@@ -76,12 +81,19 @@ def _build_parser() -> argparse.ArgumentParser:
     fig.add_argument("number", type=int, choices=(1, 2, 5, 6, 7))
     fig.add_argument("--scale", type=int, default=4,
                      help="divide each GEMM dimension by this factor (default 4)")
+    fig.add_argument("--workloads", default=None,
+                     help="fig 7 only: sweep whole model suites over the "
+                          "batch axis instead of the six FC layers "
+                          '(comma-separated suite names, or "all")')
 
     area = sub.add_parser("area", help="Sec. V area/energy report")
     area.add_argument("--scale", type=int, default=4)
 
     report = sub.add_parser("report", help="full reproduction report (markdown)")
     report.add_argument("--scale", type=int, default=4)
+    report.add_argument("--fidelity", default="fast", choices=sorted(FIDELITIES),
+                        help="backend for the suite sections E15/E16 "
+                             "(default: fast)")
     report.add_argument("-o", "--output", type=Path, default=None,
                         help="write to a file instead of stdout")
 
@@ -108,6 +120,10 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--k", type=int, help="ad-hoc GEMM K")
     sweep.add_argument("--batch", type=int, default=None,
                        help="override a suite's streamed-rows (batch) dimension")
+    sweep.add_argument("--batches", default=None,
+                       help="comma-separated batch sizes: sweep each suite "
+                            "over the batch axis (Fig. 7-style curves; "
+                            "suite workloads only)")
     sweep.add_argument("--scale", type=int, default=4,
                        help="divide each workload dimension by this (default 4)")
     sweep.add_argument("--jobs", type=int, default=None,
@@ -171,8 +187,11 @@ def _cmd_models(args) -> int:
     return 0
 
 
-def _cmd_fig(number: int, scale: int) -> int:
-    settings = ExperimentSettings(scale=scale)
+def _cmd_fig(args) -> int:
+    number = args.number
+    settings = ExperimentSettings(scale=args.scale)
+    if args.workloads is not None and number != 7:
+        raise ReproError("--workloads applies to fig 7 only")
     if number == 1:
         print(fig1_toy_example().render())
     elif number == 2:
@@ -181,6 +200,13 @@ def _cmd_fig(number: int, scale: int) -> int:
         print(fig5_normalized_runtime(settings).render())
     elif number == 6:
         print(fig6_performance_per_area(settings).render())
+    elif args.workloads is not None:
+        # Unknown names raise "unknown workload suite" from the runner.
+        print(
+            suite_batch_sweep(
+                settings, suites=_suite_spec_names(args.workloads)
+            ).render()
+        )
     else:
         print(fig7_batch_sensitivity(settings).render())
     return 0
@@ -219,19 +245,25 @@ def _split_spec(spec: str) -> List[str]:
     return [part.strip() for part in spec.split(",") if part.strip()]
 
 
-def _is_suite_spec(spec: str, batch: Optional[int]) -> bool:
+def _is_suite_spec(spec: str, batch: Optional[int], batches: Optional[str] = None) -> bool:
     """Whether ``--workloads`` names model suites (vs Table I layers).
 
-    Plain ``table1`` without ``--batch`` keeps the historical per-layer grid
-    output; any other suite name — or ``table1`` rebatched or mixed with
-    other suites — takes the dedup-aware suite path.
+    Plain ``table1`` without ``--batch``/``--batches`` keeps the historical
+    per-layer grid output; any other suite name — or ``table1`` rebatched,
+    batch-swept, or mixed with other suites — takes the dedup-aware suite
+    path.
     """
     parts = _split_spec(spec)
     if not parts or not any(part in SUITES or part == "all" for part in parts):
         return False  # layer names (or typos): _sweep_shapes reports them
     others = [part for part in parts if part not in SUITES and part != "all"]
     if not others:
-        return "all" in parts or parts != ["table1"] or batch is not None
+        return (
+            "all" in parts
+            or parts != ["table1"]
+            or batch is not None
+            or batches is not None
+        )
     unknown = [part for part in others if part not in TABLE1_LAYERS]
     if unknown:
         raise ReproError(
@@ -291,14 +323,85 @@ def _normalized_cycle_cells(cycles: Dict[str, Dict[str, int]], design_keys: List
     return cells, geomean
 
 
-def _cmd_sweep_suites(args) -> int:
-    """Suite mode: simulate distinct shapes only, report end-to-end totals."""
+def _suite_spec_names(spec: str) -> List[str]:
+    """Expand a suite ``--workloads`` spec into unique registered names."""
     names = [
         name
-        for part in _split_spec(args.workloads)
+        for part in _split_spec(spec)
         for name in (suite_names() if part == "all" else [part])
     ]
-    names = list(dict.fromkeys(names))  # "dlrm,dlrm" / "all,dlrm" don't repeat
+    return list(dict.fromkeys(names))  # "dlrm,dlrm" / "all,dlrm" don't repeat
+
+
+def _parse_batches(spec: str) -> List[int]:
+    """Parse ``--batches`` into ints; the runner validates the values."""
+    parts = _split_spec(spec)
+    if not parts:
+        raise ReproError("--batches needs at least one batch size")
+    try:
+        return [int(part) for part in parts]
+    except ValueError:
+        raise ReproError(
+            f"--batches must be comma-separated integers, got {spec!r}"
+        ) from None
+
+
+def _cmd_sweep_suite_batches(args) -> int:
+    """Suite batch mode: Fig. 7-style curves per model, dedup across batches."""
+    names = _suite_spec_names(args.workloads)
+    batches = _parse_batches(args.batches)
+    design_keys = _sweep_designs(args.designs)
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    runner = SweepRunner(cache=cache, workers=args.jobs)
+    start = time.perf_counter()
+    curves = runner.run_suites_batches(
+        design_keys, names, batches, fidelity=args.fidelity, scale=args.scale
+    )
+    elapsed = time.perf_counter() - start
+
+    headers = ["batch"] + [DESIGNS[key].label for key in design_keys]
+    for name in names:
+        per_design = curves[name]
+        cycles = {
+            batch: {
+                key: per_design[key].totals[i].cycles for key in design_keys
+            }
+            for i, batch in enumerate(batches)
+        }
+        cells, geomean = _normalized_cycle_cells(cycles, design_keys)
+        rows = [[batch] + cells[batch] for batch in batches]
+        if geomean is not None:
+            rows.append(["GEOMEAN"] + geomean)
+        print(format_table(
+            headers, rows,
+            title=(
+                f"suite batch sweep — {name}: end-to-end cycles "
+                f"(normalized to baseline), fidelity={args.fidelity}"
+            ),
+        ))
+    # Key dedup collapses points across suites AND batches (tile-padded
+    # dims), so count the padded union against the naive per-batch total.
+    distinct, expanded = curve_point_counts(
+        names, batches, args.scale, design_count=len(design_keys)
+    )
+    line = (
+        f"{distinct} distinct points for {expanded} per-batch suite points "
+        f"({expanded / distinct:.1f}x cross-batch dedup) in {elapsed:.2f}s"
+    )
+    if cache is not None:
+        line += (
+            f" — {cache.misses} simulated, {cache.hits} cached ({cache.path})"
+        )
+    else:
+        line += f" — {distinct} simulated, cache disabled"
+    print(line)
+    return 0
+
+
+def _cmd_sweep_suites(args) -> int:
+    """Suite mode: simulate distinct shapes only, report end-to-end totals."""
+    names = _suite_spec_names(args.workloads)
     suites = [get_suite(n, batch=args.batch, scale=args.scale) for n in names]
     design_keys = _sweep_designs(args.designs)
 
@@ -329,8 +432,11 @@ def _cmd_sweep_suites(args) -> int:
             f"fidelity={args.fidelity}"
         ),
     ))
-    # run_suites dedups across suites too, so count the dims union.
-    distinct_dims = {e.shape.dims for suite in suites for e in suite.distinct()}
+    # run_suites dedups across suites too — by tile-padded dims, the cache
+    # key identity — so count the padded union.
+    distinct_dims = {
+        e.shape.tile_padded().dims for suite in suites for e in suite.distinct()
+    }
     distinct = len(distinct_dims) * len(design_keys)
     layer_runs = sum(len(suite) for suite in suites) * len(design_keys)
     line = (
@@ -350,21 +456,30 @@ def _cmd_sweep_suites(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
+    if args.batch is not None and args.batches is not None:
+        raise ReproError(
+            "--batch (one override) and --batches (a sweep axis) are "
+            "mutually exclusive"
+        )
     if (args.m, args.n, args.k) != (None, None, None):
         if None in (args.m, args.n, args.k):
             raise ReproError("--m/--n/--k must be given together")
-        if args.batch is not None:
-            raise ReproError("--batch applies to suite workloads, not --m/--n/--k")
+        if args.batch is not None or args.batches is not None:
+            raise ReproError(
+                "--batch/--batches apply to suite workloads, not --m/--n/--k"
+            )
         shapes = {"cli": GemmShape(m=args.m, n=args.n, k=args.k, name="cli")}
-    elif _is_suite_spec(args.workloads, args.batch):
+    elif _is_suite_spec(args.workloads, args.batch, args.batches):
+        if args.batches is not None:
+            return _cmd_sweep_suite_batches(args)
         return _cmd_sweep_suites(args)
     else:
         # Resolve the spec first so a typo'd suite name reports "unknown
         # workload", not a misleading --batch complaint.
         shapes = _sweep_shapes(args.workloads, ExperimentSettings(scale=args.scale))
-        if args.batch is not None:
+        if args.batch is not None or args.batches is not None:
             raise ReproError(
-                "--batch applies to suite workloads "
+                "--batch/--batches apply to suite workloads "
                 f"({', '.join(SUITES)}), not Table I layer names"
             )
     design_keys = _sweep_designs(args.designs)
@@ -423,14 +538,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(table1_report())
             return 0
         if args.command == "fig":
-            return _cmd_fig(args.number, args.scale)
+            return _cmd_fig(args)
         if args.command == "area":
             print(area_energy_report(ExperimentSettings(scale=args.scale)).render())
             return 0
         if args.command == "report":
             from repro.experiments.report import full_report
 
-            text = full_report(ExperimentSettings(scale=args.scale))
+            text = full_report(
+                ExperimentSettings(scale=args.scale), fidelity=args.fidelity
+            )
             if args.output is not None:
                 args.output.write_text(text)
                 print(f"wrote {args.output}")

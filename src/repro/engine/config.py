@@ -48,7 +48,7 @@ class EngineConfig:
             defaults are fixed by the architectural 1 KB tile registers
             (16 x 16 FP32 out, 16 x 32 BF16 in); overriding them models a
             *hypothetical* ISA with differently sized registers — used by
-            the register-scaling counterfactual (E16).  Functional execution
+            the register-scaling counterfactual (E17).  Functional execution
             requires the architectural defaults.
     """
 

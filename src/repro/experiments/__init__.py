@@ -16,6 +16,8 @@ through :mod:`repro.runtime` (backend registry + parallel, cache-backed
 | ``batch_sweep``         | Fig. 7 — batch-size sensitivity          |
 | ``area_energy``         | Sec. V text — area + energy efficiency   |
 | ``model_report``        | E15 — whole-model suite runtime/speedup  |
+| ``suite_batch_sweep``   | E16 — per-model batch curves (Fig. 7)    |
+| ``register_scaling``    | E17 — register-scaling counterfactual    |
 """
 
 from repro.experiments.runner import ExperimentSettings, run_design, runtime_sweep
@@ -31,6 +33,7 @@ from repro.experiments.register_scaling import (
     register_scaling_sweep,
     render_register_scaling,
 )
+from repro.experiments.suite_batch_sweep import SuiteBatchSweep, suite_batch_sweep
 from repro.experiments.report import full_report
 
 __all__ = [
@@ -46,6 +49,8 @@ __all__ = [
     "area_energy_report",
     "ModelReport",
     "model_report",
+    "SuiteBatchSweep",
+    "suite_batch_sweep",
     "register_scaling_sweep",
     "render_register_scaling",
     "full_report",

@@ -79,12 +79,18 @@ class ModelReport:
         rows: List[List[object]] = []
         for suite, per_design in self.totals.items():
             base = per_design["baseline"]
+            best_energy = suite_energy_j(per_design[best])
+            if best_energy == 0.0:
+                raise ExperimentError(
+                    f"cannot compute energy efficiency: suite {suite!r} on "
+                    f"design {best!r} reports zero energy"
+                )
             rows.append(
                 [suite, base.gemm_count, base.simulations]
                 + [f"{normalized[suite][key]:.3f}" for key in self.design_keys]
                 + [
                     f"{per_design[best].speedup_over(base):.2f}x",
-                    f"{suite_energy_j(base) / suite_energy_j(per_design[best]):.2f}x",
+                    f"{suite_energy_j(base) / best_energy:.2f}x",
                 ]
             )
         if len(self.totals) > 1:
@@ -109,12 +115,15 @@ def model_report(
     design_keys: Optional[Iterable[str]] = None,
     batch: Optional[int] = None,
     runner: Optional[SweepRunner] = None,
+    fidelity: str = "fast",
 ) -> ModelReport:
     """Run every suite on every design and aggregate end-to-end totals.
 
     Suites are scaled by ``settings.scale`` like every other sweep;
-    ``batch`` overrides each suite's streamed-rows dimension.  The design
-    list must include ``"baseline"`` (normalization anchor).
+    ``batch`` overrides each suite's streamed-rows dimension, and
+    ``fidelity`` selects the simulation backend (``"fast"`` default;
+    ``"ooo"`` for cycle-accurate validation runs).  The design list must
+    include ``"baseline"`` (normalization anchor).
     """
     design_keys = list(design_keys if design_keys is not None else DESIGNS)
     if "baseline" not in design_keys:
@@ -131,5 +140,6 @@ def model_report(
         ],
         core=settings.core,
         codegen=settings.codegen,
+        fidelity=fidelity,
     )
     return ModelReport(totals=totals, design_keys=design_keys)

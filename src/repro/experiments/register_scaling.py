@@ -1,4 +1,4 @@
-"""E16 — the register-scaling counterfactual (extension).
+"""E17 — the register-scaling counterfactual (extension).
 
 Sec. III argues a CPU cannot take the accelerators' escape hatch of a large
 TM because "increasing the size of the tile registers comes with overhead
@@ -118,5 +118,5 @@ def render_register_scaling(points: List[RegisterScalingPoint]) -> str:
     return format_table(
         ["design point", "steady II", "treg KiB", "area mm^2", "MACs/cycle", "MACs/cyc/mm^2"],
         rows,
-        title="E16 — bigger registers vs RASA pipelining",
+        title="E17 — bigger registers vs RASA pipelining",
     )

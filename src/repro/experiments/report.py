@@ -2,8 +2,9 @@
 
 ``python -m repro report`` (or :func:`full_report`) regenerates Fig. 1, 2,
 5, 6, 7, Table I, the Sec. V area/energy table, the E15 whole-model suite
-table and the E16 counterfactual, and stitches them into a markdown
-document — the quickest way to eyeball the whole reproduction at once.
+table, the E16 per-model batch curves and the E17 register-scaling
+counterfactual, and stitches them into a markdown document — the quickest
+way to eyeball the whole reproduction at once.
 """
 
 from __future__ import annotations
@@ -19,6 +20,7 @@ from repro.experiments.register_scaling import (
 )
 from repro.experiments.runner import DEFAULT_SETTINGS, ExperimentSettings
 from repro.experiments.runtime_sweep import fig5_normalized_runtime
+from repro.experiments.suite_batch_sweep import suite_batch_sweep
 from repro.experiments.toy import fig1_toy_example
 from repro.experiments.utilization_sweep import fig2_utilization
 
@@ -27,8 +29,16 @@ def _section(title: str, body: str) -> str:
     return f"## {title}\n\n```\n{body}\n```\n"
 
 
-def full_report(settings: ExperimentSettings = DEFAULT_SETTINGS) -> str:
-    """Render the complete reproduction report as markdown."""
+def full_report(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    fidelity: str = "fast",
+) -> str:
+    """Render the complete reproduction report as markdown.
+
+    ``fidelity`` selects the simulation backend for the suite-level
+    sections (E15 and E16) — pass ``"ooo"`` for cycle-accurate validation
+    runs; the figure sections always use the fast model.
+    """
     parts = [
         "# RASA (DAC 2021) — reproduction report",
         "",
@@ -56,10 +66,14 @@ def full_report(settings: ExperimentSettings = DEFAULT_SETTINGS) -> str:
         ),
         _section(
             "E15 — whole-model workload suites",
-            model_report(settings).render(),
+            model_report(settings, fidelity=fidelity).render(),
         ),
         _section(
-            "E16 — register-scaling counterfactual",
+            "E16 — per-model batch curves",
+            suite_batch_sweep(settings, fidelity=fidelity).render(),
+        ),
+        _section(
+            "E17 — register-scaling counterfactual",
             render_register_scaling(register_scaling_sweep()),
         ),
     ]

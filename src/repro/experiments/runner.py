@@ -78,6 +78,12 @@ def default_runner(
                     f"REPRO_SWEEP_WORKERS must be an integer worker count, "
                     f"got {env!r}"
                 ) from None
+            if workers < 1:
+                raise ExperimentError(
+                    f"REPRO_SWEEP_WORKERS must be a positive worker count, "
+                    f"got {env!r}; use 1 for serial execution or unset it "
+                    "for the CPU-count default"
+                )
     return SweepRunner(cache=cache, workers=workers)
 
 

@@ -1,0 +1,168 @@
+"""E16 — Fig. 7 at model granularity: per-suite batch curves.
+
+The paper's Fig. 7 sweeps the six FC layers in isolation and argues
+RASA-DMDB-WLS approaches the perfect-pipelining asymptote 16/95 as batch
+grows.  This driver stress-tests that claim end to end: whole workload
+suites (the 12-layer BERT-base stack, the DLRM MLPs, the training passes)
+are rebuilt at every batch via
+:meth:`repro.runtime.sweep.SweepRunner.run_suite_batches` and reduced to
+one occurrence-weighted normalized-runtime curve per model.
+
+All (suite, batch, design) points run through **one** flat sweep, so the
+runtime layer's key dedup collapses duplicate points across batches:
+sub-tile batches lower to identical streams and simulate once, as do
+scaled batches that saturate at the one-register-block floor.  Each curve
+point still matches a standalone per-batch
+:meth:`~repro.runtime.sweep.SweepRunner.run_suite` bit for bit.
+
+The default suites are the FC-shaped models: a conv suite's streamed rows
+are batch x output spatial, so ``resnet50`` (or ``table1``, which embeds
+its convs) at large batches lowers to millions of tile rows — sweep those
+explicitly via ``repro sweep --workloads resnet50 --batches ...`` when the
+cost is intended.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, Optional, Sequence, Set, Tuple
+
+from repro.engine.designs import DESIGNS
+from repro.errors import ExperimentError
+from repro.experiments.batch_sweep import ASYMPTOTE
+from repro.experiments.model_report import BEST_DESIGN
+from repro.experiments.runner import (
+    DEFAULT_SETTINGS,
+    ExperimentSettings,
+    default_runner,
+)
+from repro.runtime.sweep import SuiteBatchCurve, SweepRunner
+from repro.utils.tables import format_table
+from repro.workloads.suites import SUITES
+
+#: The batch axis the per-model curves sweep by default.
+DEFAULT_SUITE_BATCHES: Sequence[int] = (1, 4, 16, 64, 256, 1024)
+
+#: Suites swept by default: the FC-shaped models, whose streamed-rows
+#: dimension *is* the batch (conv suites multiply it by output spatial).
+DEFAULT_CURVE_SUITES: Tuple[str, ...] = ("bert-base", "dlrm", "training")
+
+
+@dataclasses.dataclass(frozen=True)
+class SuiteBatchSweep:
+    """Per-model batch curves: normalized runtime of one design per suite.
+
+    ``curves[suite][design_key]`` keeps the full per-design
+    :class:`SuiteBatchCurve` data (occurrence-weighted totals per batch);
+    ``series()`` reduces it to the Fig. 7 view — ``design_key``'s runtime
+    normalized to the baseline design at the same batch.
+    """
+
+    design_key: str
+    batches: Tuple[int, ...]
+    scale: int
+    curves: Dict[str, Dict[str, SuiteBatchCurve]]
+    simulated_points: int   # distinct padded points actually submitted
+    expanded_points: int    # sum over batches of per-batch distinct points
+
+    def series(self) -> Dict[str, Dict[int, float]]:
+        """``series[suite][batch]`` — normalized runtime vs the baseline."""
+        return {
+            suite: per_design[self.design_key].normalized_to(
+                per_design["baseline"]
+            )
+            for suite, per_design in self.curves.items()
+        }
+
+    def render(self) -> str:
+        series = self.series()
+        rows = [
+            [batch] + [f"{series[suite][batch]:.3f}" for suite in series]
+            for batch in self.batches
+        ]
+        table = format_table(
+            ["batch"] + list(series),
+            rows,
+            title=(
+                f"E16 — per-model batch curves: {DESIGNS[self.design_key].label}"
+                " runtime normalized to baseline"
+            ),
+        )
+        dedup = (
+            self.expanded_points / self.simulated_points
+            if self.simulated_points
+            else 1.0
+        )
+        return table + (
+            f"\nPerfect-pipelining asymptote: 16/95 = {ASYMPTOTE:.3f}"
+            f"\n{self.simulated_points} distinct points stood in for "
+            f"{self.expanded_points} per-batch suite points "
+            f"({dedup:.1f}x cross-batch dedup at scale {self.scale})"
+        )
+
+
+def curve_point_counts(
+    names: Sequence[str],
+    batches: Sequence[int],
+    scale: int,
+    design_count: int,
+) -> Tuple[int, int]:
+    """(distinct padded points submitted, naive per-batch point count).
+
+    Mirrors the runtime layer's dedup identity — tile-padded dims — so
+    the report's dedup factor matches what actually simulated on a cold
+    cache.
+    """
+    padded: Set[Tuple[int, int, int]] = set()
+    expanded = 0
+    for name in names:
+        for batch in batches:
+            suite = SUITES[name].build(batch=batch, scale=scale)
+            entries = suite.distinct()
+            expanded += len(entries)
+            padded.update(entry.shape.tile_padded().dims for entry in entries)
+    return len(padded) * design_count, expanded * design_count
+
+
+def suite_batch_sweep(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    suites: Optional[Iterable[str]] = None,
+    batches: Sequence[int] = DEFAULT_SUITE_BATCHES,
+    design_key: str = BEST_DESIGN,
+    fidelity: str = "fast",
+    runner: Optional[SweepRunner] = None,
+) -> SuiteBatchSweep:
+    """Sweep whole-model suites over the batch axis vs the baseline.
+
+    Every suite is rebuilt at every batch (``settings.scale`` shrinks the
+    rebuilt shapes with the usual floors) and the full
+    (suite x batch x {design, baseline}) grid runs as one dedup-aware
+    sweep through the shared :func:`default_runner`.
+    """
+    if design_key == "baseline":
+        raise ExperimentError(
+            "suite_batch_sweep normalizes against 'baseline'; pick a "
+            "non-baseline design_key to plot"
+        )
+    names = list(suites if suites is not None else DEFAULT_CURVE_SUITES)
+    runner = runner if runner is not None else default_runner()
+    curves = runner.run_suites_batches(
+        ["baseline", design_key],
+        names,
+        batches,
+        core=settings.core,
+        codegen=settings.codegen,
+        fidelity=fidelity,
+        scale=settings.scale,
+    )
+    simulated, expanded = curve_point_counts(
+        names, tuple(batches), settings.scale, design_count=2
+    )
+    return SuiteBatchSweep(
+        design_key=design_key,
+        batches=tuple(batches),
+        scale=settings.scale,
+        curves=curves,
+        simulated_points=simulated,
+        expanded_points=expanded,
+    )

@@ -13,7 +13,8 @@ cycle-accurate OoO — runs through this subsystem:
 - :mod:`repro.runtime.cache` persists :class:`SimResult`s in an on-disk
   JSON store keyed by a stable, *label-independent* hash of the full
   simulation input (bump :data:`CODE_VERSION` on timing or key-schema
-  changes — version 2 dropped display labels from keys);
+  changes — version 2 dropped display labels from keys, version 3 keys
+  shapes by their tile-padded dimensions);
 - :mod:`repro.runtime.sweep` fans (design x workload x settings) grids out
   over ``multiprocessing`` workers with cache-aware memoization
   (:class:`SweepRunner`), deduplicates jobs so each distinct point
@@ -41,6 +42,7 @@ from repro.runtime.registry import (
 )
 from repro.runtime.sweep import (
     PROGRAM_CACHE_SIZE,
+    SuiteBatchCurve,
     SuiteTotals,
     SweepJob,
     SweepRunner,
@@ -61,6 +63,7 @@ __all__ = [
     "SweepJob",
     "SweepRunner",
     "SuiteTotals",
+    "SuiteBatchCurve",
     "PROGRAM_CACHE_SIZE",
     "cached_program",
 ]

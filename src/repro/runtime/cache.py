@@ -38,8 +38,10 @@ from repro.cpu.result import SimResult
 
 #: Bump on any change to timing semantics or the key schema; invalidates
 #: every cached result.  History: 1 = initial schema; 2 = display labels
-#: (``cache_key: False`` fields) excluded from keys.
-CODE_VERSION = 2
+#: (``cache_key: False`` fields) excluded from keys; 3 = shapes keyed by
+#: their tile-padded dimensions (sub-tile shapes lower to identical
+#: streams, so e.g. batches 1..16 of an FC layer share one entry).
+CODE_VERSION = 3
 
 _CACHE_FILENAME = "simresults.json"
 
@@ -84,7 +86,16 @@ def cache_key(
     bump.  Display labels (``cache_key: False`` fields, e.g. the shape's
     ``name``) do not participate: identically-dimensioned GEMMs hit the
     same entry regardless of what their layers are called.
+
+    Shapes that expose ``tile_padded()`` (:class:`~repro.workloads.gemm.
+    GemmShape`) are keyed by their tile-*padded* dimensions: codegen pads
+    up to whole rasa_mm tiles before lowering, so sub-tile variants issue
+    the same stream and share one entry — batch-axis sweeps lean on this
+    to collapse batches 1..16 of an FC layer onto a single simulation.
     """
+    tile_padded = getattr(shape, "tile_padded", None)
+    if tile_padded is not None:
+        shape = tile_padded()
     payload = {
         "design": design_key,
         "shape": _canonical(shape),

@@ -9,11 +9,13 @@ registry:
    looked up in a :class:`repro.runtime.cache.ResultCache` first; only
    misses simulate, and fresh results are written back once at the end;
 2. **deduplication** — jobs are identified by their cache key, which is
-   *label-independent* (see :mod:`repro.runtime.cache`): within one sweep,
-   every distinct (design, dims, core, codegen, fidelity) point simulates
+   *label-independent* and keyed on tile-*padded* dims (see
+   :mod:`repro.runtime.cache`): within one sweep, every distinct
+   (design, padded dims, core, codegen, fidelity) point simulates
    **exactly once**, no matter how many jobs map to it or what their shapes
    are named.  Full-model suites lean on this hard — BERT-base's 72
-   per-layer GEMMs are only 3 distinct points;
+   per-layer GEMMs are only 3 distinct points — and batch sweeps lean on
+   the padding: batches 1..16 of an FC layer are one point;
 3. **parallelism** — misses fan out over a ``multiprocessing`` pool
    (``fork`` start method where available, so workers inherit the warm
    per-process program cache).  ``workers=1`` — or a single-CPU host —
@@ -29,6 +31,16 @@ distinct GEMM only once.
 :class:`repro.workloads.suites.WorkloadSuite` multiset is simulated at its
 distinct shapes only, then expanded back into occurrence-weighted
 end-to-end totals (:class:`SuiteTotals`) per design.
+
+:meth:`SweepRunner.run_suite_batches` adds the batch axis (the paper's
+Fig. 7, at model granularity): every registered suite is rebuilt at each
+requested batch via :meth:`repro.workloads.suites.SuiteSpec.build` and all
+(suite, batch, design) points go through **one** flat job list, so the key
+dedup above also collapses duplicates *across batches* — cache keys use
+tile-padded dimensions, so sub-tile batches that lower to identical
+streams simulate once.  The result is a :class:`SuiteBatchCurve` per
+(suite, design): occurrence-weighted end-to-end totals along the batch
+axis, normalizable against the baseline design's curve.
 """
 
 from __future__ import annotations
@@ -37,7 +49,7 @@ import dataclasses
 import functools
 import multiprocessing
 import os
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.cpu.config import CoreConfig
 from repro.cpu.result import SimResult
@@ -47,7 +59,7 @@ from repro.runtime.cache import ResultCache, cache_key
 from repro.runtime.registry import resolve_backend
 from repro.workloads.codegen import CodegenOptions, generate_gemm_program
 from repro.workloads.gemm import GemmShape
-from repro.workloads.suites import WorkloadSuite
+from repro.workloads.suites import SUITES, SuiteSpec, WorkloadSuite
 
 
 @dataclasses.dataclass(frozen=True)
@@ -131,12 +143,144 @@ class SuiteTotals:
         return self.gemm_count / self.simulations if self.simulations else 0.0
 
     def normalized_to(self, baseline: "SuiteTotals") -> float:
-        """End-to-end runtime normalized to a baseline suite run."""
-        return self.cycles / baseline.cycles if baseline.cycles else 0.0
+        """End-to-end runtime normalized to a baseline suite run.
+
+        Raises :class:`ExperimentError` when the baseline ran in zero
+        cycles — a silent 0.0 here would read as "infinitely fast".
+        """
+        if baseline.cycles == 0:
+            raise ExperimentError(
+                f"cannot normalize suite {self.suite!r}: baseline suite "
+                f"{baseline.suite!r} on design {baseline.design_key!r} "
+                "ran in zero cycles"
+            )
+        return self.cycles / baseline.cycles
 
     def speedup_over(self, baseline: "SuiteTotals") -> float:
-        """End-to-end speedup over a baseline suite run (>1 is faster)."""
-        return baseline.cycles / self.cycles if self.cycles else 0.0
+        """End-to-end speedup over a baseline suite run (>1 is faster).
+
+        Raises :class:`ExperimentError` when this suite ran in zero
+        cycles — a silent 0.0 here would read as "no speedup at all".
+        """
+        if self.cycles == 0:
+            raise ExperimentError(
+                f"cannot compute speedup: suite {self.suite!r} on design "
+                f"{self.design_key!r} ran in zero cycles"
+            )
+        return baseline.cycles / self.cycles
+
+
+@dataclasses.dataclass(frozen=True)
+class SuiteBatchCurve:
+    """One suite's end-to-end totals along the batch axis, on one design.
+
+    ``totals[i]`` are the occurrence-weighted :class:`SuiteTotals` of the
+    suite rebuilt at ``batches[i]``.  Batches whose rebuilt shapes lower
+    to streams already simulated at another batch (sub-tile batches, or
+    batches the suite's geometry maps onto the same padded dims) share
+    results — the curve stores the expanded per-batch view regardless, so
+    every point is directly comparable to a standalone
+    :meth:`SweepRunner.run_suite` at that batch.
+    """
+
+    suite: str
+    design_key: str
+    batches: Tuple[int, ...]
+    totals: Tuple[SuiteTotals, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.batches) != len(self.totals):
+            raise ExperimentError(
+                f"suite {self.suite!r} curve has {len(self.batches)} batches "
+                f"but {len(self.totals)} totals"
+            )
+
+    def totals_by_batch(self) -> Dict[int, SuiteTotals]:
+        """``{batch: totals}`` — the mapping view of the curve."""
+        return dict(zip(self.batches, self.totals))
+
+    def cycles_by_batch(self) -> Dict[int, int]:
+        """``{batch: end-to-end cycles}`` along the curve."""
+        return {b: t.cycles for b, t in zip(self.batches, self.totals)}
+
+    def normalized_to(self, baseline: "SuiteBatchCurve") -> Dict[int, float]:
+        """Per-batch normalized runtime against a baseline design's curve.
+
+        This is the Fig. 7 y-axis at suite granularity: each batch's
+        end-to-end cycles divided by the baseline design's cycles *at the
+        same batch*.
+        """
+        if baseline.batches != self.batches:
+            raise ExperimentError(
+                f"cannot normalize suite {self.suite!r}: curve batches "
+                f"{self.batches} do not match baseline batches "
+                f"{baseline.batches}"
+            )
+        return {
+            batch: mine.normalized_to(theirs)
+            for batch, mine, theirs in zip(
+                self.batches, self.totals, baseline.totals
+            )
+        }
+
+
+def _validated_batches(batches: Sequence[int]) -> Tuple[int, ...]:
+    """Check a batch axis: non-empty, positive integers, no duplicates."""
+    batches = tuple(batches)
+    if not batches:
+        raise ExperimentError("a suite batch sweep needs at least one batch size")
+    for batch in batches:
+        if not isinstance(batch, int) or isinstance(batch, bool) or batch < 1:
+            raise ExperimentError(
+                f"batch sizes must be positive integers, got {batch!r}"
+            )
+    duplicates = sorted({b for b in batches if batches.count(b) > 1})
+    if duplicates:
+        raise ExperimentError(
+            "suite batch curves are keyed by batch size; got duplicates: "
+            f"{', '.join(str(b) for b in duplicates)}"
+        )
+    return batches
+
+
+def _resolve_spec(spec: Union[str, SuiteSpec]) -> SuiteSpec:
+    """Accept a registered suite name or a :class:`SuiteSpec` directly."""
+    if isinstance(spec, SuiteSpec):
+        return spec
+    try:
+        return SUITES[spec]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown workload suite {spec!r}; known: {', '.join(SUITES)}"
+        ) from None
+
+
+def _expand_totals(
+    suite: WorkloadSuite,
+    design: str,
+    entries: Sequence,
+    results: Iterator[SimResult],
+) -> SuiteTotals:
+    """Re-weight one design's distinct-point results into suite totals.
+
+    Consumes exactly ``len(entries)`` results from ``results`` — callers
+    iterate a flat result stream in job-submission order.
+    """
+    per_shape = tuple(
+        (entry.shape, entry.count, next(results)) for entry in entries
+    )
+    return SuiteTotals(
+        suite=suite.name,
+        design_key=design,
+        gemm_count=len(suite),
+        simulations=len(entries),
+        cycles=sum(c * r.cycles for _, c, r in per_shape),
+        instructions=sum(c * r.instructions for _, c, r in per_shape),
+        mm_count=sum(c * r.mm_count for _, c, r in per_shape),
+        bypass_count=sum(c * r.bypass_count for _, c, r in per_shape),
+        weight_loads=sum(c * r.weight_loads for _, c, r in per_shape),
+        per_shape=per_shape,
+    )
 
 
 def _pool_context():
@@ -152,7 +296,9 @@ class SweepRunner:
         cache: a :class:`ResultCache` for persistent memoization, or
             ``None`` to always simulate.
         workers: worker process count for cache misses; defaults to the
-            CPU count.  ``1`` forces serial in-process execution.
+            CPU count.  ``1`` forces serial in-process execution; zero or
+            negative counts are rejected with :class:`ExperimentError`
+            rather than silently degrading to serial.
     """
 
     def __init__(
@@ -161,7 +307,14 @@ class SweepRunner:
         workers: Optional[int] = None,
     ):
         self.cache = cache
-        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
+            raise ExperimentError(
+                f"workers must be a positive integer, got {workers!r}; "
+                "use workers=1 for serial execution"
+            )
+        self.workers = workers
 
     # -- flat job lists ----------------------------------------------------------
 
@@ -169,15 +322,17 @@ class SweepRunner:
         """Execute ``jobs``; returns results aligned with the input order.
 
         Jobs are deduplicated by cache key *before* anything simulates:
-        each distinct (design, dims, core, codegen, fidelity) point runs —
-        and counts one cache miss — exactly once per sweep, however many
-        input jobs collapse onto it.
+        each distinct (design, padded dims, core, codegen, fidelity) point
+        runs — and counts one cache miss — exactly once per sweep, however
+        many input jobs collapse onto it.  Each job's key (a canonical-JSON
+        SHA-256) is computed exactly once per run; the miss write-back and
+        the final result gather reuse the precomputed keys.
         """
         jobs = list(jobs)
+        keys = [job.key for job in jobs]
         by_key: Dict[str, SimResult] = {}
         misses: Dict[str, SweepJob] = {}  # insertion-ordered, key-distinct
-        for job in jobs:
-            key = job.key
+        for key, job in zip(keys, jobs):
             if key in by_key or key in misses:
                 continue
             cached = self.cache.get(key) if self.cache is not None else None
@@ -185,14 +340,13 @@ class SweepRunner:
                 by_key[key] = cached
             else:
                 misses[key] = job
-        miss_jobs = list(misses.values())
-        for job, result in zip(miss_jobs, self._simulate(miss_jobs)):
-            by_key[job.key] = result
+        for key, result in zip(misses, self._simulate(list(misses.values()))):
+            by_key[key] = result
             if self.cache is not None:
-                self.cache.put(job.key, result)
+                self.cache.put(key, result)
         if self.cache is not None:
             self.cache.flush()
-        return [by_key[job.key] for job in jobs]
+        return [by_key[key] for key in keys]
 
     def _simulate(self, jobs: Sequence[SweepJob]) -> List[SimResult]:
         if not jobs:
@@ -311,21 +465,121 @@ class SweepRunner:
         totals: Dict[str, Dict[str, SuiteTotals]] = {}
         for suite in suites:
             entries = distinct[suite.name]
-            totals[suite.name] = {}
-            for design in design_keys:
-                per_shape = tuple(
-                    (entry.shape, entry.count, next(results)) for entry in entries
-                )
-                totals[suite.name][design] = SuiteTotals(
-                    suite=suite.name,
-                    design_key=design,
-                    gemm_count=len(suite),
-                    simulations=len(entries),
-                    cycles=sum(c * r.cycles for _, c, r in per_shape),
-                    instructions=sum(c * r.instructions for _, c, r in per_shape),
-                    mm_count=sum(c * r.mm_count for _, c, r in per_shape),
-                    bypass_count=sum(c * r.bypass_count for _, c, r in per_shape),
-                    weight_loads=sum(c * r.weight_loads for _, c, r in per_shape),
-                    per_shape=per_shape,
-                )
+            totals[suite.name] = {
+                design: _expand_totals(suite, design, entries, results)
+                for design in design_keys
+            }
         return totals
+
+    # -- (design x suite x batch) curves ------------------------------------------
+
+    def run_suite_batches(
+        self,
+        design_keys: Iterable[str],
+        spec: Union[str, SuiteSpec],
+        batches: Sequence[int],
+        core: Optional[CoreConfig] = None,
+        codegen: Optional[CodegenOptions] = None,
+        fidelity: str = "fast",
+        scale: int = 1,
+    ) -> Dict[str, SuiteBatchCurve]:
+        """Sweep one registered suite over the batch axis, on every design.
+
+        The suite is rebuilt at every requested batch via
+        :meth:`~repro.workloads.suites.SuiteSpec.build` (``spec`` may be a
+        :class:`SuiteSpec` or a registered suite name) and all
+        (batch, design) points are submitted as **one** flat job list, so
+        the key dedup in :meth:`run` collapses duplicate points across
+        batches — sub-tile batches that lower to identical streams
+        simulate once, and every point still matches a standalone
+        per-batch :meth:`run_suite` bit for bit.
+
+        Returns ``curves[design_key]`` in design order.
+        """
+        spec = _resolve_spec(spec)
+        return self.run_suites_batches(
+            design_keys, [spec], batches, core, codegen, fidelity, scale
+        )[spec.name]
+
+    def run_suites_batches(
+        self,
+        design_keys: Iterable[str],
+        specs: Sequence[Union[str, SuiteSpec]],
+        batches: Sequence[int],
+        core: Optional[CoreConfig] = None,
+        codegen: Optional[CodegenOptions] = None,
+        fidelity: str = "fast",
+        scale: int = 1,
+    ) -> Dict[str, Dict[str, SuiteBatchCurve]]:
+        """Sweep several suites over the batch axis through **one** sweep.
+
+        The multi-suite variant of :meth:`run_suite_batches`: every
+        (suite, batch, design) point goes into a single job list, so the
+        key dedup collapses duplicates across suites *and* batches.
+        ``scale`` shrinks each rebuilt suite like
+        :meth:`~repro.workloads.suites.SuiteSpec.build` does everywhere
+        else (same floors, so very small scaled batches saturate at one
+        register block and dedup onto one point).
+
+        Returns ``curves[suite_name][design_key]``.
+        """
+        core = core if core is not None else CoreConfig()
+        codegen = codegen if codegen is not None else CodegenOptions()
+        design_keys = list(design_keys)
+        batches = _validated_batches(batches)
+        specs = [_resolve_spec(spec) for spec in specs]
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise ExperimentError(
+                "run_suites_batches curves are keyed by suite name; got "
+                "duplicates: "
+                f"{', '.join(sorted({n for n in names if names.count(n) > 1}))}"
+            )
+        built = {
+            spec.name: {
+                batch: spec.build(batch=batch, scale=scale) for batch in batches
+            }
+            for spec in specs
+        }
+        distinct = {
+            name: {batch: suite.distinct() for batch, suite in per_batch.items()}
+            for name, per_batch in built.items()
+        }
+        jobs = [
+            SweepJob(
+                design_key=design,
+                shape=entry.shape,
+                workload=f"{entry.shape.name}@b{batch}",
+                core=core,
+                codegen=codegen,
+                fidelity=fidelity,
+            )
+            for name in names
+            for batch in batches
+            for design in design_keys
+            for entry in distinct[name][batch]
+        ]
+        results = iter(self.run(jobs))
+        per_point: Dict[Tuple[str, int, str], SuiteTotals] = {}
+        for name in names:
+            for batch in batches:
+                suite = built[name][batch]
+                entries = distinct[name][batch]
+                for design in design_keys:
+                    per_point[(name, batch, design)] = _expand_totals(
+                        suite, design, entries, results
+                    )
+        return {
+            name: {
+                design: SuiteBatchCurve(
+                    suite=name,
+                    design_key=design,
+                    batches=batches,
+                    totals=tuple(
+                        per_point[(name, batch, design)] for batch in batches
+                    ),
+                )
+                for design in design_keys
+            }
+            for name in names
+        }

@@ -92,6 +92,21 @@ class GemmShape:
             return self
         return GemmShape(m=self.m, n=self.n, k=self.k)
 
+    def tile_padded(self) -> "GemmShape":
+        """The tile-aligned, unlabeled shape this GEMM actually executes as.
+
+        Codegen pads every GEMM up to whole rasa_mm tiles before lowering,
+        so two shapes with the same *padded* dimensions issue the same
+        instruction stream and time identically — e.g. batches 1..16 of an
+        FC layer all execute as one 16-row tile block.  This is the
+        identity the runtime layer keys simulations on (cache keys dedup
+        sub-tile variants onto one point).
+        """
+        padded = (self.padded_m, self.padded_n, self.padded_k)
+        if not self.name and self.dims == padded:
+            return self
+        return GemmShape(m=padded[0], n=padded[1], k=padded[2])
+
     @property
     def padding_waste(self) -> float:
         """Fraction of tile MACs spent on zero padding (mapping inefficiency)."""

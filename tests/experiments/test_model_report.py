@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import sys
+
 import pytest
 
 from repro.errors import ExperimentError
@@ -60,10 +62,66 @@ class TestModelReport:
                 runner=SweepRunner(workers=1),
             )
 
+    def test_zero_energy_denominator_raises(self, report, monkeypatch):
+        # sys.modules lookup: the package re-exports a ``model_report``
+        # *function*, which shadows attribute-style module resolution.
+        module = sys.modules["repro.experiments.model_report"]
+        monkeypatch.setattr(module, "suite_energy_j", lambda totals: 0.0)
+        with pytest.raises(ExperimentError, match="zero energy"):
+            report.render()
+
+
+class _RecordingRunner(SweepRunner):
+    """Records the fidelity each ``run_suites`` call was given."""
+
+    def __init__(self):
+        super().__init__(workers=1)
+        self.fidelities = []
+
+    def run_suites(self, design_keys, suites, core=None, codegen=None,
+                   fidelity="fast"):
+        self.fidelities.append(fidelity)
+        return super().run_suites(design_keys, suites, core, codegen, fidelity)
+
+
+class TestFidelityPlumbing:
+    def test_model_report_threads_fidelity_to_the_sweep(self):
+        runner = _RecordingRunner()
+        model_report(
+            SETTINGS,
+            suites=("dlrm",),
+            design_keys=["baseline", "rasa-dmdb-wls"],
+            runner=runner,
+            fidelity="engine",
+        )
+        assert runner.fidelities == ["engine"]
+
+    def test_engine_fidelity_reaches_the_backend(self):
+        """The ``engine`` backend times engine-bound runs: fewer cycles."""
+        kwargs = dict(
+            suites=("dlrm",),
+            design_keys=["baseline", "rasa-dmdb-wls"],
+        )
+        fast = model_report(SETTINGS, runner=SweepRunner(workers=1), **kwargs)
+        engine = model_report(
+            SETTINGS, runner=SweepRunner(workers=1), fidelity="engine", **kwargs
+        )
+        for design in ("baseline", "rasa-dmdb-wls"):
+            assert (
+                engine.totals["dlrm"][design].cycles
+                < fast.totals["dlrm"][design].cycles
+            )
+
 
 class TestDefaultRunnerEnv:
     def test_bad_workers_env_raises_experiment_error(self, monkeypatch):
         monkeypatch.setenv("REPRO_SWEEP_WORKERS", "lots")
+        with pytest.raises(ExperimentError, match="REPRO_SWEEP_WORKERS"):
+            default_runner()
+
+    @pytest.mark.parametrize("value", ["0", "-3"])
+    def test_non_positive_workers_env_raises(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", value)
         with pytest.raises(ExperimentError, match="REPRO_SWEEP_WORKERS"):
             default_runner()
 

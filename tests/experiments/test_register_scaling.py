@@ -1,4 +1,4 @@
-"""Tests for the register-scaling counterfactual (E16)."""
+"""Tests for the register-scaling counterfactual (E17)."""
 
 from __future__ import annotations
 

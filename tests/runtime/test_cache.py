@@ -65,6 +65,25 @@ class TestCacheKey:
             "baseline", b, CORE, CODEGEN
         )
 
+    def test_padded_dims_share_a_key(self):
+        """Sub-tile shapes lower to identical streams, so share one key.
+
+        Codegen pads every GEMM up to whole rasa_mm tiles (16 x 16 x 32)
+        before lowering — batches 1..16 of an FC layer are one point.
+        """
+        keys = {
+            cache_key("baseline", GemmShape(m=m, n=64, k=64), CORE, CODEGEN)
+            for m in (1, 2, 7, 15, 16)
+        }
+        assert len(keys) == 1
+        beyond = cache_key("baseline", GemmShape(m=17, n=64, k=64), CORE, CODEGEN)
+        assert beyond not in keys
+
+    def test_padding_applies_to_every_dimension(self):
+        base = cache_key("baseline", GemmShape(m=16, n=16, k=32), CORE, CODEGEN)
+        assert cache_key("baseline", GemmShape(m=9, n=3, k=20), CORE, CODEGEN) == base
+        assert cache_key("baseline", GemmShape(m=9, n=17, k=20), CORE, CODEGEN) != base
+
     def test_sensitive_to_nested_enum(self):
         alternate = CodegenOptions(
             blocking=BlockingConfig(mm_order=MMOrder.ALTERNATE)

@@ -8,6 +8,8 @@ from __future__ import annotations
 
 import pytest
 
+import repro.runtime.sweep as sweep_module
+
 from repro.cpu.config import CoreConfig
 from repro.cpu.result import SimResult
 from repro.engine.designs import DESIGNS
@@ -17,7 +19,7 @@ from repro.runtime import ResultCache, SweepJob, SweepRunner, cached_program
 from repro.runtime.registry import FIDELITIES, resolve_backend
 from repro.workloads.codegen import generate_gemm_program
 from repro.workloads.gemm import GemmShape
-from repro.workloads.suites import WorkloadSuite
+from repro.workloads.suites import SuiteSpec, WorkloadSuite
 
 SHAPES = {
     "small": GemmShape(m=64, n=64, k=64, name="small"),
@@ -293,6 +295,208 @@ class TestRunSuite:
         second = SweepRunner(cache=warm, workers=1).run_suite(DESIGN_KEYS, self.SUITE)
         assert (warm.hits, warm.misses) == (2 * len(DESIGN_KEYS), 0)
         assert first == second
+
+
+class TestKeyHashing:
+    """``run`` hashes each job exactly once (keys are SHA-256 over JSON)."""
+
+    def test_one_cache_key_call_per_job(self, monkeypatch):
+        calls = []
+        real = sweep_module.cache_key
+
+        def counting(*args, **kwargs):
+            calls.append(args)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(sweep_module, "cache_key", counting)
+        jobs = _jobs() + [_jobs()[0]] * 3  # duplicates still hash once each
+        SweepRunner(workers=1).run(jobs)
+        assert len(calls) == len(jobs)
+
+    def test_one_cache_key_call_per_job_with_cache(self, tmp_path, monkeypatch):
+        calls = []
+        real = sweep_module.cache_key
+
+        def counting(*args, **kwargs):
+            calls.append(args)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(sweep_module, "cache_key", counting)
+        jobs = _jobs()
+        SweepRunner(cache=ResultCache(tmp_path), workers=1).run(jobs)
+        assert len(calls) == len(jobs)
+
+
+class TestWorkerValidation:
+    """Non-positive worker counts fail loudly, not silently-serially."""
+
+    @pytest.mark.parametrize("workers", [0, -3, 2.5, "4"])
+    def test_bad_worker_counts_rejected(self, workers):
+        with pytest.raises(ExperimentError, match="workers"):
+            SweepRunner(workers=workers)
+
+    def test_serial_and_default_still_fine(self):
+        assert SweepRunner(workers=1).workers == 1
+        assert SweepRunner().workers >= 1
+
+
+def _toy_fc_factory(batch):
+    batch = batch if batch is not None else 64
+    return {
+        "fc0": GemmShape(batch, 64, 64, name="fc0"),
+        "fc1": GemmShape(batch, 128, 64, name="fc1"),
+        "fc2": GemmShape(batch, 64, 64, name="fc2"),  # duplicate dims of fc0
+    }
+
+
+TOY_FC_SPEC = SuiteSpec("toy-fc", "toy FC stack for batch-curve tests",
+                        None, _toy_fc_factory)
+
+
+class TestSuiteBatchCurves:
+    """The Fig. 7 batch axis at suite granularity, dedup across batches."""
+
+    def test_curve_layout(self):
+        curves = SweepRunner(workers=1).run_suite_batches(
+            DESIGN_KEYS, TOY_FC_SPEC, batches=(16, 64)
+        )
+        assert set(curves) == set(DESIGN_KEYS)
+        for design, curve in curves.items():
+            assert curve.suite == "toy-fc"
+            assert curve.design_key == design
+            assert curve.batches == (16, 64)
+            assert all(t.gemm_count == 3 for t in curve.totals)
+            assert all(t.simulations == 2 for t in curve.totals)
+
+    def test_sub_tile_batches_simulate_once(self, counting_fidelity):
+        """Batches 1..16 pad to one tile row block: identical streams."""
+        SweepRunner(workers=1).run_suite_batches(
+            ["baseline"], TOY_FC_SPEC, batches=(1, 2, 4, 8, 16),
+            fidelity="counting-test",
+        )
+        # 2 distinct (padded) shapes, once each — not 5 batches x 2 shapes.
+        assert len(counting_fidelity) == 2
+
+    def test_sub_tile_batches_identical_normalized_runtime(self):
+        """The Fig. 7 plateau at suite granularity: one lowered stream."""
+        curves = SweepRunner(workers=1).run_suite_batches(
+            ["baseline", "rasa-dmdb-wls"], TOY_FC_SPEC,
+            batches=(1, 2, 4, 8, 16),
+        )
+        normalized = curves["rasa-dmdb-wls"].normalized_to(curves["baseline"])
+        values = set(normalized.values())
+        assert len(values) == 1
+        assert 0.0 < values.pop() < 1.0
+
+    def test_matches_per_batch_run_suite_oracle(self, counting_fidelity):
+        """Curve points == standalone per-batch runs, with fewer simulations.
+
+        The oracle rebuilds and runs each batch through ``run_suite`` on a
+        fresh runner, so the cross-batch dedup cannot leak into both
+        sides; totals must agree on every weighted counter.
+        """
+        batches = (1, 4, 16, 64)
+        runner = SweepRunner(workers=1)
+        curves = runner.run_suite_batches(
+            DESIGN_KEYS, TOY_FC_SPEC, batches=batches,
+            fidelity="counting-test",
+        )
+        curve_simulations = len(counting_fidelity)
+        oracle_simulations = 0
+        for batch in batches:
+            before = len(counting_fidelity)
+            oracle = SweepRunner(workers=1).run_suite(
+                DESIGN_KEYS, TOY_FC_SPEC.build(batch=batch),
+                fidelity="counting-test",
+            )
+            oracle_simulations += len(counting_fidelity) - before
+            for design in DESIGN_KEYS:
+                point = curves[design].totals_by_batch()[batch]
+                assert point.cycles == oracle[design].cycles
+                assert point.instructions == oracle[design].instructions
+                assert point.mm_count == oracle[design].mm_count
+                assert point.bypass_count == oracle[design].bypass_count
+                assert point.weight_loads == oracle[design].weight_loads
+                assert point.gemm_count == oracle[design].gemm_count
+        # Strictly fewer simulations than batches x distinct shapes: the
+        # sub-tile batches (1, 4, 16) collapsed onto one padded point.
+        assert oracle_simulations == len(batches) * 2 * len(DESIGN_KEYS)
+        assert curve_simulations == 2 * 2 * len(DESIGN_KEYS)
+
+    def test_accepts_registered_suite_names(self, counting_fidelity):
+        curves = SweepRunner(workers=1).run_suite_batches(
+            ["baseline"], "dlrm", batches=(64,), fidelity="counting-test",
+            scale=8,
+        )
+        assert curves["baseline"].suite == "dlrm"
+        assert curves["baseline"].totals[0].gemm_count == 9
+
+    def test_unknown_suite_name_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown workload suite"):
+            SweepRunner(workers=1).run_suite_batches(
+                ["baseline"], "bogus", batches=(1,)
+            )
+
+    def test_multi_suite_variant_matches_single(self):
+        runner = SweepRunner(workers=1)
+        combined = runner.run_suites_batches(
+            ["baseline"], [TOY_FC_SPEC], batches=(16, 32)
+        )
+        assert combined["toy-fc"] == runner.run_suite_batches(
+            ["baseline"], TOY_FC_SPEC, batches=(16, 32)
+        )
+
+    def test_duplicate_batches_rejected(self):
+        with pytest.raises(ExperimentError, match="duplicates: 16"):
+            SweepRunner(workers=1).run_suite_batches(
+                ["baseline"], TOY_FC_SPEC, batches=(16, 64, 16)
+            )
+
+    def test_empty_batches_rejected(self):
+        with pytest.raises(ExperimentError, match="at least one batch"):
+            SweepRunner(workers=1).run_suite_batches(
+                ["baseline"], TOY_FC_SPEC, batches=()
+            )
+
+    @pytest.mark.parametrize("batch", [0, -4, 1.5, "16"])
+    def test_non_positive_batches_rejected(self, batch):
+        with pytest.raises(ExperimentError, match="positive integers"):
+            SweepRunner(workers=1).run_suite_batches(
+                ["baseline"], TOY_FC_SPEC, batches=(batch,)
+            )
+
+    def test_normalize_rejects_mismatched_batch_axes(self):
+        runner = SweepRunner(workers=1)
+        a = runner.run_suite_batches(["baseline"], TOY_FC_SPEC, batches=(16,))
+        b = runner.run_suite_batches(["baseline"], TOY_FC_SPEC, batches=(64,))
+        with pytest.raises(ExperimentError, match="do not match"):
+            a["baseline"].normalized_to(b["baseline"])
+
+
+class TestZeroCycleGuards:
+    """Degenerate zero-cycle/zero-energy aggregates raise, never return 0.0."""
+
+    @staticmethod
+    def _totals(cycles, suite="toy-model", design="baseline"):
+        from repro.runtime.sweep import SuiteTotals
+
+        return SuiteTotals(
+            suite=suite, design_key=design, gemm_count=1, simulations=1,
+            cycles=cycles, instructions=0, mm_count=0, bypass_count=0,
+            weight_loads=0, per_shape=(),
+        )
+
+    def test_normalized_to_zero_cycle_baseline_raises(self):
+        with pytest.raises(ExperimentError, match="'baseline'.*zero cycles"):
+            self._totals(100).normalized_to(self._totals(0))
+
+    def test_speedup_of_zero_cycle_suite_raises(self):
+        with pytest.raises(ExperimentError, match="'rasa-wlbp'.*zero cycles"):
+            self._totals(0, design="rasa-wlbp").speedup_over(self._totals(100))
+
+    def test_healthy_totals_unaffected(self):
+        assert self._totals(50).normalized_to(self._totals(100)) == 0.5
+        assert self._totals(50).speedup_over(self._totals(100)) == 2.0
 
 
 class TestGridEdgeCases:

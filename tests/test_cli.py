@@ -126,7 +126,7 @@ class TestSuiteSweep:
     def test_batch_rejected_for_layer_names(self, capsys):
         assert main(["sweep", "--workloads", "DLRM-2", "--batch", "64",
                      "--no-cache"]) == 2
-        assert "--batch applies to suite workloads" in capsys.readouterr().err
+        assert "apply to suite workloads" in capsys.readouterr().err
 
     def test_batch_rejected_for_adhoc_gemm(self, capsys):
         assert main(["sweep", "--m", "64", "--n", "64", "--k", "64",
@@ -175,6 +175,97 @@ class TestSuiteSweep:
         sims, runs = 2 * 16, 2 * (9 + 18)  # baseline + rasa-wlbp
         assert f"{sims} distinct points for {runs} suite GEMM runs" in out
         assert f"{sims} simulated, 0 cached" in out
+
+
+class TestSuiteBatchSweep:
+    def test_dlrm_two_batches(self, tmp_path, capsys):
+        assert main(["sweep", "--workloads", "dlrm", "--batches", "64,512",
+                     "--scale", "8", "--designs", "rasa-dmdb-wls",
+                     "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "suite batch sweep — dlrm" in out
+        assert "cross-batch dedup" in out
+        # Two batch rows plus the geomean across the batch axis.
+        assert "GEOMEAN" in out
+
+    def test_sub_tile_batches_dedup_onto_one_point(self, tmp_path, capsys):
+        # At scale 8, batches 1/2/4 all floor to one register block: the
+        # dlrm suite's 6 distinct points simulate once for all 3 batches.
+        assert main(["sweep", "--workloads", "dlrm", "--batches", "1,2,4",
+                     "--scale", "8", "--designs", "rasa-wlbp",
+                     "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "12 distinct points for 36 per-batch suite points" in out
+        assert "(3.0x cross-batch dedup)" in out
+        assert "12 simulated, 0 cached" in out
+
+    def test_batch_curve_matches_per_batch_suite_sweep(self, tmp_path, capsys):
+        """The curve's warm-cache rerun serves every point from the store."""
+        argv = ["sweep", "--workloads", "dlrm", "--batches", "64,512",
+                "--scale", "8", "--designs", "rasa-wlbp",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "0 cached" in cold
+        assert "0 simulated" in warm
+        assert cold.splitlines()[:-1] == warm.splitlines()[:-1]
+
+    def test_batch_and_batches_mutually_exclusive(self, capsys):
+        assert main(["sweep", "--workloads", "dlrm", "--batch", "64",
+                     "--batches", "1,2", "--no-cache"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_batches_rejected_for_layer_names(self, capsys):
+        assert main(["sweep", "--workloads", "DLRM-2", "--batches", "1,2",
+                     "--no-cache"]) == 2
+        assert "apply to suite workloads" in capsys.readouterr().err
+
+    def test_batches_rejected_for_adhoc_gemm(self, capsys):
+        assert main(["sweep", "--m", "64", "--n", "64", "--k", "64",
+                     "--batches", "1,2", "--no-cache"]) == 2
+        assert "--batches" in capsys.readouterr().err
+
+    def test_non_integer_batches_rejected(self, capsys):
+        assert main(["sweep", "--workloads", "dlrm", "--batches", "1,two",
+                     "--no-cache"]) == 2
+        assert "comma-separated integers" in capsys.readouterr().err
+
+    def test_duplicate_batches_rejected(self, capsys):
+        assert main(["sweep", "--workloads", "dlrm", "--batches", "64,64",
+                     "--no-cache"]) == 2
+        assert "duplicates" in capsys.readouterr().err
+
+    def test_non_positive_batches_rejected(self, capsys):
+        assert main(["sweep", "--workloads", "dlrm", "--batches", "0,64",
+                     "--no-cache"]) == 2
+        assert "positive" in capsys.readouterr().err
+
+    def test_negative_jobs_rejected(self, capsys):
+        assert main(["sweep", "--workloads", "dlrm", "--jobs", "-3",
+                     "--no-cache"]) == 2
+        assert "workers must be a positive integer" in capsys.readouterr().err
+
+    def test_zero_jobs_rejected(self, capsys):
+        assert main(["sweep", "--workloads", "table1", "--jobs", "0",
+                     "--no-cache"]) == 2
+        assert "workers must be a positive integer" in capsys.readouterr().err
+
+
+class TestFig7Suites:
+    def test_fig7_suite_curves(self, capsys):
+        assert main(["fig", "7", "--workloads", "dlrm", "--scale", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "E16" in out and "0.168" in out and "dlrm" in out
+
+    def test_workloads_rejected_for_other_figures(self, capsys):
+        assert main(["fig", "5", "--workloads", "dlrm"]) == 2
+        assert "fig 7 only" in capsys.readouterr().err
+
+    def test_unknown_suite_rejected(self, capsys):
+        assert main(["fig", "7", "--workloads", "bogus"]) == 2
+        assert "unknown workload suite" in capsys.readouterr().err
 
 
 class TestModels:

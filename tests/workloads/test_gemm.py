@@ -63,3 +63,18 @@ class TestValidation:
     def test_nonpositive_rejected(self):
         with pytest.raises(ConfigError):
             GemmShape(m=0, n=1, k=1)
+
+
+class TestTilePadded:
+    def test_aligned_unlabeled_shape_is_identity(self):
+        s = GemmShape(m=32, n=32, k=64)
+        assert s.tile_padded() is s
+
+    def test_pads_and_strips_label(self):
+        s = GemmShape(m=9, n=17, k=33, name="odd").tile_padded()
+        assert (s.m, s.n, s.k) == (16, 32, 64)
+        assert s.name == ""
+
+    def test_sub_tile_batches_collapse(self):
+        padded = {GemmShape(m=b, n=64, k=64).tile_padded() for b in (1, 4, 16)}
+        assert len(padded) == 1
