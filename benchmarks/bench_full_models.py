@@ -7,16 +7,17 @@ workload-independent, the whole-model numbers should land at the same
 ~0.17-0.21 the Fig. 5 geomean shows — this bench verifies that the
 three-layer sample was representative.
 
-The bench is a thin client of :meth:`repro.runtime.SweepRunner.run_suite`:
-each suite simulates its *distinct* shapes once per design and expands the
-results by occurrence count, so the full 12-layer BERT-base stack costs 3
-simulations per design instead of 72.
+The bench is a thin client of the declarative API: one
+:class:`repro.runtime.SweepPlan` per suite, run through a
+:class:`repro.runtime.Session`.  Each suite simulates its *distinct*
+shapes once per design and expands the results by occurrence count, so the
+full 12-layer BERT-base stack costs 3 simulations per design instead
+of 72.
 """
 
 from __future__ import annotations
 
-from repro.runtime import SweepRunner, resolve_backend
-from repro.runtime.sweep import cached_program
+from repro.runtime import Session, SweepPlan, cached_program, resolve_backend
 from repro.utils.tables import format_table
 from repro.workloads.suites import get_suite
 
@@ -26,7 +27,7 @@ DESIGN_KEYS = ("baseline", "rasa-dmdb-wls")
 
 
 def test_full_models(benchmark, emit, settings):
-    runner = SweepRunner(workers=1)  # small grids; cache-free for honest timing
+    session = Session(workers=1)  # small grids; cache-free for honest timing
     rows = []
     sample = None
     for name in MODEL_SUITES:
@@ -35,9 +36,14 @@ def test_full_models(benchmark, emit, settings):
         suite = get_suite(name, scale=settings.scale * 2)
         if sample is None:
             sample = cached_program(suite.gemms[0][1], settings.codegen)
-        totals = runner.run_suite(
-            DESIGN_KEYS, suite, core=settings.core, codegen=settings.codegen
+        plan = SweepPlan(
+            designs=DESIGN_KEYS,
+            suites=(name,),
+            scale=settings.scale * 2,
+            core=settings.core,
+            codegen=settings.codegen,
         )
+        totals = session.run(plan).suite_totals()[name]
         base, best = totals["baseline"], totals["rasa-dmdb-wls"]
         norm = best.normalized_to(base)
         rows.append(

@@ -1,19 +1,18 @@
 """E16 — per-model batch curves: cross-batch dedup vs per-batch suite runs.
 
-The suite batch sweep submits every (suite, batch, design) point through
-one flat job list, so tile-padded key dedup collapses batches that lower
-to identical streams.  This bench runs the DLRM MLPs over a batch axis
-whose low end sits below the scaled one-register-block floor (those
-batches are one point), measures the curve path, and asserts every curve
-point is bit-identical to a standalone per-batch
-:meth:`repro.runtime.SweepRunner.run_suite` oracle.
+A batch-axis :class:`repro.runtime.SweepPlan` submits every
+(suite, batch, design) point through one flat job list, so tile-padded key
+dedup collapses batches that lower to identical streams.  This bench runs
+the DLRM MLPs over a batch axis whose low end sits below the scaled
+one-register-block floor (those batches are one point), measures the
+plan-execution path, and asserts every curve point is bit-identical to a
+standalone single-batch suite plan oracle.
 """
 
 from __future__ import annotations
 
-from repro.runtime import SweepRunner
+from repro.runtime import Session, SweepPlan
 from repro.utils.tables import format_table
-from repro.workloads.suites import SUITES
 
 DESIGN_KEYS = ("baseline", "rasa-dmdb-wls")
 BATCHES = (1, 16, 256, 1024)
@@ -21,24 +20,35 @@ SUITE = "dlrm"
 
 
 def test_suite_batch_curves(benchmark, emit, settings):
-    runner = SweepRunner(workers=1)  # cache-free: honest simulation counts
+    session = Session(workers=1)  # cache-free: honest simulation counts
+    plan = SweepPlan(
+        designs=DESIGN_KEYS,
+        suites=(SUITE,),
+        batches=BATCHES,
+        scale=settings.scale,
+        core=settings.core,
+        codegen=settings.codegen,
+    )
 
     def run_curves():
-        return runner.run_suite_batches(
-            DESIGN_KEYS, SUITE, BATCHES,
-            core=settings.core, codegen=settings.codegen,
-            scale=settings.scale,
-        )
+        return session.run(plan).batch_curves()[SUITE]
 
     curves = run_curves()
 
-    # Independent oracle: each batch rebuilt and run on its own, without
-    # the cross-batch job list, so a dedup bug cannot corrupt both sides.
+    # Independent oracle: each batch rebuilt and run as its own single-batch
+    # plan, without the cross-batch job list, so a dedup bug cannot corrupt
+    # both sides.
     for batch in BATCHES:
-        oracle = SweepRunner(workers=1).run_suite(
-            DESIGN_KEYS, SUITES[SUITE].build(batch=batch, scale=settings.scale),
-            core=settings.core, codegen=settings.codegen,
-        )
+        oracle = Session(workers=1).run(
+            SweepPlan(
+                designs=DESIGN_KEYS,
+                suites=(SUITE,),
+                batch=batch,
+                scale=settings.scale,
+                core=settings.core,
+                codegen=settings.codegen,
+            )
+        ).suite_totals()[SUITE]
         for key in DESIGN_KEYS:
             point = curves[key].totals_by_batch()[batch]
             assert point.cycles == oracle[key].cycles, (key, batch)

@@ -2,15 +2,16 @@
 
 BERT-base is the stress case: 72 encoder GEMMs but only 3 distinct
 (m, n, k) points — 48 identical q/k/v/attn-out projections alone.  This
-bench measures the dedup-aware :meth:`repro.runtime.SweepRunner.run_suite`
-path against a brute-force per-layer :meth:`run_grid` over the same
-multiset, and asserts the weighted end-to-end totals are bit-identical, so
-the 24x simulation saving is pure profit.
+bench measures the dedup-aware plan path (a suite
+:class:`repro.runtime.SweepPlan` through :class:`repro.runtime.Session`)
+against a brute-force per-layer sweep over the same multiset, and asserts
+the weighted end-to-end totals are bit-identical, so the 24x simulation
+saving is pure profit.
 """
 
 from __future__ import annotations
 
-from repro.runtime import SweepRunner, resolve_backend
+from repro.runtime import Session, SweepPlan, resolve_backend
 from repro.utils.tables import format_table
 from repro.workloads.codegen import generate_gemm_program
 from repro.workloads.suites import get_suite
@@ -19,14 +20,18 @@ DESIGN_KEYS = ("baseline", "rasa-dmdb-wls")
 
 
 def test_suite_dedup(benchmark, emit, settings):
-    runner = SweepRunner(workers=1)  # cache-free: honest simulation counts
+    session = Session(workers=1)  # cache-free: honest simulation counts
     suite = get_suite("bert-base", scale=settings.scale * 2)
     distinct = suite.distinct()
+    plan = SweepPlan(
+        designs=DESIGN_KEYS,
+        suites=(suite,),  # the built multiset inlines into the plan
+        core=settings.core,
+        codegen=settings.codegen,
+    )
 
     def run_deduped():
-        return runner.run_suite(
-            DESIGN_KEYS, suite, core=settings.core, codegen=settings.codegen
-        )
+        return session.run(plan).suite_totals()["bert-base"]
 
     totals = run_deduped()
 

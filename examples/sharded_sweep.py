@@ -1,0 +1,65 @@
+"""Sharded sweeps: build a plan, split it across "hosts", merge the results.
+
+The declarative sweep API makes a whole sweep a *value*: a
+:class:`repro.runtime.SweepPlan` declares the full cross-product, shards
+deterministically by distinct cache key, and serializes to canonical JSON
+— so the same plan can run on several machines and the shard reports
+reassemble bit-identically to a single-shot run.
+
+This script walks the full flow on one machine, using one isolated
+:class:`repro.runtime.Session` per shard (sharing nothing, as separate
+hosts would):
+
+1. declare a suite batch sweep (DLRM + training, three batches);
+2. split it into two shards and run each in its own session;
+3. ship the shard reports as JSON (what you would scp between hosts);
+4. merge them and verify the result equals an unsharded run bit for bit.
+
+Run with: ``PYTHONPATH=src python examples/sharded_sweep.py``
+"""
+
+from __future__ import annotations
+
+from repro.runtime import Session, SweepPlan, SweepReport
+
+# 1. One declarative plan for the whole sweep.  Registered suite names
+#    keep the plan serializable; `shard`/`to_json` need no execution.
+plan = SweepPlan(
+    designs=("baseline", "rasa-dmdb-wls"),
+    suites=("dlrm", "training"),
+    batches=(1, 64, 512),
+    scale=8,
+)
+print(f"plan: {plan.job_count()} jobs, "
+      f"{len(plan.distinct_keys())} distinct simulation points")
+
+# 2. Deterministic split: shard i of n owns sorted(distinct_keys)[i::n].
+#    Each shard runs in its own session — no shared cache, no shared pool.
+shards = [plan.shard(i, 2) for i in range(2)]
+for shard in shards:
+    owned = shard.shard_keys()
+    print(f"  shard {shard.shard_spec[0]}/{shard.shard_spec[1]} owns "
+          f"{len(owned)} points")
+
+reports = [Session(workers=1).run(shard) for shard in shards]
+
+# 3. Reports serialize to canonical JSON — this is the artifact you would
+#    copy between hosts (or produce with `repro plan run --shard I/N -o`).
+wire = [report.to_json() for report in reports]
+received = [SweepReport.from_json(text) for text in wire]
+
+# 4. Merge and verify against an independent single-shot run.
+merged = received[0].merge(*received[1:])
+single_shot = Session(workers=1).run(plan)
+assert merged == single_shot
+assert merged.to_json() == single_shot.to_json()
+print("merged report is bit-identical to the single-shot run")
+
+# The merged report exposes the same typed views as any complete run.
+curves = merged.batch_curves()
+for suite in ("dlrm", "training"):
+    normalized = curves[suite]["rasa-dmdb-wls"].normalized_to(
+        curves[suite]["baseline"]
+    )
+    series = ", ".join(f"b{b}={v:.3f}" for b, v in normalized.items())
+    print(f"  {suite}: normalized runtime vs batch — {series}")

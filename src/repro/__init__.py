@@ -10,7 +10,8 @@ LIBXSMM-style GEMM/convolution code generator, and Nangate-15nm-calibrated
 area/energy models — plus experiment drivers regenerating every table and
 figure in the paper's evaluation.  All simulation flows through
 :mod:`repro.runtime`: a pluggable :class:`SimBackend` registry, an on-disk
-result cache, and a multiprocessing :class:`SweepRunner` for grids.
+result cache, and declarative, serializable, shardable :class:`SweepPlan`\\ s
+executed by a multiprocessing :class:`Session`.
 
 Quickstart::
 
@@ -36,8 +37,11 @@ from repro.engine import (
 from repro.isa import Program, ProgramBuilder, assemble, disassemble
 from repro.runtime import (
     ResultCache,
+    Session,
     SimBackend,
     SweepJob,
+    SweepPlan,
+    SweepReport,
     SweepRunner,
     resolve_backend,
 )
@@ -74,6 +78,9 @@ __all__ = [
     "resolve_backend",
     "ResultCache",
     "SweepJob",
+    "SweepPlan",
+    "SweepReport",
+    "Session",
     "SweepRunner",
     "assemble",
     "disassemble",

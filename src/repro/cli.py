@@ -18,12 +18,19 @@ Commands:
                                     *batch* sweep (``--batches 1,16,256``:
                                     Fig. 7-style curves per model), or one
                                     ad-hoc GEMM via ``--m/--n/--k``
+- ``plan show|run|merge``           the declarative face of ``sweep``: build
+                                    (or load) a :class:`SweepPlan`, inspect
+                                    it, run it — whole or one deterministic
+                                    ``--shard I/N`` slice — and merge shard
+                                    reports bit-identically
 - ``asm`` / ``disasm``              assemble ``.rasa`` text <-> JSONL traces
 
-All simulation commands resolve their backend through the
-:mod:`repro.runtime` registry; nothing in the CLI hand-wires a simulator.
+Every sweep — ``sweep`` and ``plan run`` alike — is declared as a
+:class:`repro.runtime.SweepPlan` and executed by one
+:class:`repro.runtime.Session`; nothing in the CLI hand-wires a simulator.
 Every command prints to stdout and returns a process exit code, so the CLI
-is unit-testable by calling :func:`main` directly.
+is unit-testable by calling :func:`main` directly.  Library errors exit 1
+with a one-line ``error: ...`` message — never a traceback.
 """
 
 from __future__ import annotations
@@ -32,7 +39,7 @@ import argparse
 import sys
 import time
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.engine.designs import DESIGNS, get_design
 from repro.errors import ReproError
@@ -52,13 +59,53 @@ from repro.experiments.utilization_sweep import fig2_utilization
 from repro.isa.assembler import assemble, disassemble
 from repro.isa.trace import load_trace, save_trace
 from repro.runtime.cache import ResultCache
+from repro.runtime.plan import SweepPlan, SweepReport, _suite_name
 from repro.runtime.registry import FIDELITIES, resolve_backend
-from repro.runtime.sweep import SweepRunner
+from repro.runtime.session import Session
 from repro.utils.tables import format_table
 from repro.workloads.codegen import generate_gemm_program
 from repro.workloads.gemm import GemmShape
 from repro.workloads.layers import TABLE1_LAYERS
 from repro.workloads.suites import SUITES, get_suite, suite_names
+
+
+def _add_sweep_axes(parser: argparse.ArgumentParser) -> None:
+    """The shared sweep-declaration flags (``sweep`` and ``plan show|run``).
+
+    Defaults stay ``None`` so an explicitly typed flag is distinguishable
+    from an omitted one — ``--plan`` must reject *any* axis flag, default
+    value or not; :func:`_plan_from_args` resolves the real defaults.
+    """
+    parser.add_argument("--designs", default=None,
+                        help='"all" or comma-separated design keys (default: all)')
+    parser.add_argument("--workloads", default=None,
+                        help='"table1" (default), comma-separated Table I '
+                             'layer names, model suite names (resnet50, '
+                             'bert-base, dlrm, training), or "all" '
+                             '(every suite)')
+    parser.add_argument("--m", type=int, help="ad-hoc GEMM M (with --n/--k)")
+    parser.add_argument("--n", type=int, help="ad-hoc GEMM N")
+    parser.add_argument("--k", type=int, help="ad-hoc GEMM K")
+    parser.add_argument("--batch", type=int, default=None,
+                        help="override a suite's streamed-rows (batch) dimension")
+    parser.add_argument("--batches", default=None,
+                        help="comma-separated batch sizes: sweep each suite "
+                             "over the batch axis (Fig. 7-style curves; "
+                             "suite workloads only)")
+    parser.add_argument("--scale", type=int, default=None,
+                        help="divide each workload dimension by this (default 4)")
+    parser.add_argument("--fidelity", default=None, choices=sorted(FIDELITIES),
+                        help="simulation backend (default: fast)")
+
+
+def _add_session_knobs(parser: argparse.ArgumentParser) -> None:
+    """The shared execution flags (``sweep`` and ``plan run``)."""
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: CPU count)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result cache")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="result-cache directory (default: ~/.cache/repro)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -109,30 +156,46 @@ def _build_parser() -> argparse.ArgumentParser:
         "sweep",
         help="run a (designs x workloads) grid, parallel and cache-backed",
     )
-    sweep.add_argument("--designs", default="all",
-                       help='"all" or comma-separated design keys (default: all)')
-    sweep.add_argument("--workloads", default="table1",
-                       help='"table1", comma-separated Table I layer names, '
-                            'model suite names (resnet50, bert-base, dlrm, '
-                            'training), or "all" (every suite)')
-    sweep.add_argument("--m", type=int, help="ad-hoc GEMM M (with --n/--k)")
-    sweep.add_argument("--n", type=int, help="ad-hoc GEMM N")
-    sweep.add_argument("--k", type=int, help="ad-hoc GEMM K")
-    sweep.add_argument("--batch", type=int, default=None,
-                       help="override a suite's streamed-rows (batch) dimension")
-    sweep.add_argument("--batches", default=None,
-                       help="comma-separated batch sizes: sweep each suite "
-                            "over the batch axis (Fig. 7-style curves; "
-                            "suite workloads only)")
-    sweep.add_argument("--scale", type=int, default=4,
-                       help="divide each workload dimension by this (default 4)")
-    sweep.add_argument("--jobs", type=int, default=None,
-                       help="worker processes (default: CPU count)")
-    sweep.add_argument("--fidelity", default="fast", choices=sorted(FIDELITIES))
-    sweep.add_argument("--no-cache", action="store_true",
-                       help="bypass the on-disk result cache")
-    sweep.add_argument("--cache-dir", type=Path, default=None,
-                       help="result-cache directory (default: ~/.cache/repro)")
+    _add_sweep_axes(sweep)
+    _add_session_knobs(sweep)
+
+    plan = sub.add_parser(
+        "plan",
+        help="build, inspect, run (optionally one --shard of), and merge "
+             "declarative sweep plans",
+    )
+    plan_sub = plan.add_subparsers(dest="plan_command", required=True)
+
+    show = plan_sub.add_parser(
+        "show", help="print a plan (summary + canonical JSON) without running it"
+    )
+    _add_sweep_axes(show)
+    show.add_argument("--plan", dest="plan_file", type=Path, default=None,
+                      help="load the plan from a JSON file instead of flags")
+    show.add_argument("--shard", default=None,
+                      help="annotate the plan as deterministic shard I/N")
+    show.add_argument("-o", "--output", type=Path, default=None,
+                      help="write canonical plan JSON to a file")
+
+    run = plan_sub.add_parser(
+        "run", help="execute a plan (or one --shard I/N slice of it)"
+    )
+    _add_sweep_axes(run)
+    _add_session_knobs(run)
+    run.add_argument("--plan", dest="plan_file", type=Path, default=None,
+                     help="load the plan from a JSON file instead of flags")
+    run.add_argument("--shard", default=None,
+                     help="run deterministic shard I/N of the plan only")
+    run.add_argument("-o", "--output", type=Path, default=None,
+                     help="write the (shard) report as canonical JSON")
+
+    merge = plan_sub.add_parser(
+        "merge", help="merge shard reports into the full report, bit-identically"
+    )
+    merge.add_argument("reports", type=Path, nargs="+",
+                       help="shard report JSON files (from: plan run -o)")
+    merge.add_argument("-o", "--output", type=Path, default=None,
+                       help="write the merged report as canonical JSON")
 
     asm = sub.add_parser("asm", help="assemble .rasa text into a JSONL trace")
     asm.add_argument("source", type=Path)
@@ -201,7 +264,7 @@ def _cmd_fig(args) -> int:
     elif number == 6:
         print(fig6_performance_per_area(settings).render())
     elif args.workloads is not None:
-        # Unknown names raise "unknown workload suite" from the runner.
+        # Unknown names raise "unknown workload suite" from the plan.
         print(
             suite_batch_sweep(
                 settings, suites=_suite_spec_names(args.workloads)
@@ -297,18 +360,25 @@ def _normalized_cycle_cells(cycles: Dict[str, Dict[str, int]], design_keys: List
     ``cycles`` maps row label -> design key -> end-to-end cycles.  Returns
     per-row formatted cells plus the GEOMEAN cells (``None`` for
     single-row tables).  Both sweep output modes build on this, so their
-    formatting and geomean semantics cannot diverge.
+    formatting and geomean semantics cannot diverge.  Plans without a
+    ``baseline`` design print raw cycles (nothing to normalize against).
     """
+    has_baseline = "baseline" in design_keys
     normalized = {
         row: {
-            key: (per[key] / per["baseline"]) if per["baseline"] else 0.0
+            key: (per[key] / per["baseline"])
+            if has_baseline and per["baseline"]
+            else 0.0
             for key in design_keys
         }
         for row, per in cycles.items()
     }
     cells = {
         row: [
-            f"{cycles[row][key]} ({normalized[row][key]:.3f})" for key in design_keys
+            f"{cycles[row][key]} ({normalized[row][key]:.3f})"
+            if has_baseline
+            else f"{cycles[row][key]}"
+            for key in design_keys
         ]
         for row in cycles
     }
@@ -317,7 +387,7 @@ def _normalized_cycle_cells(cycles: Dict[str, Dict[str, int]], design_keys: List
             f"{geometric_mean(normalized[row][key] for row in cycles):.3f}"
             for key in design_keys
         ]
-        if len(cycles) > 1
+        if len(cycles) > 1 and has_baseline
         else None
     )
     return cells, geomean
@@ -334,7 +404,7 @@ def _suite_spec_names(spec: str) -> List[str]:
 
 
 def _parse_batches(spec: str) -> List[int]:
-    """Parse ``--batches`` into ints; the runner validates the values."""
+    """Parse ``--batches`` into ints; the plan validates the values."""
     parts = _split_spec(spec)
     if not parts:
         raise ReproError("--batches needs at least one batch size")
@@ -346,116 +416,70 @@ def _parse_batches(spec: str) -> List[int]:
         ) from None
 
 
-def _cmd_sweep_suite_batches(args) -> int:
-    """Suite batch mode: Fig. 7-style curves per model, dedup across batches."""
-    names = _suite_spec_names(args.workloads)
-    batches = _parse_batches(args.batches)
-    design_keys = _sweep_designs(args.designs)
+def _parse_shard(spec: str) -> Tuple[int, int]:
+    """Parse ``--shard I/N``; the plan validates the range."""
+    parts = spec.split("/")
+    if len(parts) == 2:
+        try:
+            return int(parts[0]), int(parts[1])
+        except ValueError:
+            pass
+    raise ReproError(
+        f"bad --shard spec {spec!r}; expected I/N with 0 <= I < N (e.g. 0/2)"
+    )
 
+
+def _session_from_args(args) -> Session:
+    """One :class:`Session` per invocation, from the shared execution flags."""
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    runner = SweepRunner(cache=cache, workers=args.jobs)
-    start = time.perf_counter()
-    curves = runner.run_suites_batches(
-        design_keys, names, batches, fidelity=args.fidelity, scale=args.scale
-    )
-    elapsed = time.perf_counter() - start
+    return Session(cache=cache, workers=args.jobs)
 
-    headers = ["batch"] + [DESIGNS[key].label for key in design_keys]
-    for name in names:
-        per_design = curves[name]
-        cycles = {
-            batch: {
-                key: per_design[key].totals[i].cycles for key in design_keys
-            }
-            for i, batch in enumerate(batches)
-        }
-        cells, geomean = _normalized_cycle_cells(cycles, design_keys)
-        rows = [[batch] + cells[batch] for batch in batches]
-        if geomean is not None:
-            rows.append(["GEOMEAN"] + geomean)
-        print(format_table(
-            headers, rows,
-            title=(
-                f"suite batch sweep — {name}: end-to-end cycles "
-                f"(normalized to baseline), fidelity={args.fidelity}"
-            ),
-        ))
-    # Key dedup collapses points across suites AND batches (tile-padded
-    # dims), so count the padded union against the naive per-batch total.
-    distinct, expanded = curve_point_counts(
-        names, batches, args.scale, design_count=len(design_keys)
-    )
-    line = (
-        f"{distinct} distinct points for {expanded} per-batch suite points "
-        f"({expanded / distinct:.1f}x cross-batch dedup) in {elapsed:.2f}s"
-    )
-    if cache is not None:
-        line += (
-            f" — {cache.misses} simulated, {cache.hits} cached ({cache.path})"
+
+def _reject_axis_flags_with_plan_file(args) -> None:
+    """``--plan`` loads the *whole* declaration; axis flags cannot amend it.
+
+    Silently ignoring them would run a different sweep than the flags
+    describe, so *any* axis flag next to ``--plan`` is an error — the
+    parser keeps ``None`` defaults precisely so explicitly typed values
+    (even ones matching a default, like ``--scale 4``) are caught.
+    """
+    overridden = [
+        flag
+        for flag, value in (
+            ("--designs", args.designs),
+            ("--workloads", args.workloads),
+            ("--m", args.m),
+            ("--n", args.n),
+            ("--k", args.k),
+            ("--batch", args.batch),
+            ("--batches", args.batches),
+            ("--scale", args.scale),
+            ("--fidelity", args.fidelity),
         )
-    else:
-        line += f" — {distinct} simulated, cache disabled"
-    print(line)
-    return 0
-
-
-def _cmd_sweep_suites(args) -> int:
-    """Suite mode: simulate distinct shapes only, report end-to-end totals."""
-    names = _suite_spec_names(args.workloads)
-    suites = [get_suite(n, batch=args.batch, scale=args.scale) for n in names]
-    design_keys = _sweep_designs(args.designs)
-
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
-    runner = SweepRunner(cache=cache, workers=args.jobs)
-    start = time.perf_counter()
-    totals = runner.run_suites(design_keys, suites, fidelity=args.fidelity)
-    elapsed = time.perf_counter() - start
-
-    cycles = {
-        name: {key: per_design[key].cycles for key in design_keys}
-        for name, per_design in totals.items()
-    }
-    cells, geomean = _normalized_cycle_cells(cycles, design_keys)
-    headers = ["model", "GEMMs", "distinct"] + [
-        DESIGNS[key].label for key in design_keys
+        if value is not None
     ]
-    rows = []
-    for name, per_design in totals.items():
-        base = per_design["baseline"]
-        rows.append([name, base.gemm_count, base.simulations] + cells[name])
-    if geomean is not None:
-        rows.append(["GEOMEAN", "", ""] + geomean)
-    print(format_table(
-        headers, rows,
-        title=(
-            "suite sweep — end-to-end cycles (normalized to baseline), "
-            f"fidelity={args.fidelity}"
-        ),
-    ))
-    # run_suites dedups across suites too — by tile-padded dims, the cache
-    # key identity — so count the padded union.
-    distinct_dims = {
-        e.shape.tile_padded().dims for suite in suites for e in suite.distinct()
-    }
-    distinct = len(distinct_dims) * len(design_keys)
-    layer_runs = sum(len(suite) for suite in suites) * len(design_keys)
-    line = (
-        f"{distinct} distinct points for {layer_runs} suite GEMM runs "
-        f"({layer_runs / distinct:.1f}x dedup) in {elapsed:.2f}s"
-    )
-    if cache is not None:
-        # The cache counters report what actually ran: one miss per
-        # simulated point, one hit per point served from the store.
-        line += (
-            f" — {cache.misses} simulated, {cache.hits} cached ({cache.path})"
+    if overridden:
+        raise ReproError(
+            f"--plan loads the full declaration; {', '.join(overridden)} "
+            "cannot amend a plan file — edit the JSON or rebuild it with "
+            "'repro plan show ... -o'"
         )
-    else:
-        line += f" — {distinct} simulated, cache disabled"
-    print(line)
-    return 0
 
 
-def _cmd_sweep(args) -> int:
+def _plan_from_args(args) -> SweepPlan:
+    """Build (or load) the :class:`SweepPlan` the shared axis flags declare.
+
+    The decision tree mirrors ``repro sweep``: an ad-hoc ``--m/--n/--k``
+    GEMM, a suite declaration (names / "all", optional ``--batch`` or
+    ``--batches``), or a Table I layer grid.
+    """
+    if getattr(args, "plan_file", None) is not None:
+        _reject_axis_flags_with_plan_file(args)
+        return SweepPlan.from_json(args.plan_file.read_text())
+    designs = args.designs if args.designs is not None else "all"
+    workloads = args.workloads if args.workloads is not None else "table1"
+    scale = args.scale if args.scale is not None else 4
+    fidelity = args.fidelity if args.fidelity is not None else "fast"
     if args.batch is not None and args.batches is not None:
         raise ReproError(
             "--batch (one override) and --batches (a sweep axis) are "
@@ -468,50 +492,328 @@ def _cmd_sweep(args) -> int:
             raise ReproError(
                 "--batch/--batches apply to suite workloads, not --m/--n/--k"
             )
-        shapes = {"cli": GemmShape(m=args.m, n=args.n, k=args.k, name="cli")}
-    elif _is_suite_spec(args.workloads, args.batch, args.batches):
-        if args.batches is not None:
-            return _cmd_sweep_suite_batches(args)
-        return _cmd_sweep_suites(args)
-    else:
-        # Resolve the spec first so a typo'd suite name reports "unknown
-        # workload", not a misleading --batch complaint.
-        shapes = _sweep_shapes(args.workloads, ExperimentSettings(scale=args.scale))
-        if args.batch is not None or args.batches is not None:
+        if args.scale is not None:
             raise ReproError(
-                "--batch/--batches apply to suite workloads "
-                f"({', '.join(SUITES)}), not Table I layer names"
+                "--scale does not apply to an ad-hoc --m/--n/--k GEMM; "
+                "give the dimensions you want simulated"
             )
-    design_keys = _sweep_designs(args.designs)
+        return SweepPlan(
+            designs=tuple(_sweep_designs(designs)),
+            workloads=(("cli", GemmShape(m=args.m, n=args.n, k=args.k, name="cli")),),
+            fidelity=fidelity,
+        )
+    if _is_suite_spec(workloads, args.batch, args.batches):
+        return SweepPlan(
+            designs=tuple(_sweep_designs(designs)),
+            suites=tuple(_suite_spec_names(workloads)),
+            batch=args.batch,
+            batches=(
+                tuple(_parse_batches(args.batches))
+                if args.batches is not None
+                else None
+            ),
+            scale=scale,
+            fidelity=fidelity,
+        )
+    # Resolve the spec first so a typo'd suite name reports "unknown
+    # workload", not a misleading --batch complaint.  The plan carries the
+    # *unscaled* Table I shapes plus the scale knob (applied at expansion,
+    # same floors), so its JSON records what will actually run.
+    shapes = _sweep_shapes(workloads, ExperimentSettings(scale=1))
+    if args.batch is not None or args.batches is not None:
+        raise ReproError(
+            "--batch/--batches apply to suite workloads "
+            f"({', '.join(SUITES)}), not Table I layer names"
+        )
+    return SweepPlan(
+        designs=tuple(_sweep_designs(designs)),
+        workloads=tuple(shapes.items()),
+        scale=scale,
+        fidelity=fidelity,
+    )
 
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
-    runner = SweepRunner(cache=cache, workers=args.jobs)
-    start = time.perf_counter()
-    grid = runner.run_grid(design_keys, shapes, fidelity=args.fidelity)
-    elapsed = time.perf_counter() - start
 
+# -- report rendering (shared by sweep and plan run/merge) -------------------------
+
+
+def _cycles_label(design_keys: List[str]) -> str:
+    """Honest table label: normalization only happens with a baseline."""
+    if "baseline" in design_keys:
+        return "cycles (normalized to baseline)"
+    return "cycles"
+
+
+def _print_grid_tables(report: SweepReport) -> None:
+    """The (workload x design) table over the plan's named workloads."""
+    plan = report.plan
+    design_keys = list(plan.designs)
+    grid = report.grid()
     cycles = {
         workload: {key: grid[workload][key].cycles for key in design_keys}
-        for workload in shapes
+        for workload, _ in plan.workloads
     }
     cells, geomean = _normalized_cycle_cells(cycles, design_keys)
     headers = ["workload"] + [DESIGNS[key].label for key in design_keys]
-    rows = [[workload] + cells[workload] for workload in shapes]
+    rows = [[workload] + cells[workload] for workload, _ in plan.workloads]
     if geomean is not None:
         rows.append(["GEOMEAN"] + geomean)
     print(format_table(
         headers, rows,
-        title=f"sweep — cycles (normalized to baseline), fidelity={args.fidelity}",
+        title=f"sweep — {_cycles_label(design_keys)}, fidelity={plan.fidelity}",
     ))
-    jobs = len(shapes) * len(design_keys)
-    if cache is not None:
+
+
+def _print_suite_tables(report: SweepReport) -> None:
+    """The per-suite end-to-end totals table."""
+    plan = report.plan
+    design_keys = list(plan.designs)
+    totals = report.suite_totals()
+    cycles = {
+        name: {key: per_design[key].cycles for key in design_keys}
+        for name, per_design in totals.items()
+    }
+    cells, geomean = _normalized_cycle_cells(cycles, design_keys)
+    headers = ["model", "GEMMs", "distinct"] + [
+        DESIGNS[key].label for key in design_keys
+    ]
+    rows = []
+    for name, per_design in totals.items():
+        first = per_design[design_keys[0]]
+        rows.append([name, first.gemm_count, first.simulations] + cells[name])
+    if geomean is not None:
+        rows.append(["GEOMEAN", "", ""] + geomean)
+    print(format_table(
+        headers, rows,
+        title=(
+            f"suite sweep — end-to-end {_cycles_label(design_keys)}, "
+            f"fidelity={plan.fidelity}"
+        ),
+    ))
+
+
+def _print_curve_tables(report: SweepReport) -> None:
+    """One Fig. 7-style table per suite along the plan's batch axis."""
+    plan = report.plan
+    design_keys = list(plan.designs)
+    curves = report.batch_curves()
+    headers = ["batch"] + [DESIGNS[key].label for key in design_keys]
+    for name, per_design in curves.items():
+        cycles = {
+            batch: {
+                key: per_design[key].totals[i].cycles for key in design_keys
+            }
+            for i, batch in enumerate(plan.batches)
+        }
+        cells, geomean = _normalized_cycle_cells(cycles, design_keys)
+        rows = [[batch] + cells[batch] for batch in plan.batches]
+        if geomean is not None:
+            rows.append(["GEOMEAN"] + geomean)
+        print(format_table(
+            headers, rows,
+            title=(
+                f"suite batch sweep — {name}: end-to-end "
+                f"{_cycles_label(design_keys)}, fidelity={plan.fidelity}"
+            ),
+        ))
+
+
+def _print_report_tables(report: SweepReport) -> None:
+    """Render every view the report's plan declares (complete reports only)."""
+    if report.plan.jobs:
+        print(f"{len(report.plan.jobs)} explicit jobs (no table view)")
+    if report.plan.workloads:
+        _print_grid_tables(report)
+    if report.plan.suites:
+        if report.plan.batches is not None:
+            _print_curve_tables(report)
+        else:
+            _print_suite_tables(report)
+
+
+def _cmd_sweep_suite_batches(args, plan: SweepPlan) -> int:
+    """Suite batch mode: Fig. 7-style curves per model, dedup across batches."""
+    session = _session_from_args(args)
+    start = time.perf_counter()
+    report = session.run(plan)
+    elapsed = time.perf_counter() - start
+
+    _print_curve_tables(report)
+    # Key dedup collapses points across suites AND batches (tile-padded
+    # dims), so count the padded union against the naive per-batch total.
+    names = [_suite_name(entry) for entry in plan.suites]
+    distinct, expanded = curve_point_counts(
+        names, plan.batches, plan.scale, design_count=len(plan.designs)
+    )
+    line = (
+        f"{distinct} distinct points for {expanded} per-batch suite points "
+        f"({expanded / distinct:.1f}x cross-batch dedup) in {elapsed:.2f}s"
+    )
+    if session.cache is not None:
+        line += (
+            f" — {report.simulated} simulated, {report.cache_hits} cached "
+            f"({session.cache.path})"
+        )
+    else:
+        line += f" — {distinct} simulated, cache disabled"
+    print(line)
+    return 0
+
+
+def _cmd_sweep_suites(args, plan: SweepPlan) -> int:
+    """Suite mode: simulate distinct shapes only, report end-to-end totals."""
+    session = _session_from_args(args)
+    start = time.perf_counter()
+    report = session.run(plan)
+    elapsed = time.perf_counter() - start
+
+    _print_suite_tables(report)
+    # The plan dedups across suites too — by tile-padded dims, the cache
+    # key identity — so count the padded union.
+    built = [suite for suite, _ in plan.built_suites()]
+    distinct_dims = {
+        e.shape.tile_padded().dims for suite in built for e in suite.distinct()
+    }
+    distinct = len(distinct_dims) * len(plan.designs)
+    layer_runs = sum(len(suite) for suite in built) * len(plan.designs)
+    line = (
+        f"{distinct} distinct points for {layer_runs} suite GEMM runs "
+        f"({layer_runs / distinct:.1f}x dedup) in {elapsed:.2f}s"
+    )
+    if session.cache is not None:
+        # The report counters record what actually ran: one simulation per
+        # missed point, one hit per point served from the store.
+        line += (
+            f" — {report.simulated} simulated, {report.cache_hits} cached "
+            f"({session.cache.path})"
+        )
+    else:
+        line += f" — {distinct} simulated, cache disabled"
+    print(line)
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    plan = _plan_from_args(args)
+    if plan.suites:
+        if plan.batches is not None:
+            return _cmd_sweep_suite_batches(args, plan)
+        return _cmd_sweep_suites(args, plan)
+
+    session = _session_from_args(args)
+    start = time.perf_counter()
+    report = session.run(plan)
+    elapsed = time.perf_counter() - start
+
+    _print_grid_tables(report)
+    jobs = len(plan.workloads) * len(plan.designs)
+    if session.cache is not None:
         print(
-            f"{jobs} simulations in {elapsed:.2f}s — cache: {cache.hits} hits, "
-            f"{cache.misses} misses ({cache.path})"
+            f"{jobs} simulations in {elapsed:.2f}s — cache: "
+            f"{report.cache_hits} hits, {report.simulated} misses "
+            f"({session.cache.path})"
         )
     else:
         print(f"{jobs} simulations in {elapsed:.2f}s — cache disabled")
     return 0
+
+
+def _sharded_plan_from_args(args) -> SweepPlan:
+    plan = _plan_from_args(args)
+    if args.shard is not None:
+        index, count = _parse_shard(args.shard)
+        plan = plan.shard(index, count)
+    return plan
+
+
+def _describe_plan(plan: SweepPlan) -> List[str]:
+    distinct = plan.distinct_keys()
+    owned = plan.shard_keys()
+    lines = [
+        f"designs   : {', '.join(plan.designs) or '(none)'}",
+        f"workloads : {len(plan.workloads)} named GEMMs",
+        "suites    : "
+        + (", ".join(_suite_name(entry) for entry in plan.suites) or "(none)"),
+        f"batch axis: {list(plan.batches) if plan.batches is not None else '-'}"
+        + (f" (batch override {plan.batch})" if plan.batch is not None else ""),
+        f"scale     : 1/{plan.scale}, fidelity: {plan.fidelity}",
+        f"jobs      : {plan.job_count()} expanded, {len(distinct)} distinct "
+        f"points ({plan.job_count() / len(distinct):.1f}x dedup)",
+    ]
+    if plan.shard_spec is not None:
+        index, count = plan.shard_spec
+        lines.append(
+            f"shard     : {index}/{count} — owns {len(owned)} of "
+            f"{len(distinct)} distinct points"
+        )
+    return lines
+
+
+def _cmd_plan_show(args) -> int:
+    plan = _sharded_plan_from_args(args)
+    for line in _describe_plan(plan):
+        print(line)
+    if args.output is not None:
+        args.output.write_text(plan.to_json())
+        print(f"wrote {args.output}")
+    else:
+        print(plan.to_json(indent=2))
+    return 0
+
+
+def _cmd_plan_run(args) -> int:
+    plan = _sharded_plan_from_args(args)
+    if plan.shard_spec is not None and args.output is None and args.no_cache:
+        # Refuse *before* simulating: a shard report that lands nowhere —
+        # no file, no cache — cannot be merged and the work is wasted.
+        raise ReproError(
+            "a sharded run with --no-cache discards its results without "
+            "-o/--output; add -o shard.json (or drop --no-cache)"
+        )
+    session = _session_from_args(args)
+    start = time.perf_counter()
+    report = session.run(plan)
+    elapsed = time.perf_counter() - start
+    if report.is_partial:
+        index, count = plan.shard_spec
+        total = len(plan.distinct_keys())
+        print(
+            f"shard {index}/{count}: ran {report.distinct_points} of {total} "
+            f"distinct points ({report.job_count} jobs) in {elapsed:.2f}s — "
+            f"{report.simulated} simulated, {report.cache_hits} cached"
+        )
+    else:
+        _print_report_tables(report)
+        print(
+            f"{report.job_count} jobs, {report.distinct_points} distinct "
+            f"points ({report.dedup_factor:.1f}x dedup) in {elapsed:.2f}s — "
+            f"{report.simulated} simulated, {report.cache_hits} cached"
+        )
+    if args.output is not None:
+        args.output.write_text(report.to_json())
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_plan_merge(args) -> int:
+    reports = [SweepReport.from_json(path.read_text()) for path in args.reports]
+    merged = reports[0].merge(*reports[1:])
+    _print_report_tables(merged)
+    print(
+        f"merged {len(reports)} report(s): {merged.distinct_points} distinct "
+        f"points, {merged.job_count} jobs"
+    )
+    if args.output is not None:
+        args.output.write_text(merged.to_json())
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    if args.plan_command == "show":
+        return _cmd_plan_show(args)
+    if args.plan_command == "run":
+        return _cmd_plan_run(args)
+    return _cmd_plan_merge(args)
 
 
 def _cmd_asm(source: Path, output: Path) -> int:
@@ -558,16 +860,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_simulate(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "plan":
+            return _cmd_plan(args)
         if args.command == "asm":
             return _cmd_asm(args.source, args.output)
         if args.command == "disasm":
             return _cmd_disasm(args.trace)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return 1
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return 1
     return 1
 
 

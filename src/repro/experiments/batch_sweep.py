@@ -21,9 +21,9 @@ from typing import Dict, List, Sequence
 from repro.experiments.runner import (
     DEFAULT_SETTINGS,
     ExperimentSettings,
-    default_runner,
+    default_session,
 )
-from repro.runtime.sweep import SweepJob
+from repro.runtime.plan import SweepPlan
 from repro.utils.tables import format_table
 from repro.workloads.layers import FC_LAYER_NAMES, TABLE1_LAYERS
 
@@ -60,11 +60,12 @@ def fig7_batch_sensitivity(
 ) -> BatchSweep:
     """Sweep batch size for every FC layer on ``design_key`` vs the baseline.
 
-    The (layer x batch x {design, baseline}) grid is flattened into one
-    :class:`SweepJob` list and fanned out through the shared
-    :func:`default_runner` — parallel workers plus the persistent cache.
+    The (layer x batch x {design, baseline}) grid is declared as one
+    :class:`SweepPlan` — each (layer, batch) point is a named workload —
+    and fanned out through the shared :func:`default_session`: parallel
+    workers plus the persistent cache.
     """
-    jobs: List[SweepJob] = []
+    workloads: List = []
     for name in FC_LAYER_NAMES:
         layer = TABLE1_LAYERS[name]
         for batch in batches:
@@ -76,26 +77,19 @@ def fig7_batch_sensitivity(
                 n=max(32, gemm.n // settings.scale),
                 k=max(32, gemm.k // settings.scale),
             )
-            for key in (design_key, "baseline"):
-                jobs.append(
-                    SweepJob(
-                        design_key=key,
-                        shape=shape,
-                        workload=f"{name}@b{batch}",
-                        core=settings.core,
-                        codegen=settings.codegen,
-                    )
-                )
-    results = default_runner().run(jobs)
-    by_pair = {
-        (job.workload, job.design_key): result
-        for job, result in zip(jobs, results)
-    }
+            workloads.append((f"{name}@b{batch}", shape))
+    plan = SweepPlan(
+        designs=tuple(dict.fromkeys((design_key, "baseline"))),
+        workloads=tuple(workloads),
+        core=settings.core,
+        codegen=settings.codegen,
+    )
+    grid = default_session().run(plan).grid()
     series: Dict[str, Dict[int, float]] = {name: {} for name in FC_LAYER_NAMES}
     for name in FC_LAYER_NAMES:
         for batch in batches:
-            workload = f"{name}@b{batch}"
-            design = by_pair[(workload, design_key)]
-            base = by_pair[(workload, "baseline")]
-            series[name][batch] = design.normalized_to(base)
+            per_design = grid[f"{name}@b{batch}"]
+            series[name][batch] = per_design[design_key].normalized_to(
+                per_design["baseline"]
+            )
     return BatchSweep(batches=tuple(batches), series=series)

@@ -4,11 +4,11 @@ The paper's Fig. 5 evaluates three layers per MLPerf model and argues the
 relative performance of the designs is workload-independent.  This driver
 stress-tests that claim end to end: every registered workload suite
 (:mod:`repro.workloads.suites` — full ResNet-50, the 12-layer BERT-base
-stack, the DLRM MLPs, the Table I trio, and the training passes) is
-simulated at its *distinct* shapes only via
-:meth:`repro.runtime.sweep.SweepRunner.run_suite`, then expanded into
-occurrence-weighted end-to-end cycles, normalized runtime, speedup and
-energy-efficiency per design.
+stack, the DLRM MLPs, the Table I trio, and the training passes) goes
+into one :class:`repro.runtime.SweepPlan`, simulates at its *distinct*
+shapes only (:meth:`repro.runtime.SweepReport.suite_totals`), and expands
+into occurrence-weighted end-to-end cycles, normalized runtime, speedup
+and energy-efficiency per design.
 
 If the paper's sampling was representative, every model row lands near the
 Fig. 5 geomean (~0.21 for RASA-DMDB-WLS); the training row shows the
@@ -25,13 +25,15 @@ from repro.errors import ExperimentError
 from repro.experiments.runner import (
     DEFAULT_SETTINGS,
     ExperimentSettings,
-    default_runner,
+    _resolve_session,
     geometric_mean,
 )
 from repro.physical.energy import EnergyModel
-from repro.runtime.sweep import SuiteTotals, SweepRunner
+from repro.runtime.plan import SuiteTotals, SweepPlan
+from repro.runtime.session import Session
+from repro.runtime.sweep import SweepRunner
 from repro.utils.tables import format_table
-from repro.workloads.suites import get_suite, suite_names
+from repro.workloads.suites import suite_names
 
 #: The design whose speedup/energy columns headline the table.
 BEST_DESIGN = "rasa-dmdb-wls"
@@ -116,11 +118,15 @@ def model_report(
     batch: Optional[int] = None,
     runner: Optional[SweepRunner] = None,
     fidelity: str = "fast",
+    session: Optional[Session] = None,
 ) -> ModelReport:
     """Run every suite on every design and aggregate end-to-end totals.
 
-    Suites are scaled by ``settings.scale`` like every other sweep;
-    ``batch`` overrides each suite's streamed-rows dimension, and
+    The whole (suite x design) cross-product is one :class:`SweepPlan`
+    executed through ``session`` (default: the shared environment-driven
+    session; ``runner`` is the deprecated spelling and contributes its
+    session).  Suites are scaled by ``settings.scale`` like every other
+    sweep; ``batch`` overrides each suite's streamed-rows dimension, and
     ``fidelity`` selects the simulation backend (``"fast"`` default;
     ``"ooo"`` for cycle-accurate validation runs).  The design list must
     include ``"baseline"`` (normalization anchor).
@@ -131,15 +137,14 @@ def model_report(
             "model_report needs the 'baseline' design for normalization; "
             f"got: {', '.join(design_keys)}"
         )
-    runner = runner if runner is not None else default_runner()
-    totals = runner.run_suites(
-        design_keys,
-        [
-            get_suite(name, batch=batch, scale=settings.scale)
-            for name in (suites if suites is not None else suite_names())
-        ],
+    plan = SweepPlan(
+        designs=tuple(design_keys),
+        suites=tuple(suites if suites is not None else suite_names()),
+        batch=batch,
+        scale=settings.scale,
         core=settings.core,
         codegen=settings.codegen,
         fidelity=fidelity,
     )
+    totals = _resolve_session(session, runner).run(plan).suite_totals()
     return ModelReport(totals=totals, design_keys=design_keys)

@@ -1,9 +1,11 @@
 """Common experiment plumbing, now a thin client of :mod:`repro.runtime`.
 
 Every simulation below goes through the backend registry
-(:func:`repro.runtime.resolve_backend`) and every grid through
-:class:`repro.runtime.SweepRunner` — parallel across worker processes and
-memoized in the on-disk result cache.  Environment knobs:
+(:func:`repro.runtime.resolve_backend`) and every grid is declared as a
+:class:`repro.runtime.SweepPlan` and executed by the shared
+:class:`repro.runtime.Session` (:func:`default_session`) — parallel across
+worker processes and memoized in the on-disk result cache.  Environment
+knobs:
 
 - ``REPRO_SWEEP_WORKERS`` — worker process count (default: CPU count);
 - ``REPRO_NO_CACHE``      — any non-empty value disables the disk cache;
@@ -20,7 +22,6 @@ from __future__ import annotations
 
 import dataclasses
 import functools
-import os
 from pathlib import Path
 from typing import Dict, Optional
 
@@ -28,9 +29,10 @@ from repro.cpu.config import CoreConfig
 from repro.cpu.result import SimResult
 from repro.engine.designs import DESIGNS
 from repro.errors import ExperimentError
-from repro.runtime.cache import ResultCache
+from repro.runtime.plan import SweepPlan
 from repro.runtime.registry import resolve_backend
-from repro.runtime.sweep import SweepRunner, cached_program
+from repro.runtime.session import Session, cached_program
+from repro.runtime.sweep import SweepRunner
 from repro.workloads.codegen import CodegenOptions
 from repro.workloads.gemm import GemmShape
 from repro.workloads.layers import table1_gemms
@@ -54,37 +56,44 @@ class ExperimentSettings:
 DEFAULT_SETTINGS = ExperimentSettings()
 
 
+def default_session(
+    workers: Optional[int] = None,
+    cache_dir: Optional[Path] = None,
+    use_cache: bool = True,
+) -> Session:
+    """The :class:`Session` the experiment drivers share.
+
+    Honors the ``REPRO_SWEEP_WORKERS`` / ``REPRO_NO_CACHE`` /
+    ``REPRO_CACHE_DIR`` environment knobs documented in the module doc.
+    """
+    return Session.from_env(
+        workers=workers, cache_dir=cache_dir, use_cache=use_cache
+    )
+
+
 def default_runner(
     workers: Optional[int] = None,
     cache_dir: Optional[Path] = None,
     use_cache: bool = True,
 ) -> SweepRunner:
-    """The :class:`SweepRunner` the experiment drivers share.
+    """Deprecated spelling of :func:`default_session` (same env knobs).
 
-    Honors the ``REPRO_SWEEP_WORKERS`` / ``REPRO_NO_CACHE`` /
-    ``REPRO_CACHE_DIR`` environment knobs documented in the module doc.
+    Returns the legacy :class:`SweepRunner` facade; its ``run_*`` methods
+    emit :class:`DeprecationWarning` and delegate to the owned session.
     """
-    if use_cache and not os.environ.get("REPRO_NO_CACHE"):
-        cache: Optional[ResultCache] = ResultCache(cache_dir)
-    else:
-        cache = None
-    if workers is None:
-        env = os.environ.get("REPRO_SWEEP_WORKERS")
-        if env:
-            try:
-                workers = int(env)
-            except ValueError:
-                raise ExperimentError(
-                    f"REPRO_SWEEP_WORKERS must be an integer worker count, "
-                    f"got {env!r}"
-                ) from None
-            if workers < 1:
-                raise ExperimentError(
-                    f"REPRO_SWEEP_WORKERS must be a positive worker count, "
-                    f"got {env!r}; use 1 for serial execution or unset it "
-                    "for the CPU-count default"
-                )
-    return SweepRunner(cache=cache, workers=workers)
+    session = default_session(workers, cache_dir, use_cache)
+    return SweepRunner(cache=session.cache, workers=session.workers)
+
+
+def _resolve_session(
+    session: Optional[Session], runner: Optional[SweepRunner]
+) -> Session:
+    """Driver-argument compatibility: prefer ``session``, accept ``runner``."""
+    if session is not None:
+        return session
+    if runner is not None:
+        return runner.session
+    return default_session()
 
 
 def workload_shapes(settings: ExperimentSettings = DEFAULT_SETTINGS) -> Dict[str, GemmShape]:
@@ -112,18 +121,20 @@ def runtime_sweep(
 ) -> Dict[str, Dict[str, SimResult]]:
     """Run every design on every Table I workload (the Fig. 5 grid).
 
-    Fans out over the shared :func:`default_runner` — parallel workers plus
-    the persistent result cache — and memoizes in-process on top: Fig. 6
-    and the energy table reuse the same grid without a second lookup pass.
+    Declares the grid as a :class:`SweepPlan` and runs it through the
+    shared :func:`default_session` — parallel workers plus the persistent
+    result cache — and memoizes in-process on top: Fig. 6 and the energy
+    table reuse the same grid without a second lookup pass.
 
     Returns ``results[workload_name][design_key]``.
     """
-    return default_runner().run_grid(
-        DESIGNS,
-        workload_shapes(settings),
+    plan = SweepPlan(
+        designs=tuple(DESIGNS),
+        workloads=tuple(workload_shapes(settings).items()),
         core=settings.core,
         codegen=settings.codegen,
     )
+    return default_session().run(plan).grid()
 
 
 def normalized_runtimes(

@@ -4,16 +4,15 @@ The paper's Fig. 7 sweeps the six FC layers in isolation and argues
 RASA-DMDB-WLS approaches the perfect-pipelining asymptote 16/95 as batch
 grows.  This driver stress-tests that claim end to end: whole workload
 suites (the 12-layer BERT-base stack, the DLRM MLPs, the training passes)
-are rebuilt at every batch via
-:meth:`repro.runtime.sweep.SweepRunner.run_suite_batches` and reduced to
-one occurrence-weighted normalized-runtime curve per model.
+are rebuilt at every batch along a :class:`repro.runtime.plan.SweepPlan`
+batch axis and reduced to one occurrence-weighted normalized-runtime curve
+per model (:meth:`repro.runtime.plan.SweepReport.batch_curves`).
 
-All (suite, batch, design) points run through **one** flat sweep, so the
+All (suite, batch, design) points run through **one** flat plan, so the
 runtime layer's key dedup collapses duplicate points across batches:
 sub-tile batches lower to identical streams and simulate once, as do
 scaled batches that saturate at the one-register-block floor.  Each curve
-point still matches a standalone per-batch
-:meth:`~repro.runtime.sweep.SweepRunner.run_suite` bit for bit.
+point still matches a standalone single-batch suite plan bit for bit.
 
 The default suites are the FC-shaped models: a conv suite's streamed rows
 are batch x output spatial, so ``resnet50`` (or ``table1``, which embeds
@@ -34,9 +33,11 @@ from repro.experiments.model_report import BEST_DESIGN
 from repro.experiments.runner import (
     DEFAULT_SETTINGS,
     ExperimentSettings,
-    default_runner,
+    _resolve_session,
 )
-from repro.runtime.sweep import SuiteBatchCurve, SweepRunner
+from repro.runtime.plan import SuiteBatchCurve, SweepPlan
+from repro.runtime.session import Session
+from repro.runtime.sweep import SweepRunner
 from repro.utils.tables import format_table
 from repro.workloads.suites import SUITES
 
@@ -131,13 +132,15 @@ def suite_batch_sweep(
     design_key: str = BEST_DESIGN,
     fidelity: str = "fast",
     runner: Optional[SweepRunner] = None,
+    session: Optional[Session] = None,
 ) -> SuiteBatchSweep:
     """Sweep whole-model suites over the batch axis vs the baseline.
 
     Every suite is rebuilt at every batch (``settings.scale`` shrinks the
     rebuilt shapes with the usual floors) and the full
-    (suite x batch x {design, baseline}) grid runs as one dedup-aware
-    sweep through the shared :func:`default_runner`.
+    (suite x batch x {design, baseline}) cross-product is one dedup-aware
+    :class:`SweepPlan` executed through ``session`` (default: the shared
+    environment-driven session; ``runner`` is the deprecated spelling).
     """
     if design_key == "baseline":
         raise ExperimentError(
@@ -145,16 +148,16 @@ def suite_batch_sweep(
             "non-baseline design_key to plot"
         )
     names = list(suites if suites is not None else DEFAULT_CURVE_SUITES)
-    runner = runner if runner is not None else default_runner()
-    curves = runner.run_suites_batches(
-        ["baseline", design_key],
-        names,
-        batches,
+    plan = SweepPlan(
+        designs=("baseline", design_key),
+        suites=tuple(names),
+        batches=tuple(batches),
+        scale=settings.scale,
         core=settings.core,
         codegen=settings.codegen,
         fidelity=fidelity,
-        scale=settings.scale,
     )
+    curves = _resolve_session(session, runner).run(plan).batch_curves()
     simulated, expanded = curve_point_counts(
         names, tuple(batches), settings.scale, design_count=2
     )

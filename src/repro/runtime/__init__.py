@@ -15,17 +15,25 @@ cycle-accurate OoO — runs through this subsystem:
   simulation input (bump :data:`CODE_VERSION` on timing or key-schema
   changes — version 2 dropped display labels from keys, version 3 keys
   shapes by their tile-padded dimensions);
-- :mod:`repro.runtime.sweep` fans (design x workload x settings) grids out
-  over ``multiprocessing`` workers with cache-aware memoization
-  (:class:`SweepRunner`), deduplicates jobs so each distinct point
-  simulates once per sweep, and aggregates whole-model
-  :class:`repro.workloads.suites.WorkloadSuite` multisets into
-  occurrence-weighted end-to-end totals (:meth:`SweepRunner.run_suite` ->
-  :class:`SuiteTotals`).
+- :mod:`repro.runtime.plan` declares sweeps: a frozen, serializable
+  :class:`SweepPlan` (designs x workloads/suites x batches x knobs x
+  fidelity) that expands lazily to dedup-keyed :class:`SweepJob`\\ s,
+  shards deterministically (:meth:`SweepPlan.shard`), and round-trips
+  through canonical JSON; results come back as a :class:`SweepReport`
+  with typed views (``grid()``, ``suite_totals()``, ``batch_curves()``)
+  and bit-identical shard merging;
+- :mod:`repro.runtime.session` executes plans: a :class:`Session` owns
+  the result cache, backend resolution and the ``multiprocessing`` pool,
+  and exposes the single entry point ``session.run(plan)`` with
+  crash-safe streaming write-back;
+- :mod:`repro.runtime.sweep` keeps the deprecated
+  :class:`SweepRunner.run_*` method family as thin plan-building shims
+  (each emits :class:`DeprecationWarning`).
 
-The experiment drivers (:mod:`repro.experiments`), the CLI (``repro sweep``)
-and the benchmark suite are all thin clients of this layer; future scaling
-work (sharding, async serving, new backends) plugs in here.
+The experiment drivers (:mod:`repro.experiments`), the CLI (``repro
+sweep`` / ``repro plan``) and the benchmark suite are all thin clients of
+this layer; future scaling work (multi-host sharding, async serving, new
+backends) plugs in here.
 """
 
 from repro.runtime.backend import (
@@ -35,19 +43,21 @@ from repro.runtime.backend import (
     SimBackend,
 )
 from repro.runtime.cache import CODE_VERSION, ResultCache, cache_key
+from repro.runtime.plan import (
+    PLAN_FORMAT,
+    SuiteBatchCurve,
+    SuiteTotals,
+    SweepJob,
+    SweepPlan,
+    SweepReport,
+)
 from repro.runtime.registry import (
     FIDELITIES,
     register_backend,
     resolve_backend,
 )
-from repro.runtime.sweep import (
-    PROGRAM_CACHE_SIZE,
-    SuiteBatchCurve,
-    SuiteTotals,
-    SweepJob,
-    SweepRunner,
-    cached_program,
-)
+from repro.runtime.session import PROGRAM_CACHE_SIZE, Session, cached_program
+from repro.runtime.sweep import SweepRunner
 
 __all__ = [
     "SimBackend",
@@ -60,7 +70,11 @@ __all__ = [
     "ResultCache",
     "cache_key",
     "CODE_VERSION",
+    "PLAN_FORMAT",
     "SweepJob",
+    "SweepPlan",
+    "SweepReport",
+    "Session",
     "SweepRunner",
     "SuiteTotals",
     "SuiteBatchCurve",

@@ -1,0 +1,253 @@
+"""Sessions: the one execution facade behind every sweep.
+
+A :class:`Session` owns the three resources a sweep needs — the persistent
+:class:`repro.runtime.cache.ResultCache`, backend resolution through the
+fidelity registry, and the ``multiprocessing`` worker pool — and exposes a
+single entry point: :meth:`Session.run` takes a declarative
+:class:`repro.runtime.plan.SweepPlan` and returns a
+:class:`repro.runtime.plan.SweepReport`.
+
+Execution layers three accelerations on top of the backend registry:
+
+1. **memoization** — each distinct point's cache key is looked up in the
+   result cache first; only misses simulate, and every fresh result is
+   written back;
+2. **deduplication** — points are identified by their cache key, which is
+   *label-independent* and keyed on tile-*padded* dims (see
+   :mod:`repro.runtime.cache`): within one run, every distinct
+   (design, padded dims, core, codegen, fidelity) point simulates
+   **exactly once**, no matter how many plan jobs map onto it.  Full-model
+   suites lean on this hard — BERT-base's 72 per-layer GEMMs are 3
+   distinct points — and batch axes lean on the padding: batches 1..16 of
+   an FC layer are one point;
+3. **parallelism** — misses fan out over a ``multiprocessing`` pool
+   (``fork`` start method where available, so workers inherit the warm
+   per-process program cache).  ``workers=1`` — or a single-CPU host —
+   degrades to plain serial execution in-process, with bit-identical
+   results: jobs are independent deterministic simulations.
+
+Write-back is **crash-safe**: results stream back from the pool
+*unordered*, each is written to the cache the moment it completes, and
+the cache flushes in a ``finally`` block — a job that raises loses only
+the genuinely unfinished work, never a point that already completed,
+regardless of submission order.  (A worker *process* that dies outright —
+OOM kill, segfault — is a ``multiprocessing.Pool`` limitation: that one
+task's result never arrives, so the run eventually blocks until
+interrupted; every completed point still flushes on that interrupt via
+the same ``finally``.)
+
+Sharded plans (:meth:`repro.runtime.plan.SweepPlan.shard`) run only the
+distinct keys the shard owns; the partial reports merge bit-identically
+into the unsharded result (:meth:`repro.runtime.plan.SweepReport.merge`),
+which is what lets one plan fan out across hosts.
+
+Program generation is itself memoized per process keyed on the *unlabeled*
+``(shape, codegen)`` (bounded by :data:`PROGRAM_CACHE_SIZE`): the usual
+grid runs every design on the same programs, so each worker lowers each
+distinct GEMM only once.
+"""
+
+from __future__ import annotations
+
+import functools
+import multiprocessing
+import os
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Sequence
+
+from repro.cpu.result import SimResult
+from repro.errors import ExperimentError
+from repro.isa.program import Program
+from repro.runtime.cache import ResultCache
+from repro.runtime.plan import SweepJob, SweepPlan, SweepReport
+from repro.runtime.registry import resolve_backend
+from repro.workloads.codegen import CodegenOptions, generate_gemm_program
+from repro.workloads.gemm import GemmShape
+
+#: Bound of the per-process program memo.  32 thrashed on full-model suites
+#: (ResNet-50 alone lowers 53 shapes); 256 holds every catalog in the
+#: repository simultaneously with room for ad-hoc shapes.
+PROGRAM_CACHE_SIZE = 256
+
+
+@functools.lru_cache(maxsize=PROGRAM_CACHE_SIZE)
+def _unlabeled_program(shape: GemmShape, codegen: CodegenOptions) -> Program:
+    return generate_gemm_program(shape, codegen)
+
+
+def cached_program(shape: GemmShape, codegen: CodegenOptions) -> Program:
+    """Per-process program cache: every design reuses one lowered stream.
+
+    Memoized on the *unlabeled* shape — a GEMM's display name never changes
+    the generated stream, so BERT's 48 identically-shaped projections share
+    one lowering.  Introspect/reset via ``cached_program.cache_info()`` /
+    ``cached_program.cache_clear()``.
+    """
+    return _unlabeled_program(shape.unlabeled(), codegen)
+
+
+cached_program.cache_info = _unlabeled_program.cache_info
+cached_program.cache_clear = _unlabeled_program.cache_clear
+
+
+def _execute_job(job: SweepJob) -> SimResult:
+    """Simulate one job (top-level so worker processes can unpickle it)."""
+    program = cached_program(job.shape, job.codegen)
+    backend = resolve_backend(job.design_key, fidelity=job.fidelity, core=job.core)
+    return backend.prepare(program).run()
+
+
+def _execute_indexed(item: "tuple[int, SweepJob]") -> "tuple[int, SimResult]":
+    """Pool task keeping the submission index with its result.
+
+    Results stream back *unordered* (see :meth:`Session._simulate`) so a
+    slow or dying job cannot withhold completed later results from the
+    cache; the index maps each arrival back to its key.
+    """
+    index, job = item
+    return index, _execute_job(job)
+
+
+def _pool_context():
+    """Prefer ``fork`` (cheap, inherits warm caches); fall back otherwise."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def _env_workers() -> Optional[int]:
+    """Parse ``REPRO_SWEEP_WORKERS`` (``None`` when unset)."""
+    env = os.environ.get("REPRO_SWEEP_WORKERS")
+    if not env:
+        return None
+    try:
+        workers = int(env)
+    except ValueError:
+        raise ExperimentError(
+            f"REPRO_SWEEP_WORKERS must be an integer worker count, got {env!r}"
+        ) from None
+    if workers < 1:
+        raise ExperimentError(
+            f"REPRO_SWEEP_WORKERS must be a positive worker count, got "
+            f"{env!r}; use 1 for serial execution or unset it for the "
+            "CPU-count default"
+        )
+    return workers
+
+
+class Session:
+    """Run :class:`SweepPlan`\\ s: cache, backend registry, worker pool.
+
+    Args:
+        cache: a :class:`ResultCache` for persistent memoization, or
+            ``None`` to always simulate.
+        workers: worker process count for cache misses; defaults to the
+            CPU count.  ``1`` forces serial in-process execution; zero or
+            negative counts are rejected with :class:`ExperimentError`
+            rather than silently degrading to serial.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[ResultCache] = None,
+        workers: Optional[int] = None,
+    ):
+        self.cache = cache
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
+            raise ExperimentError(
+                f"workers must be a positive integer, got {workers!r}; "
+                "use workers=1 for serial execution"
+            )
+        self.workers = workers
+
+    @classmethod
+    def from_env(
+        cls,
+        workers: Optional[int] = None,
+        cache_dir: Optional[Path] = None,
+        use_cache: bool = True,
+    ) -> "Session":
+        """The session the experiment drivers and the CLI share.
+
+        Environment knobs:
+
+        - ``REPRO_SWEEP_WORKERS`` — worker count (default: CPU count);
+        - ``REPRO_NO_CACHE``      — any non-empty value disables the cache;
+        - ``REPRO_CACHE_DIR``     — cache location (default ``~/.cache/repro``).
+        """
+        if use_cache and not os.environ.get("REPRO_NO_CACHE"):
+            cache: Optional[ResultCache] = ResultCache(cache_dir)
+        else:
+            cache = None
+        if workers is None:
+            workers = _env_workers()
+        return cls(cache=cache, workers=workers)
+
+    # -- execution -----------------------------------------------------------------
+
+    def run(self, plan: SweepPlan) -> SweepReport:
+        """Execute a plan (or the shard of it the plan owns).
+
+        Each job's key (a canonical-JSON SHA-256) is computed exactly once
+        per run; dedup, the cache lookup, the shard filter, the miss
+        write-back and the report's positional views all reuse the
+        precomputed keys.  Results completed before a mid-run crash are
+        already in the cache — write-back streams per result and flushes
+        in a ``finally``.
+        """
+        jobs = plan.expanded_jobs()  # one expansion + one hash per job, ever
+        keys = plan.job_keys()
+        distinct: Dict[str, SweepJob] = {}
+        for key, job in zip(keys, jobs):
+            if key not in distinct:
+                distinct[key] = job
+        if plan.shard_spec is not None:
+            owned = set(plan.shard_keys())  # the partition's single source
+            distinct = {k: j for k, j in distinct.items() if k in owned}
+        results: Dict[str, SimResult] = {}
+        misses: Dict[str, SweepJob] = {}
+        for key, job in distinct.items():
+            cached = self.cache.get(key) if self.cache is not None else None
+            if cached is not None:
+                results[key] = cached
+            else:
+                misses[key] = job
+        miss_keys = list(misses)
+        try:
+            for index, result in self._simulate(list(misses.values())):
+                results[miss_keys[index]] = result
+                if self.cache is not None:
+                    self.cache.put(miss_keys[index], result)
+        finally:
+            if self.cache is not None:
+                self.cache.flush()
+        return SweepReport(
+            plan=plan,
+            results=results,
+            simulated=len(misses),
+            cache_hits=len(distinct) - len(misses),
+        )
+
+    def _simulate(
+        self, jobs: Sequence[SweepJob]
+    ) -> Iterator["tuple[int, SimResult]"]:
+        """Yield ``(submission index, result)`` pairs as jobs complete.
+
+        Parallel runs stream **unordered** (``imap_unordered``, one task
+        per job): every finished result reaches the caller — and the
+        cache — immediately, so a slow, failed, or killed job never
+        withholds the points that already completed.
+        """
+        if not jobs:
+            return
+        workers = min(self.workers, len(jobs))
+        if workers <= 1:
+            for index, job in enumerate(jobs):
+                yield index, _execute_job(job)
+            return
+        ctx = _pool_context()
+        with ctx.Pool(processes=workers) as pool:
+            yield from pool.imap_unordered(
+                _execute_indexed, enumerate(jobs), chunksize=1
+            )

@@ -1,304 +1,103 @@
-"""Parallel, cache-backed sweep execution.
+"""Deprecated ``run_*`` method family, shimmed onto plans and sessions.
 
-A sweep is a flat list of :class:`SweepJob`s — one (design, workload shape,
-core config, codegen options, fidelity) tuple each.  :class:`SweepRunner`
-executes them with two accelerations layered on top of the backend
-registry:
+Historically this module *was* the execution layer: a
+:class:`SweepRunner` with one ``run_*`` method per sweep shape — flat job
+lists, (design x workload) grids, whole-model suites, suite batch curves —
+each with its own parameter list and return type.  That family is now a
+compatibility veneer over the declarative API:
 
-1. **memoization** — each job's :func:`repro.runtime.cache.cache_key` is
-   looked up in a :class:`repro.runtime.cache.ResultCache` first; only
-   misses simulate, and fresh results are written back once at the end;
-2. **deduplication** — jobs are identified by their cache key, which is
-   *label-independent* and keyed on tile-*padded* dims (see
-   :mod:`repro.runtime.cache`): within one sweep, every distinct
-   (design, padded dims, core, codegen, fidelity) point simulates
-   **exactly once**, no matter how many jobs map to it or what their shapes
-   are named.  Full-model suites lean on this hard — BERT-base's 72
-   per-layer GEMMs are only 3 distinct points — and batch sweeps lean on
-   the padding: batches 1..16 of an FC layer are one point;
-3. **parallelism** — misses fan out over a ``multiprocessing`` pool
-   (``fork`` start method where available, so workers inherit the warm
-   per-process program cache).  ``workers=1`` — or a single-CPU host —
-   degrades to plain serial execution in-process, with bit-identical
-   results: jobs are independent deterministic simulations.
+- :class:`repro.runtime.plan.SweepPlan` declares any of those sweeps (and
+  every future axis) as one frozen, serializable, shardable value;
+- :class:`repro.runtime.session.Session` executes plans — dedup, the
+  on-disk result cache, and the worker pool all live there;
+- :class:`repro.runtime.plan.SweepReport` carries the results, with typed
+  views (``grid()``, ``suite_totals()``, ``batch_curves()``, ``flat()``)
+  replacing the per-method return shapes.
 
-Program generation is itself memoized per process keyed on the *unlabeled*
-``(shape, codegen)`` (bounded by :data:`PROGRAM_CACHE_SIZE`): the usual
-grid runs every design on the same programs, so each worker lowers each
-distinct GEMM only once.
+Every ``SweepRunner.run_*`` call below builds the equivalent plan, runs it
+through the runner's :class:`Session`, reads the matching report view, and
+emits a :class:`DeprecationWarning`.  Return values are identical to the
+historical behavior — the shims exist so downstream code can migrate one
+call site at a time.  New code should build plans directly::
 
-:meth:`SweepRunner.run_suite` layers model-level aggregation on top: a
-:class:`repro.workloads.suites.WorkloadSuite` multiset is simulated at its
-distinct shapes only, then expanded back into occurrence-weighted
-end-to-end totals (:class:`SuiteTotals`) per design.
+    from repro.runtime import Session, SweepPlan
 
-:meth:`SweepRunner.run_suite_batches` adds the batch axis (the paper's
-Fig. 7, at model granularity): every registered suite is rebuilt at each
-requested batch via :meth:`repro.workloads.suites.SuiteSpec.build` and all
-(suite, batch, design) points go through **one** flat job list, so the key
-dedup above also collapses duplicates *across batches* — cache keys use
-tile-padded dimensions, so sub-tile batches that lower to identical
-streams simulate once.  The result is a :class:`SuiteBatchCurve` per
-(suite, design): occurrence-weighted end-to-end totals along the batch
-axis, normalizable against the baseline design's curve.
+    plan = SweepPlan(designs=("baseline", "rasa-dmdb-wls"),
+                     suites=("bert-base",), scale=4)
+    report = Session.from_env().run(plan)
+    totals = report.suite_totals()["bert-base"]
+
+The result types (:class:`SuiteTotals`, :class:`SuiteBatchCurve`), the
+:class:`SweepJob` unit and the per-process :func:`cached_program` memo are
+re-exported here for backward compatibility; they live in
+:mod:`repro.runtime.plan` and :mod:`repro.runtime.session` now.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import functools
-import multiprocessing
-import os
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+import warnings
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.cpu.config import CoreConfig
 from repro.cpu.result import SimResult
+from repro.runtime.cache import ResultCache
 from repro.errors import ExperimentError
-from repro.isa.program import Program
-from repro.runtime.cache import ResultCache, cache_key
-from repro.runtime.registry import resolve_backend
-from repro.workloads.codegen import CodegenOptions, generate_gemm_program
+from repro.runtime.plan import (  # noqa: F401  (compat re-exports)
+    SuiteBatchCurve,
+    SuiteLike,
+    SuiteTotals,
+    SweepJob,
+    SweepPlan,
+    _duplicates,
+    _expand_totals,
+    _resolve_spec,
+    _suite_name,
+    _validated_batches,
+)
+from repro.runtime.session import (  # noqa: F401  (compat re-exports)
+    PROGRAM_CACHE_SIZE,
+    Session,
+    _execute_job,
+    _pool_context,
+    cached_program,
+)
+from repro.workloads.codegen import CodegenOptions
 from repro.workloads.gemm import GemmShape
-from repro.workloads.suites import SUITES, SuiteSpec, WorkloadSuite
+from repro.workloads.suites import SuiteSpec, WorkloadSuite
 
 
-@dataclasses.dataclass(frozen=True)
-class SweepJob:
-    """One simulation of the grid: design x shape under shared settings."""
-
-    design_key: str
-    shape: GemmShape
-    workload: str = ""
-    core: CoreConfig = dataclasses.field(default_factory=CoreConfig)
-    codegen: CodegenOptions = dataclasses.field(default_factory=CodegenOptions)
-    fidelity: str = "fast"
-
-    @property
-    def key(self) -> str:
-        """The job's stable cache key."""
-        return cache_key(
-            self.design_key, self.shape, self.core, self.codegen, self.fidelity
-        )
-
-
-#: Bound of the per-process program memo.  32 thrashed on full-model suites
-#: (ResNet-50 alone lowers 53 shapes); 256 holds every catalog in the
-#: repository simultaneously with room for ad-hoc shapes.
-PROGRAM_CACHE_SIZE = 256
-
-
-@functools.lru_cache(maxsize=PROGRAM_CACHE_SIZE)
-def _unlabeled_program(shape: GemmShape, codegen: CodegenOptions) -> Program:
-    return generate_gemm_program(shape, codegen)
-
-
-def cached_program(shape: GemmShape, codegen: CodegenOptions) -> Program:
-    """Per-process program cache: every design reuses one lowered stream.
-
-    Memoized on the *unlabeled* shape — a GEMM's display name never changes
-    the generated stream, so BERT's 48 identically-shaped projections share
-    one lowering.  Introspect/reset via ``cached_program.cache_info()`` /
-    ``cached_program.cache_clear()``.
-    """
-    return _unlabeled_program(shape.unlabeled(), codegen)
-
-
-cached_program.cache_info = _unlabeled_program.cache_info
-cached_program.cache_clear = _unlabeled_program.cache_clear
-
-
-def _execute_job(job: SweepJob) -> SimResult:
-    """Simulate one job (top-level so worker processes can unpickle it)."""
-    program = cached_program(job.shape, job.codegen)
-    backend = resolve_backend(job.design_key, fidelity=job.fidelity, core=job.core)
-    return backend.prepare(program).run()
-
-
-@dataclasses.dataclass(frozen=True)
-class SuiteTotals:
-    """Occurrence-weighted end-to-end totals of one suite on one design.
-
-    ``per_shape`` keeps the distinct points behind the aggregate as
-    ``(representative shape, occurrence count, result)`` triples, so
-    downstream consumers (energy models, reports) can re-weight without
-    re-simulating.  ``cycles``/``instructions``/``mm_count``/
-    ``bypass_count``/``weight_loads`` are the multiset-weighted sums —
-    i.e. what a back-to-back run of every suite GEMM would accumulate.
-    """
-
-    suite: str
-    design_key: str
-    gemm_count: int      # suite GEMMs, duplicates included
-    simulations: int     # distinct points actually simulated
-    cycles: int
-    instructions: int
-    mm_count: int
-    bypass_count: int
-    weight_loads: int
-    per_shape: Tuple[Tuple[GemmShape, int, SimResult], ...]
-
-    @property
-    def dedup_factor(self) -> float:
-        """How many per-layer simulations each distinct point stood in for."""
-        return self.gemm_count / self.simulations if self.simulations else 0.0
-
-    def normalized_to(self, baseline: "SuiteTotals") -> float:
-        """End-to-end runtime normalized to a baseline suite run.
-
-        Raises :class:`ExperimentError` when the baseline ran in zero
-        cycles — a silent 0.0 here would read as "infinitely fast".
-        """
-        if baseline.cycles == 0:
-            raise ExperimentError(
-                f"cannot normalize suite {self.suite!r}: baseline suite "
-                f"{baseline.suite!r} on design {baseline.design_key!r} "
-                "ran in zero cycles"
-            )
-        return self.cycles / baseline.cycles
-
-    def speedup_over(self, baseline: "SuiteTotals") -> float:
-        """End-to-end speedup over a baseline suite run (>1 is faster).
-
-        Raises :class:`ExperimentError` when this suite ran in zero
-        cycles — a silent 0.0 here would read as "no speedup at all".
-        """
-        if self.cycles == 0:
-            raise ExperimentError(
-                f"cannot compute speedup: suite {self.suite!r} on design "
-                f"{self.design_key!r} ran in zero cycles"
-            )
-        return baseline.cycles / self.cycles
-
-
-@dataclasses.dataclass(frozen=True)
-class SuiteBatchCurve:
-    """One suite's end-to-end totals along the batch axis, on one design.
-
-    ``totals[i]`` are the occurrence-weighted :class:`SuiteTotals` of the
-    suite rebuilt at ``batches[i]``.  Batches whose rebuilt shapes lower
-    to streams already simulated at another batch (sub-tile batches, or
-    batches the suite's geometry maps onto the same padded dims) share
-    results — the curve stores the expanded per-batch view regardless, so
-    every point is directly comparable to a standalone
-    :meth:`SweepRunner.run_suite` at that batch.
-    """
-
-    suite: str
-    design_key: str
-    batches: Tuple[int, ...]
-    totals: Tuple[SuiteTotals, ...]
-
-    def __post_init__(self) -> None:
-        if len(self.batches) != len(self.totals):
-            raise ExperimentError(
-                f"suite {self.suite!r} curve has {len(self.batches)} batches "
-                f"but {len(self.totals)} totals"
-            )
-
-    def totals_by_batch(self) -> Dict[int, SuiteTotals]:
-        """``{batch: totals}`` — the mapping view of the curve."""
-        return dict(zip(self.batches, self.totals))
-
-    def cycles_by_batch(self) -> Dict[int, int]:
-        """``{batch: end-to-end cycles}`` along the curve."""
-        return {b: t.cycles for b, t in zip(self.batches, self.totals)}
-
-    def normalized_to(self, baseline: "SuiteBatchCurve") -> Dict[int, float]:
-        """Per-batch normalized runtime against a baseline design's curve.
-
-        This is the Fig. 7 y-axis at suite granularity: each batch's
-        end-to-end cycles divided by the baseline design's cycles *at the
-        same batch*.
-        """
-        if baseline.batches != self.batches:
-            raise ExperimentError(
-                f"cannot normalize suite {self.suite!r}: curve batches "
-                f"{self.batches} do not match baseline batches "
-                f"{baseline.batches}"
-            )
-        return {
-            batch: mine.normalized_to(theirs)
-            for batch, mine, theirs in zip(
-                self.batches, self.totals, baseline.totals
-            )
-        }
-
-
-def _validated_batches(batches: Sequence[int]) -> Tuple[int, ...]:
-    """Check a batch axis: non-empty, positive integers, no duplicates."""
-    batches = tuple(batches)
-    if not batches:
-        raise ExperimentError("a suite batch sweep needs at least one batch size")
-    for batch in batches:
-        if not isinstance(batch, int) or isinstance(batch, bool) or batch < 1:
-            raise ExperimentError(
-                f"batch sizes must be positive integers, got {batch!r}"
-            )
-    duplicates = sorted({b for b in batches if batches.count(b) > 1})
-    if duplicates:
-        raise ExperimentError(
-            "suite batch curves are keyed by batch size; got duplicates: "
-            f"{', '.join(str(b) for b in duplicates)}"
-        )
-    return batches
-
-
-def _resolve_spec(spec: Union[str, SuiteSpec]) -> SuiteSpec:
-    """Accept a registered suite name or a :class:`SuiteSpec` directly."""
-    if isinstance(spec, SuiteSpec):
-        return spec
-    try:
-        return SUITES[spec]
-    except KeyError:
-        raise ExperimentError(
-            f"unknown workload suite {spec!r}; known: {', '.join(SUITES)}"
-        ) from None
-
-
-def _expand_totals(
-    suite: WorkloadSuite,
-    design: str,
-    entries: Sequence,
-    results: Iterator[SimResult],
-) -> SuiteTotals:
-    """Re-weight one design's distinct-point results into suite totals.
-
-    Consumes exactly ``len(entries)`` results from ``results`` — callers
-    iterate a flat result stream in job-submission order.
-    """
-    per_shape = tuple(
-        (entry.shape, entry.count, next(results)) for entry in entries
-    )
-    return SuiteTotals(
-        suite=suite.name,
-        design_key=design,
-        gemm_count=len(suite),
-        simulations=len(entries),
-        cycles=sum(c * r.cycles for _, c, r in per_shape),
-        instructions=sum(c * r.instructions for _, c, r in per_shape),
-        mm_count=sum(c * r.mm_count for _, c, r in per_shape),
-        bypass_count=sum(c * r.bypass_count for _, c, r in per_shape),
-        weight_loads=sum(c * r.weight_loads for _, c, r in per_shape),
-        per_shape=per_shape,
+def _warn_deprecated(method: str, replacement: str) -> None:
+    warnings.warn(
+        f"SweepRunner.{method} is deprecated; declare the sweep as a "
+        f"SweepPlan and run it through Session.run — {replacement}",
+        DeprecationWarning,
+        stacklevel=3,
     )
 
 
-def _pool_context():
-    """Prefer ``fork`` (cheap, inherits warm caches); fall back otherwise."""
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else None)
+def _unique(keys: Iterable[str]) -> Tuple[str, ...]:
+    return tuple(dict.fromkeys(keys))
+
+
+def _check_suite_names(suites: Sequence) -> Tuple[str, ...]:
+    """Resolve + duplicate-check suite entries (the historical order)."""
+    names = [_suite_name(_resolve_spec(entry)) for entry in suites]
+    dup = _duplicates(names)
+    if dup:
+        raise ExperimentError(
+            "suite totals are keyed by suite name; got duplicates: "
+            f"{', '.join(dup)}"
+        )
+    return tuple(names)
 
 
 class SweepRunner:
-    """Run sweep grids through the backend layer, in parallel, memoized.
+    """Deprecated facade over :class:`Session` + :class:`SweepPlan`.
 
-    Args:
-        cache: a :class:`ResultCache` for persistent memoization, or
-            ``None`` to always simulate.
-        workers: worker process count for cache misses; defaults to the
-            CPU count.  ``1`` forces serial in-process execution; zero or
-            negative counts are rejected with :class:`ExperimentError`
-            rather than silently degrading to serial.
+    Still constructible everywhere it used to be — same ``cache`` /
+    ``workers`` arguments, same validation — but every ``run_*`` method
+    warns and delegates.  The owned session is available as
+    :attr:`session` for incremental migration.
     """
 
     def __init__(
@@ -306,58 +105,37 @@ class SweepRunner:
         cache: Optional[ResultCache] = None,
         workers: Optional[int] = None,
     ):
-        self.cache = cache
-        if workers is None:
-            workers = os.cpu_count() or 1
-        if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
-            raise ExperimentError(
-                f"workers must be a positive integer, got {workers!r}; "
-                "use workers=1 for serial execution"
-            )
-        self.workers = workers
+        self.session = Session(cache=cache, workers=workers)
+
+    @property
+    def cache(self) -> Optional[ResultCache]:
+        return self.session.cache
+
+    @cache.setter
+    def cache(self, cache: Optional[ResultCache]) -> None:
+        # Plain attributes pre-refactor; assignment keeps working and
+        # steers the owned session.
+        self.session.cache = cache
+
+    @property
+    def workers(self) -> int:
+        return self.session.workers
+
+    @workers.setter
+    def workers(self, workers: Optional[int]) -> None:
+        # Re-validate exactly like construction: a bad count must not
+        # silently degrade later runs.
+        self.session = Session(cache=self.session.cache, workers=workers)
 
     # -- flat job lists ----------------------------------------------------------
 
     def run(self, jobs: Sequence[SweepJob]) -> List[SimResult]:
-        """Execute ``jobs``; returns results aligned with the input order.
-
-        Jobs are deduplicated by cache key *before* anything simulates:
-        each distinct (design, padded dims, core, codegen, fidelity) point
-        runs — and counts one cache miss — exactly once per sweep, however
-        many input jobs collapse onto it.  Each job's key (a canonical-JSON
-        SHA-256) is computed exactly once per run; the miss write-back and
-        the final result gather reuse the precomputed keys.
-        """
-        jobs = list(jobs)
-        keys = [job.key for job in jobs]
-        by_key: Dict[str, SimResult] = {}
-        misses: Dict[str, SweepJob] = {}  # insertion-ordered, key-distinct
-        for key, job in zip(keys, jobs):
-            if key in by_key or key in misses:
-                continue
-            cached = self.cache.get(key) if self.cache is not None else None
-            if cached is not None:
-                by_key[key] = cached
-            else:
-                misses[key] = job
-        for key, result in zip(misses, self._simulate(list(misses.values()))):
-            by_key[key] = result
-            if self.cache is not None:
-                self.cache.put(key, result)
-        if self.cache is not None:
-            self.cache.flush()
-        return [by_key[key] for key in keys]
-
-    def _simulate(self, jobs: Sequence[SweepJob]) -> List[SimResult]:
+        """Deprecated: ``Session.run(SweepPlan(jobs=...)).flat()``."""
+        _warn_deprecated("run", "SweepPlan(jobs=jobs), then report.flat()")
+        jobs = tuple(jobs)
         if not jobs:
             return []
-        workers = min(self.workers, len(jobs))
-        if workers <= 1:
-            return [_execute_job(job) for job in jobs]
-        ctx = _pool_context()
-        chunksize = max(1, len(jobs) // (workers * 4))
-        with ctx.Pool(processes=workers) as pool:
-            return pool.map(_execute_job, jobs, chunksize=chunksize)
+        return self.session.run(SweepPlan(jobs=jobs)).flat()
 
     # -- (design x workload) grids ----------------------------------------------
 
@@ -369,31 +147,23 @@ class SweepRunner:
         codegen: Optional[CodegenOptions] = None,
         fidelity: str = "fast",
     ) -> Dict[str, Dict[str, SimResult]]:
-        """Run every design on every workload.
-
-        Returns ``results[workload_name][design_key]`` — the layout the
-        experiment drivers consume.
-        """
-        core = core if core is not None else CoreConfig()
-        codegen = codegen if codegen is not None else CodegenOptions()
-        design_keys = list(design_keys)
-        jobs = [
-            SweepJob(
-                design_key=design,
-                shape=shape,
-                workload=name,
-                core=core,
-                codegen=codegen,
-                fidelity=fidelity,
-            )
-            for name, shape in shapes.items()
-            for design in design_keys
-        ]
-        results = self.run(jobs)
-        grid: Dict[str, Dict[str, SimResult]] = {name: {} for name in shapes}
-        for job, result in zip(jobs, results):
-            grid[job.workload][job.design_key] = result
-        return grid
+        """Deprecated: ``SweepPlan(designs, workloads=shapes)`` + ``grid()``."""
+        _warn_deprecated(
+            "run_grid", "SweepPlan(designs=..., workloads=shapes), then "
+            "report.grid()"
+        )
+        design_keys = _unique(design_keys)
+        if not design_keys or not shapes:
+            # The historical degenerate shapes: nothing runs, empty rows.
+            return {name: {} for name in shapes}
+        plan = SweepPlan(
+            designs=design_keys,
+            workloads=tuple(shapes.items()),
+            core=core if core is not None else CoreConfig(),
+            codegen=codegen if codegen is not None else CodegenOptions(),
+            fidelity=fidelity,
+        )
+        return self.session.run(plan).grid()
 
     # -- (design x suite) multisets ----------------------------------------------
 
@@ -405,17 +175,12 @@ class SweepRunner:
         codegen: Optional[CodegenOptions] = None,
         fidelity: str = "fast",
     ) -> Dict[str, SuiteTotals]:
-        """Run a whole-model suite on every design, dedup-aware.
-
-        Only the suite's *distinct* shapes are submitted — one job per
-        (design, dims) — and each result is expanded back by its occurrence
-        count into end-to-end totals, so a full BERT-base stack costs 3
-        simulations per design instead of 72 while the aggregate matches a
-        brute-force per-layer run bit for bit.
-
-        Returns ``totals[design_key]`` in design order.
-        """
-        return self.run_suites(design_keys, [suite], core, codegen, fidelity)[
+        """Deprecated: ``SweepPlan(suites=(suite,))`` + ``suite_totals()``."""
+        _warn_deprecated(
+            "run_suite", "SweepPlan(designs=..., suites=(suite,)), then "
+            "report.suite_totals()[suite.name]"
+        )
+        return self._suite_totals(design_keys, [suite], core, codegen, fidelity)[
             suite.name
         ]
 
@@ -427,49 +192,27 @@ class SweepRunner:
         codegen: Optional[CodegenOptions] = None,
         fidelity: str = "fast",
     ) -> Dict[str, Dict[str, SuiteTotals]]:
-        """Run several suites through **one** sweep, dedup-aware across them.
+        """Deprecated: ``SweepPlan(suites=suites)`` + ``suite_totals()``."""
+        _warn_deprecated(
+            "run_suites", "SweepPlan(designs=..., suites=suites), then "
+            "report.suite_totals()"
+        )
+        return self._suite_totals(design_keys, suites, core, codegen, fidelity)
 
-        All suites' distinct shapes are submitted as a single job list, so
-        :meth:`run`'s key dedup also collapses *cross-suite* duplicates
-        (e.g. training's forward GEMMs are dimensionally identical to the
-        Table I FC layers): each distinct point simulates once for the
-        whole batch, then every suite's totals are expanded from the shared
-        results.
-
-        Returns ``totals[suite_name][design_key]``.
-        """
-        core = core if core is not None else CoreConfig()
-        codegen = codegen if codegen is not None else CodegenOptions()
-        design_keys = list(design_keys)
-        names = [suite.name for suite in suites]
-        if len(set(names)) != len(names):
-            raise ExperimentError(
-                "run_suites totals are keyed by suite name; got duplicates: "
-                f"{', '.join(sorted({n for n in names if names.count(n) > 1}))}"
-            )
-        distinct = {suite.name: suite.distinct() for suite in suites}
-        jobs = [
-            SweepJob(
-                design_key=design,
-                shape=entry.shape,
-                workload=entry.shape.name,
-                core=core,
-                codegen=codegen,
-                fidelity=fidelity,
-            )
-            for suite in suites
-            for design in design_keys
-            for entry in distinct[suite.name]
-        ]
-        results = iter(self.run(jobs))
-        totals: Dict[str, Dict[str, SuiteTotals]] = {}
-        for suite in suites:
-            entries = distinct[suite.name]
-            totals[suite.name] = {
-                design: _expand_totals(suite, design, entries, results)
-                for design in design_keys
-            }
-        return totals
+    def _suite_totals(self, design_keys, suites, core, codegen, fidelity):
+        design_keys = _unique(design_keys)
+        suites = tuple(suites)
+        if not design_keys or not suites:
+            # Historical degenerate shape: validate names, run nothing.
+            return {name: {} for name in _check_suite_names(suites)}
+        plan = SweepPlan(
+            designs=design_keys,
+            suites=suites,
+            core=core if core is not None else CoreConfig(),
+            codegen=codegen if codegen is not None else CodegenOptions(),
+            fidelity=fidelity,
+        )
+        return self.session.run(plan).suite_totals()
 
     # -- (design x suite x batch) curves ------------------------------------------
 
@@ -483,23 +226,15 @@ class SweepRunner:
         fidelity: str = "fast",
         scale: int = 1,
     ) -> Dict[str, SuiteBatchCurve]:
-        """Sweep one registered suite over the batch axis, on every design.
-
-        The suite is rebuilt at every requested batch via
-        :meth:`~repro.workloads.suites.SuiteSpec.build` (``spec`` may be a
-        :class:`SuiteSpec` or a registered suite name) and all
-        (batch, design) points are submitted as **one** flat job list, so
-        the key dedup in :meth:`run` collapses duplicate points across
-        batches — sub-tile batches that lower to identical streams
-        simulate once, and every point still matches a standalone
-        per-batch :meth:`run_suite` bit for bit.
-
-        Returns ``curves[design_key]`` in design order.
-        """
-        spec = _resolve_spec(spec)
-        return self.run_suites_batches(
+        """Deprecated: ``SweepPlan(suites=(spec,), batches=...)`` + curves."""
+        _warn_deprecated(
+            "run_suite_batches", "SweepPlan(designs=..., suites=(spec,), "
+            "batches=batches, scale=scale), then report.batch_curves()[name]"
+        )
+        curves = self._batch_curves(
             design_keys, [spec], batches, core, codegen, fidelity, scale
-        )[spec.name]
+        )
+        return curves[spec if isinstance(spec, str) else spec.name]
 
     def run_suites_batches(
         self,
@@ -511,75 +246,31 @@ class SweepRunner:
         fidelity: str = "fast",
         scale: int = 1,
     ) -> Dict[str, Dict[str, SuiteBatchCurve]]:
-        """Sweep several suites over the batch axis through **one** sweep.
+        """Deprecated: ``SweepPlan(suites=specs, batches=...)`` + curves."""
+        _warn_deprecated(
+            "run_suites_batches", "SweepPlan(designs=..., suites=specs, "
+            "batches=batches, scale=scale), then report.batch_curves()"
+        )
+        return self._batch_curves(
+            design_keys, specs, batches, core, codegen, fidelity, scale
+        )
 
-        The multi-suite variant of :meth:`run_suite_batches`: every
-        (suite, batch, design) point goes into a single job list, so the
-        key dedup collapses duplicates across suites *and* batches.
-        ``scale`` shrinks each rebuilt suite like
-        :meth:`~repro.workloads.suites.SuiteSpec.build` does everywhere
-        else (same floors, so very small scaled batches saturate at one
-        register block and dedup onto one point).
-
-        Returns ``curves[suite_name][design_key]``.
-        """
-        core = core if core is not None else CoreConfig()
-        codegen = codegen if codegen is not None else CodegenOptions()
-        design_keys = list(design_keys)
-        batches = _validated_batches(batches)
-        specs = [_resolve_spec(spec) for spec in specs]
-        names = [spec.name for spec in specs]
-        if len(set(names)) != len(names):
-            raise ExperimentError(
-                "run_suites_batches curves are keyed by suite name; got "
-                "duplicates: "
-                f"{', '.join(sorted({n for n in names if names.count(n) > 1}))}"
-            )
-        built = {
-            spec.name: {
-                batch: spec.build(batch=batch, scale=scale) for batch in batches
-            }
-            for spec in specs
-        }
-        distinct = {
-            name: {batch: suite.distinct() for batch, suite in per_batch.items()}
-            for name, per_batch in built.items()
-        }
-        jobs = [
-            SweepJob(
-                design_key=design,
-                shape=entry.shape,
-                workload=f"{entry.shape.name}@b{batch}",
-                core=core,
-                codegen=codegen,
-                fidelity=fidelity,
-            )
-            for name in names
-            for batch in batches
-            for design in design_keys
-            for entry in distinct[name][batch]
-        ]
-        results = iter(self.run(jobs))
-        per_point: Dict[Tuple[str, int, str], SuiteTotals] = {}
-        for name in names:
-            for batch in batches:
-                suite = built[name][batch]
-                entries = distinct[name][batch]
-                for design in design_keys:
-                    per_point[(name, batch, design)] = _expand_totals(
-                        suite, design, entries, results
-                    )
-        return {
-            name: {
-                design: SuiteBatchCurve(
-                    suite=name,
-                    design_key=design,
-                    batches=batches,
-                    totals=tuple(
-                        per_point[(name, batch, design)] for batch in batches
-                    ),
-                )
-                for design in design_keys
-            }
-            for name in names
-        }
+    def _batch_curves(
+        self, design_keys, specs, batches, core, codegen, fidelity, scale
+    ):
+        design_keys = _unique(design_keys)
+        specs = tuple(specs)
+        if not design_keys or not specs:
+            # Historical degenerate shape: batches and names still validate.
+            _validated_batches(batches)
+            return {name: {} for name in _check_suite_names(specs)}
+        plan = SweepPlan(
+            designs=design_keys,
+            suites=specs,
+            batches=tuple(batches),
+            scale=scale,
+            core=core if core is not None else CoreConfig(),
+            codegen=codegen if codegen is not None else CodegenOptions(),
+            fidelity=fidelity,
+        )
+        return self.session.run(plan).batch_curves()

@@ -1,4 +1,4 @@
-"""Tests for the E15 whole-model suite report and runner env parsing."""
+"""Tests for the E15 whole-model suite report and session env parsing."""
 
 from __future__ import annotations
 
@@ -8,8 +8,12 @@ import pytest
 
 from repro.errors import ExperimentError
 from repro.experiments.model_report import model_report, suite_energy_j
-from repro.experiments.runner import ExperimentSettings, default_runner
-from repro.runtime import SweepRunner
+from repro.experiments.runner import (
+    ExperimentSettings,
+    default_runner,
+    default_session,
+)
+from repro.runtime import Session, SweepRunner
 
 SETTINGS = ExperimentSettings(scale=16)
 
@@ -71,30 +75,29 @@ class TestModelReport:
             report.render()
 
 
-class _RecordingRunner(SweepRunner):
-    """Records the fidelity each ``run_suites`` call was given."""
+class _RecordingSession(Session):
+    """Records the fidelity of every plan it runs."""
 
     def __init__(self):
         super().__init__(workers=1)
         self.fidelities = []
 
-    def run_suites(self, design_keys, suites, core=None, codegen=None,
-                   fidelity="fast"):
-        self.fidelities.append(fidelity)
-        return super().run_suites(design_keys, suites, core, codegen, fidelity)
+    def run(self, plan):
+        self.fidelities.append(plan.fidelity)
+        return super().run(plan)
 
 
 class TestFidelityPlumbing:
-    def test_model_report_threads_fidelity_to_the_sweep(self):
-        runner = _RecordingRunner()
+    def test_model_report_threads_fidelity_to_the_plan(self):
+        session = _RecordingSession()
         model_report(
             SETTINGS,
             suites=("dlrm",),
             design_keys=["baseline", "rasa-dmdb-wls"],
-            runner=runner,
+            session=session,
             fidelity="engine",
         )
-        assert runner.fidelities == ["engine"]
+        assert session.fidelities == ["engine"]
 
     def test_engine_fidelity_reaches_the_backend(self):
         """The ``engine`` backend times engine-bound runs: fewer cycles."""
@@ -102,9 +105,9 @@ class TestFidelityPlumbing:
             suites=("dlrm",),
             design_keys=["baseline", "rasa-dmdb-wls"],
         )
-        fast = model_report(SETTINGS, runner=SweepRunner(workers=1), **kwargs)
+        fast = model_report(SETTINGS, session=Session(workers=1), **kwargs)
         engine = model_report(
-            SETTINGS, runner=SweepRunner(workers=1), fidelity="engine", **kwargs
+            SETTINGS, session=Session(workers=1), fidelity="engine", **kwargs
         )
         for design in ("baseline", "rasa-dmdb-wls"):
             assert (
@@ -112,19 +115,39 @@ class TestFidelityPlumbing:
                 < fast.totals["dlrm"][design].cycles
             )
 
+    def test_legacy_runner_argument_still_accepted(self):
+        """Drivers take the deprecated runner's session without warning."""
+        legacy = model_report(
+            SETTINGS,
+            suites=("dlrm",),
+            design_keys=["baseline", "rasa-dmdb-wls"],
+            runner=SweepRunner(workers=1),
+        )
+        fresh = model_report(
+            SETTINGS,
+            suites=("dlrm",),
+            design_keys=["baseline", "rasa-dmdb-wls"],
+            session=Session(workers=1),
+        )
+        assert legacy.totals == fresh.totals
 
-class TestDefaultRunnerEnv:
+
+class TestDefaultSessionEnv:
     def test_bad_workers_env_raises_experiment_error(self, monkeypatch):
         monkeypatch.setenv("REPRO_SWEEP_WORKERS", "lots")
         with pytest.raises(ExperimentError, match="REPRO_SWEEP_WORKERS"):
-            default_runner()
+            default_session()
 
     @pytest.mark.parametrize("value", ["0", "-3"])
     def test_non_positive_workers_env_raises(self, monkeypatch, value):
         monkeypatch.setenv("REPRO_SWEEP_WORKERS", value)
         with pytest.raises(ExperimentError, match="REPRO_SWEEP_WORKERS"):
-            default_runner()
+            default_session()
 
     def test_good_workers_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "3")
+        assert default_session().workers == 3
+
+    def test_deprecated_default_runner_mirrors_the_session(self, monkeypatch):
         monkeypatch.setenv("REPRO_SWEEP_WORKERS", "3")
         assert default_runner().workers == 3

@@ -11,7 +11,7 @@ from repro.experiments.suite_batch_sweep import (
     DEFAULT_CURVE_SUITES,
     suite_batch_sweep,
 )
-from repro.runtime import SweepRunner
+from repro.runtime import Session, SweepPlan
 
 SETTINGS = ExperimentSettings(scale=16)
 BATCHES = (1, 4, 16, 64, 256, 1024)
@@ -23,7 +23,7 @@ def sweep():
         SETTINGS,
         suites=("bert-base", "dlrm"),
         batches=BATCHES,
-        runner=SweepRunner(workers=1),
+        session=Session(workers=1),
     )
 
 
@@ -54,21 +54,20 @@ class TestSuiteBatchSweep:
     def test_cross_batch_dedup_counted(self, sweep):
         assert 0 < sweep.simulated_points < sweep.expanded_points
 
-    def test_matches_per_batch_run_suite_oracle(self, sweep):
-        """Every curve point equals a standalone dedup-free suite run."""
-        from repro.workloads.suites import get_suite
-
-        runner = SweepRunner(workers=1)
+    def test_matches_per_batch_suite_plan_oracle(self, sweep):
+        """Every curve point equals a standalone single-batch suite plan."""
+        session = Session(workers=1)
         for batch in (1, 64, 1024):
-            totals = runner.run_suites(
-                ["baseline", sweep.design_key],
-                [
-                    get_suite(name, batch=batch, scale=SETTINGS.scale)
-                    for name in ("bert-base", "dlrm")
-                ],
-                core=SETTINGS.core,
-                codegen=SETTINGS.codegen,
-            )
+            totals = session.run(
+                SweepPlan(
+                    designs=("baseline", sweep.design_key),
+                    suites=("bert-base", "dlrm"),
+                    batch=batch,
+                    scale=SETTINGS.scale,
+                    core=SETTINGS.core,
+                    codegen=SETTINGS.codegen,
+                )
+            ).suite_totals()
             for name in ("bert-base", "dlrm"):
                 oracle = totals[name][sweep.design_key].normalized_to(
                     totals[name]["baseline"]
@@ -85,7 +84,7 @@ class TestSuiteBatchSweep:
     def test_baseline_design_key_rejected(self):
         with pytest.raises(ExperimentError, match="baseline"):
             suite_batch_sweep(
-                SETTINGS, design_key="baseline", runner=SweepRunner(workers=1)
+                SETTINGS, design_key="baseline", session=Session(workers=1)
             )
 
     def test_default_suites_are_fc_shaped(self):

@@ -1,14 +1,21 @@
-"""SweepRunner tests: parallel == serial, memoization, dedup, suites.
+"""SweepRunner shim tests: parallel == serial, memoization, dedup, suites.
 
-Also covers the ``normalized_runtimes`` / ``geometric_mean`` edge cases the
-grid consumers rely on.
+The ``run_*`` family is deprecated (each call builds a
+:class:`repro.runtime.SweepPlan` and runs it through the owned
+:class:`repro.runtime.Session`), but its return values must stay identical
+— these tests prove exactly that by exercising the shims end to end, with
+the deprecation noise silenced module-wide.  ``TestDeprecationShims``
+asserts the warnings themselves.  Also covers the ``normalized_runtimes``
+/ ``geometric_mean`` edge cases the grid consumers rely on.
 """
 
 from __future__ import annotations
 
+import warnings
+
 import pytest
 
-import repro.runtime.sweep as sweep_module
+import repro.runtime.plan as plan_module
 
 from repro.cpu.config import CoreConfig
 from repro.cpu.result import SimResult
@@ -20,6 +27,8 @@ from repro.runtime.registry import FIDELITIES, resolve_backend
 from repro.workloads.codegen import generate_gemm_program
 from repro.workloads.gemm import GemmShape
 from repro.workloads.suites import SuiteSpec, WorkloadSuite
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 SHAPES = {
     "small": GemmShape(m=64, n=64, k=64, name="small"),
@@ -298,33 +307,115 @@ class TestRunSuite:
 
 
 class TestKeyHashing:
-    """``run`` hashes each job exactly once (keys are SHA-256 over JSON)."""
+    """A run hashes each job exactly once (keys are SHA-256 over JSON).
+
+    ``SweepJob.key`` resolves ``cache_key`` through the plan module, so
+    that is where the counter hooks in; the session precomputes every key
+    and threads them through dedup, the cache, and the report views.
+    """
 
     def test_one_cache_key_call_per_job(self, monkeypatch):
         calls = []
-        real = sweep_module.cache_key
+        real = plan_module.cache_key
 
         def counting(*args, **kwargs):
             calls.append(args)
             return real(*args, **kwargs)
 
-        monkeypatch.setattr(sweep_module, "cache_key", counting)
+        monkeypatch.setattr(plan_module, "cache_key", counting)
         jobs = _jobs() + [_jobs()[0]] * 3  # duplicates still hash once each
         SweepRunner(workers=1).run(jobs)
         assert len(calls) == len(jobs)
 
     def test_one_cache_key_call_per_job_with_cache(self, tmp_path, monkeypatch):
         calls = []
-        real = sweep_module.cache_key
+        real = plan_module.cache_key
 
         def counting(*args, **kwargs):
             calls.append(args)
             return real(*args, **kwargs)
 
-        monkeypatch.setattr(sweep_module, "cache_key", counting)
+        monkeypatch.setattr(plan_module, "cache_key", counting)
         jobs = _jobs()
         SweepRunner(cache=ResultCache(tmp_path), workers=1).run(jobs)
         assert len(calls) == len(jobs)
+
+
+class TestDeprecationShims:
+    """Every ``run_*`` method warns once and names the plan replacement."""
+
+    @staticmethod
+    def _warnings_for(invoke):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            invoke()
+        return [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+    def test_run_warns(self):
+        caught = self._warnings_for(
+            lambda: SweepRunner(workers=1).run([_jobs()[0]])
+        )
+        assert len(caught) == 1
+        assert "SweepRunner.run is deprecated" in str(caught[0].message)
+        assert "SweepPlan" in str(caught[0].message)
+
+    def test_run_grid_warns(self):
+        caught = self._warnings_for(
+            lambda: SweepRunner(workers=1).run_grid(["baseline"], SHAPES)
+        )
+        assert len(caught) == 1
+        assert "run_grid" in str(caught[0].message)
+
+    def test_run_suite_warns(self):
+        suite = WorkloadSuite.from_gemms(
+            "toy", {"a": GemmShape(64, 64, 64, name="a")}
+        )
+        caught = self._warnings_for(
+            lambda: SweepRunner(workers=1).run_suite(["baseline"], suite)
+        )
+        assert len(caught) == 1
+        assert "run_suite" in str(caught[0].message)
+
+    def test_run_suites_batches_warns(self):
+        caught = self._warnings_for(
+            lambda: SweepRunner(workers=1).run_suites_batches(
+                ["baseline"], ["dlrm"], batches=(64,), scale=8
+            )
+        )
+        assert len(caught) == 1
+        assert "run_suites_batches" in str(caught[0].message)
+
+    def test_empty_run_returns_empty_without_warning_noise(self):
+        caught = self._warnings_for(lambda: SweepRunner(workers=1).run([]))
+        assert len(caught) == 1  # still deprecated, even for the no-op
+
+
+class TestDegenerateShimInputs:
+    """Empty inputs keep their PR-3 return shapes instead of raising."""
+
+    def test_empty_grid_inputs(self):
+        runner = SweepRunner(workers=1)
+        assert runner.run([]) == []
+        assert runner.run_grid(DESIGN_KEYS, {}) == {}
+        assert runner.run_grid([], SHAPES) == {"small": {}, "tall": {}}
+
+    def test_empty_suite_inputs(self):
+        runner = SweepRunner(workers=1)
+        assert runner.run_suites(DESIGN_KEYS, []) == {}
+        suite = WorkloadSuite.from_gemms(
+            "toy", {"a": GemmShape(64, 64, 64, name="a")}
+        )
+        assert runner.run_suite([], suite) == {}
+        assert runner.run_suites([], [suite]) == {"toy": {}}
+
+    def test_empty_batch_sweep_inputs_still_validate(self):
+        runner = SweepRunner(workers=1)
+        assert runner.run_suites_batches(DESIGN_KEYS, [], (16,)) == {}
+        assert runner.run_suites_batches([], ["dlrm"], (16,)) == {"dlrm": {}}
+        with pytest.raises(ExperimentError, match="at least one batch"):
+            runner.run_suites_batches(DESIGN_KEYS, [], ())
+        with pytest.raises(ExperimentError, match="unknown workload suite"):
+            runner.run_suites_batches([], ["bogus"], (16,))
 
 
 class TestWorkerValidation:
@@ -338,6 +429,18 @@ class TestWorkerValidation:
     def test_serial_and_default_still_fine(self):
         assert SweepRunner(workers=1).workers == 1
         assert SweepRunner().workers >= 1
+
+    def test_attributes_stay_assignable(self, tmp_path):
+        """Pre-refactor these were plain attributes; assignment still works."""
+        runner = SweepRunner(workers=2)
+        runner.workers = 1
+        assert runner.workers == 1
+        cache = ResultCache(tmp_path)
+        runner.cache = cache
+        assert runner.cache is cache
+        assert runner.session.cache is cache
+        with pytest.raises(ExperimentError, match="workers"):
+            runner.workers = 0
 
 
 def _toy_fc_factory(batch):

@@ -80,16 +80,23 @@ class TestGridSweep:
         assert "Baseline" in out and "RASA-WLBP" in out
 
     def test_unknown_workload(self, capsys):
-        assert main(["sweep", "--workloads", "nope", "--no-cache"]) == 2
+        assert main(["sweep", "--workloads", "nope", "--no-cache"]) == 1
         assert "unknown workload" in capsys.readouterr().err
 
     def test_unknown_design_key(self, capsys):
-        assert main(["sweep", "--designs", "nope", "--no-cache"]) == 2
+        assert main(["sweep", "--designs", "nope", "--no-cache"]) == 1
         assert "unknown design" in capsys.readouterr().err
 
     def test_partial_mnk_rejected(self, capsys):
-        assert main(["sweep", "--m", "64", "--no-cache"]) == 2
+        assert main(["sweep", "--m", "64", "--no-cache"]) == 1
         assert "together" in capsys.readouterr().err
+
+    def test_scale_rejected_for_adhoc_gemm(self, capsys):
+        # Silently ignoring --scale would report results for different
+        # dimensions than the flag implies.
+        assert main(["sweep", "--m", "512", "--n", "512", "--k", "512",
+                     "--scale", "8", "--no-cache"]) == 1
+        assert "--scale does not apply" in capsys.readouterr().err
 
 
 class TestSuiteSweep:
@@ -125,21 +132,21 @@ class TestSuiteSweep:
 
     def test_batch_rejected_for_layer_names(self, capsys):
         assert main(["sweep", "--workloads", "DLRM-2", "--batch", "64",
-                     "--no-cache"]) == 2
+                     "--no-cache"]) == 1
         assert "apply to suite workloads" in capsys.readouterr().err
 
     def test_batch_rejected_for_adhoc_gemm(self, capsys):
         assert main(["sweep", "--m", "64", "--n", "64", "--k", "64",
-                     "--batch", "8", "--no-cache"]) == 2
+                     "--batch", "8", "--no-cache"]) == 1
         assert "--batch" in capsys.readouterr().err
 
     def test_mixed_suite_and_layer_names_rejected(self, capsys):
         assert main(["sweep", "--workloads", "bert-base,DLRM-2",
-                     "--no-cache"]) == 2
+                     "--no-cache"]) == 1
         assert "cannot mix" in capsys.readouterr().err
 
     def test_all_mixed_with_layer_name_rejected(self, capsys):
-        assert main(["sweep", "--workloads", "all,DLRM-2", "--no-cache"]) == 2
+        assert main(["sweep", "--workloads", "all,DLRM-2", "--no-cache"]) == 1
         assert "cannot mix" in capsys.readouterr().err
 
     def test_all_mixed_into_a_list_expands_once(self, tmp_path, capsys):
@@ -161,7 +168,7 @@ class TestSuiteSweep:
 
     def test_suite_with_typo_names_the_unknown_token(self, capsys):
         assert main(["sweep", "--workloads", "bert-base,bertbase",
-                     "--no-cache"]) == 2
+                     "--no-cache"]) == 1
         err = capsys.readouterr().err
         assert "unknown workload 'bertbase'" in err
 
@@ -214,42 +221,42 @@ class TestSuiteBatchSweep:
 
     def test_batch_and_batches_mutually_exclusive(self, capsys):
         assert main(["sweep", "--workloads", "dlrm", "--batch", "64",
-                     "--batches", "1,2", "--no-cache"]) == 2
+                     "--batches", "1,2", "--no-cache"]) == 1
         assert "mutually exclusive" in capsys.readouterr().err
 
     def test_batches_rejected_for_layer_names(self, capsys):
         assert main(["sweep", "--workloads", "DLRM-2", "--batches", "1,2",
-                     "--no-cache"]) == 2
+                     "--no-cache"]) == 1
         assert "apply to suite workloads" in capsys.readouterr().err
 
     def test_batches_rejected_for_adhoc_gemm(self, capsys):
         assert main(["sweep", "--m", "64", "--n", "64", "--k", "64",
-                     "--batches", "1,2", "--no-cache"]) == 2
+                     "--batches", "1,2", "--no-cache"]) == 1
         assert "--batches" in capsys.readouterr().err
 
     def test_non_integer_batches_rejected(self, capsys):
         assert main(["sweep", "--workloads", "dlrm", "--batches", "1,two",
-                     "--no-cache"]) == 2
+                     "--no-cache"]) == 1
         assert "comma-separated integers" in capsys.readouterr().err
 
     def test_duplicate_batches_rejected(self, capsys):
         assert main(["sweep", "--workloads", "dlrm", "--batches", "64,64",
-                     "--no-cache"]) == 2
+                     "--no-cache"]) == 1
         assert "duplicates" in capsys.readouterr().err
 
     def test_non_positive_batches_rejected(self, capsys):
         assert main(["sweep", "--workloads", "dlrm", "--batches", "0,64",
-                     "--no-cache"]) == 2
+                     "--no-cache"]) == 1
         assert "positive" in capsys.readouterr().err
 
     def test_negative_jobs_rejected(self, capsys):
         assert main(["sweep", "--workloads", "dlrm", "--jobs", "-3",
-                     "--no-cache"]) == 2
+                     "--no-cache"]) == 1
         assert "workers must be a positive integer" in capsys.readouterr().err
 
     def test_zero_jobs_rejected(self, capsys):
         assert main(["sweep", "--workloads", "table1", "--jobs", "0",
-                     "--no-cache"]) == 2
+                     "--no-cache"]) == 1
         assert "workers must be a positive integer" in capsys.readouterr().err
 
 
@@ -260,11 +267,11 @@ class TestFig7Suites:
         assert "E16" in out and "0.168" in out and "dlrm" in out
 
     def test_workloads_rejected_for_other_figures(self, capsys):
-        assert main(["fig", "5", "--workloads", "dlrm"]) == 2
+        assert main(["fig", "5", "--workloads", "dlrm"]) == 1
         assert "fig 7 only" in capsys.readouterr().err
 
     def test_unknown_suite_rejected(self, capsys):
-        assert main(["fig", "7", "--workloads", "bogus"]) == 2
+        assert main(["fig", "7", "--workloads", "bogus"]) == 1
         assert "unknown workload suite" in capsys.readouterr().err
 
 
@@ -279,6 +286,183 @@ class TestModels:
     def test_models_batch_override(self, capsys):
         assert main(["models", "--batch", "64"]) == 0
         assert "64" in capsys.readouterr().out
+
+
+class TestPlanShow:
+    def test_show_summary_and_json(self, capsys):
+        assert main(["plan", "show", "--workloads", "dlrm", "--scale", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "distinct points" in out
+        assert '"format": 1' in out and '"dlrm"' in out
+
+    def test_show_shard_ownership(self, capsys):
+        assert main(["plan", "show", "--workloads", "dlrm", "--scale", "8",
+                     "--shard", "0/2"]) == 0
+        assert "shard     : 0/2 — owns" in capsys.readouterr().out
+
+    def test_show_writes_plan_file_that_reloads(self, tmp_path, capsys):
+        plan_file = tmp_path / "plan.json"
+        assert main(["plan", "show", "--workloads", "dlrm", "--scale", "8",
+                     "-o", str(plan_file)]) == 0
+        capsys.readouterr()
+        assert main(["plan", "show", "--plan", str(plan_file)]) == 0
+        assert "dlrm" in capsys.readouterr().out
+
+    def test_bad_shard_spec_exits_1(self, capsys):
+        assert main(["plan", "show", "--workloads", "dlrm",
+                     "--shard", "zero/two"]) == 1
+        assert "bad --shard spec" in capsys.readouterr().err
+
+    def test_grid_plan_records_the_scale(self, capsys):
+        # Table I grid plans keep unscaled shapes + the scale knob, so the
+        # summary and JSON report the shrink actually applied.
+        assert main(["plan", "show", "--workloads", "DLRM-2",
+                     "--scale", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "scale     : 1/8" in out
+        assert '"scale": 8' in out
+
+    def test_axis_flags_conflict_with_plan_file(self, tmp_path, capsys):
+        plan_file = tmp_path / "plan.json"
+        assert main(["plan", "show", "--workloads", "dlrm", "--scale", "8",
+                     "-o", str(plan_file)]) == 0
+        capsys.readouterr()
+        assert main(["plan", "show", "--plan", str(plan_file),
+                     "--workloads", "bogus-model", "--scale", "2"]) == 1
+        err = capsys.readouterr().err
+        assert "cannot amend a plan file" in err
+        assert "--workloads" in err and "--scale" in err
+
+    def test_default_valued_axis_flags_also_conflict_with_plan_file(
+        self, tmp_path, capsys
+    ):
+        # Explicitly typing a flag at its default value must still be
+        # caught — the user asked for table1, the file says dlrm.
+        plan_file = tmp_path / "plan.json"
+        assert main(["plan", "show", "--workloads", "dlrm", "--scale", "8",
+                     "-o", str(plan_file)]) == 0
+        capsys.readouterr()
+        assert main(["plan", "show", "--plan", str(plan_file),
+                     "--workloads", "table1"]) == 1
+        assert "cannot amend a plan file" in capsys.readouterr().err
+
+    def test_out_of_range_shard_exits_1(self, capsys):
+        assert main(["plan", "show", "--workloads", "dlrm",
+                     "--shard", "2/2"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_suite_exits_1(self, capsys):
+        assert main(["plan", "show", "--workloads", "bogus-model,dlrm"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestPlanRunAndMerge:
+    ARGS = ["--workloads", "dlrm", "--scale", "8", "--designs",
+            "rasa-dmdb-wls", "--no-cache"]
+
+    def test_full_run_prints_suite_table(self, capsys):
+        assert main(["plan", "run"] + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "suite sweep" in out and "dlrm" in out
+        assert "simulated" in out
+
+    def test_two_shards_merge_bit_identical_to_single_shot(
+        self, tmp_path, capsys
+    ):
+        s0, s1 = tmp_path / "s0.json", tmp_path / "s1.json"
+        full, merged = tmp_path / "full.json", tmp_path / "merged.json"
+        assert main(["plan", "run"] + self.ARGS
+                    + ["--shard", "0/2", "-o", str(s0)]) == 0
+        assert main(["plan", "run"] + self.ARGS
+                    + ["--shard", "1/2", "-o", str(s1)]) == 0
+        assert main(["plan", "run"] + self.ARGS + ["-o", str(full)]) == 0
+        capsys.readouterr()
+        assert main(["plan", "merge", str(s0), str(s1),
+                     "-o", str(merged)]) == 0
+        out = capsys.readouterr().out
+        assert "merged 2 report(s)" in out
+        assert merged.read_text() == full.read_text()  # bit-identical
+
+    def test_shard_run_prints_partial_summary(self, tmp_path, capsys):
+        out_file = tmp_path / "s1.json"
+        assert main(["plan", "run"] + self.ARGS
+                    + ["--shard", "1/2", "-o", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "shard 1/2" in out and "of 12 distinct points" in out
+
+    def test_shard_run_without_any_result_sink_refused(self, capsys):
+        # --no-cache and no -o would simulate the shard and throw it away.
+        assert main(["plan", "run"] + self.ARGS + ["--shard", "1/2"]) == 1
+        assert "discards its results" in capsys.readouterr().err
+
+    def test_shard_run_with_cache_needs_no_output_file(self, tmp_path, capsys):
+        assert main(["plan", "run", "--workloads", "dlrm", "--scale", "8",
+                     "--designs", "rasa-dmdb-wls", "--shard", "0/2",
+                     "--cache-dir", str(tmp_path)]) == 0
+        assert "shard 0/2" in capsys.readouterr().out
+
+    def test_run_honors_cache(self, tmp_path, capsys):
+        argv = ["plan", "run", "--workloads", "dlrm", "--scale", "8",
+                "--designs", "rasa-dmdb-wls", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "12 simulated, 0 cached" in cold
+        assert main(argv) == 0
+        assert "0 simulated, 12 cached" in capsys.readouterr().out
+
+    def test_run_loaded_plan_file(self, tmp_path, capsys):
+        plan_file = tmp_path / "plan.json"
+        assert main(["plan", "show", "--workloads", "dlrm", "--scale", "8",
+                     "--designs", "rasa-dmdb-wls", "-o", str(plan_file)]) == 0
+        capsys.readouterr()
+        assert main(["plan", "run", "--plan", str(plan_file),
+                     "--no-cache"]) == 0
+        assert "suite sweep" in capsys.readouterr().out
+
+    def test_baseline_less_plan_prints_raw_cycles(self, tmp_path, capsys):
+        # A hand-built plan may omit 'baseline'; cells and title must then
+        # report raw cycles, not claim normalization.
+        import json
+
+        from repro.runtime import SweepPlan
+
+        plan = SweepPlan(designs=("rasa-dmdb-wls",), suites=("dlrm",), scale=8)
+        plan_file = tmp_path / "plan.json"
+        plan_file.write_text(plan.to_json())
+        assert main(["plan", "run", "--plan", str(plan_file),
+                     "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "end-to-end cycles, fidelity=fast" in out
+        assert "normalized to baseline" not in out
+        assert "(" not in out.splitlines()[2]  # raw cycle cells, no ratio
+        json.loads(plan.to_json())  # and the file we ran was valid JSON
+
+    def test_missing_plan_file_exits_1(self, capsys):
+        assert main(["plan", "run", "--plan", "/nonexistent/plan.json"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_plan_file_exits_1(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["plan", "run", "--plan", str(bad)]) == 1
+        assert "malformed plan JSON" in capsys.readouterr().err
+
+    def test_merge_missing_shard_exits_1(self, tmp_path, capsys):
+        s0 = tmp_path / "s0.json"
+        assert main(["plan", "run"] + self.ARGS
+                    + ["--shard", "0/2", "-o", str(s0)]) == 0
+        capsys.readouterr()
+        assert main(["plan", "merge", str(s0)]) == 1
+        assert "missing" in capsys.readouterr().err
+
+    def test_merge_mismatched_plans_exits_1(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["plan", "run"] + self.ARGS + ["-o", str(a)]) == 0
+        assert main(["plan", "run", "--workloads", "training", "--scale", "8",
+                     "--no-cache", "-o", str(b)]) == 0
+        capsys.readouterr()
+        assert main(["plan", "merge", str(a), str(b)]) == 1
+        assert "different plans" in capsys.readouterr().err
 
 
 class TestAsmRoundtrip:
@@ -300,13 +484,13 @@ class TestAsmRoundtrip:
         assert "rasa_mm treg0, treg6, treg4" in out
 
     def test_missing_file(self, capsys):
-        assert main(["disasm", "/nonexistent/trace.jsonl"]) == 2
+        assert main(["disasm", "/nonexistent/trace.jsonl"]) == 1
         assert "error" in capsys.readouterr().err
 
     def test_bad_assembly(self, tmp_path, capsys):
         source = tmp_path / "bad.rasa"
         source.write_text("frobnicate treg0\n")
-        assert main(["asm", str(source), str(tmp_path / "out.jsonl")]) == 2
+        assert main(["asm", str(source), str(tmp_path / "out.jsonl")]) == 1
         assert "unknown mnemonic" in capsys.readouterr().err
 
 
