@@ -15,7 +15,7 @@ import dataclasses
 from repro.cpu.fast import FastCoreModel
 from repro.engine.config import ControlPolicy, EngineConfig
 from repro.experiments.runner import workload_shapes
-from repro.runtime.sweep import cached_program
+from repro.runtime.session import cached_program
 from repro.utils.tables import format_table
 
 

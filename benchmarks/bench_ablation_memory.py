@@ -19,7 +19,7 @@ from repro.cpu.memory import (
 )
 from repro.engine.designs import DESIGNS
 from repro.experiments.runner import workload_shapes
-from repro.runtime.sweep import cached_program
+from repro.runtime.session import cached_program
 from repro.utils.tables import format_table
 
 MEMORIES = [

@@ -11,7 +11,7 @@ from __future__ import annotations
 from repro.experiments.runner import workload_shapes
 from repro.experiments.runtime_sweep import fig5_normalized_runtime
 from repro.runtime import resolve_backend
-from repro.runtime.sweep import cached_program
+from repro.runtime.session import cached_program
 
 
 def test_fig5_runtime(benchmark, emit, settings):

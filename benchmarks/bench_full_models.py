@@ -21,7 +21,9 @@ from repro.runtime import Session, SweepPlan, cached_program, resolve_backend
 from repro.utils.tables import format_table
 from repro.workloads.suites import get_suite
 
-MODEL_SUITES = ("resnet50", "bert-base", "dlrm", "training")
+MODEL_SUITES = (
+    "resnet50", "bert-base", "bert-full", "dlrm", "training", "resnet50-train"
+)
 
 DESIGN_KEYS = ("baseline", "rasa-dmdb-wls")
 

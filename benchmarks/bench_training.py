@@ -1,46 +1,74 @@
-"""E14 — extension: RASA on training-pass GEMMs.
+"""E14 — extension: RASA on training-pass GEMMs (FC and conv).
 
 Sec. V notes the concept "is not limited to inference since GEMM is also a
 key building block for training".  This bench runs the forward, dgrad and
-wgrad GEMMs of two Table I FC layers across designs.  The expected shape:
-forward/dgrad (M = batch, small) gain the full RASA factor; wgrad
-(M = NIN, large) already amortizes fill/drain on the baseline, so the gain
-there is closer to the pure II ratio with less to recover.
+wgrad GEMMs of two Table I FC layers *and* two ResNet-50 convolutions
+(transposed-filter im2col backward lowerings from the op IR) across
+designs.  The expected shape: passes whose streamed M is small (FC
+fwd/dgrad at M = batch) gain the full RASA factor; passes that stream a
+large M (FC wgrad at M = NIN, conv fwd/dgrad at M = batch x spatial)
+already amortize fill/drain on the baseline, so the gain there is closer
+to the pure II ratio with less to recover.
 """
 
 from __future__ import annotations
 
+import dataclasses
+
 from repro.cpu.fast import FastCoreModel
 from repro.engine.designs import DESIGNS
-from repro.runtime.sweep import cached_program
+from repro.runtime.session import cached_program
 from repro.utils.tables import format_table
 from repro.workloads.layers import TABLE1_LAYERS
+from repro.workloads.ops import ConvOp, lower
 from repro.workloads.training import TrainingStep
 
-LAYERS = ("DLRM-1", "BERT-1")
+FC_LAYERS = ("DLRM-1", "BERT-1")
+
+#: Two ResNet-50 convolutions (a 3x3 mid conv and a 1x1 pointwise),
+#: shrunk to bench size but keeping the catalog's channel geometry.
+CONV_OPS = tuple(
+    ConvOp(name, batch=4, filters=filters, channels=channels,
+           x=14, y=14, r=r, s=r)
+    for name, filters, channels, r in (
+        ("conv4b", 256, 256, 3),
+        ("conv4c", 1024, 256, 1),
+    )
+)
+
+
+def _training_shapes(settings):
+    """(label, scaled GemmShape) for every FC and conv training pass."""
+    rows = []
+    for layer_name in FC_LAYERS:
+        step = TrainingStep(TABLE1_LAYERS[layer_name])
+        for pass_name, shape in step.gemms().items():
+            rows.append((f"{layer_name} {pass_name}", shape.scaled(settings.scale)))
+    for op in CONV_OPS:
+        for pass_ in ("fwd", "dgrad", "wgrad"):
+            (_, shape, _), = lower(dataclasses.replace(op, pass_=pass_))
+            rows.append((f"{op.name} {pass_}", shape.scaled(settings.scale)))
+    return rows
 
 
 def test_training_passes(benchmark, emit, settings):
     rows = []
     sample = None
-    for layer_name in LAYERS:
-        step = TrainingStep(TABLE1_LAYERS[layer_name])
-        for pass_name, shape in step.gemms().items():
-            scaled = shape.scaled(settings.scale)
-            program = cached_program(scaled, settings.codegen)
-            if sample is None:
-                sample = program
-            base = FastCoreModel(engine=DESIGNS["baseline"].config).run(program)
-            best = FastCoreModel(engine=DESIGNS["rasa-dmdb-wls"].config).run(program)
-            rows.append(
-                (
-                    f"{layer_name} {pass_name}",
-                    f"{scaled.m}x{scaled.n}x{scaled.k}",
-                    base.cycles,
-                    best.cycles,
-                    f"{best.cycles / base.cycles:.3f}",
-                )
+    for label, scaled in _training_shapes(settings):
+        program = cached_program(scaled, settings.codegen)
+        if sample is None:
+            sample = program
+        base = FastCoreModel(engine=DESIGNS["baseline"].config).run(program)
+        best = FastCoreModel(engine=DESIGNS["rasa-dmdb-wls"].config).run(program)
+        rows.append(
+            (
+                label,
+                f"{scaled.m}x{scaled.n}x{scaled.k}",
+                base.cycles,
+                best.cycles,
+                f"{best.cycles / base.cycles:.3f}",
             )
+        )
     benchmark(FastCoreModel(engine=DESIGNS["rasa-dmdb-wls"].config).run, sample)
     # Every training pass must still gain substantially.
     assert all(float(r[4]) < 0.25 for r in rows)

@@ -42,7 +42,6 @@ from repro.runtime import (
     SweepJob,
     SweepPlan,
     SweepReport,
-    SweepRunner,
     resolve_backend,
 )
 from repro.systolic import SystolicArray
@@ -81,7 +80,6 @@ __all__ = [
     "SweepPlan",
     "SweepReport",
     "Session",
-    "SweepRunner",
     "assemble",
     "disassemble",
     "SystolicArray",

@@ -13,11 +13,14 @@ Commands:
 - ``sweep``                         run a (designs x workloads) grid — parallel
                                     and cache-backed via :mod:`repro.runtime` —
                                     a whole-model suite sweep
-                                    (``--workloads resnet50|bert-base|dlrm|
-                                    training|all``, dedup-aware), a suite
-                                    *batch* sweep (``--batches 1,16,256``:
-                                    Fig. 7-style curves per model), or one
-                                    ad-hoc GEMM via ``--m/--n/--k``
+                                    (``--workloads resnet50|bert-base|
+                                    bert-full|dlrm|training|resnet50-train|
+                                    all``, dedup-aware), a suite *batch*
+                                    sweep (``--batches 1,16,256``: Fig.
+                                    7-style curves per model, with the
+                                    role-aware ``--scale-batch`` /
+                                    ``--scale-spatial`` lowering knobs), or
+                                    one ad-hoc GEMM via ``--m/--n/--k``
 - ``plan show|run|merge``           the declarative face of ``sweep``: build
                                     (or load) a :class:`SweepPlan`, inspect
                                     it, run it — whole or one deterministic
@@ -81,8 +84,8 @@ def _add_sweep_axes(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workloads", default=None,
                         help='"table1" (default), comma-separated Table I '
                              'layer names, model suite names (resnet50, '
-                             'bert-base, dlrm, training), or "all" '
-                             '(every suite)')
+                             'bert-base, bert-full, dlrm, training, '
+                             'resnet50-train), or "all" (every suite)')
     parser.add_argument("--m", type=int, help="ad-hoc GEMM M (with --n/--k)")
     parser.add_argument("--n", type=int, help="ad-hoc GEMM N")
     parser.add_argument("--k", type=int, help="ad-hoc GEMM K")
@@ -94,6 +97,13 @@ def _add_sweep_axes(parser: argparse.ArgumentParser) -> None:
                              "suite workloads only)")
     parser.add_argument("--scale", type=int, default=None,
                         help="divide each workload dimension by this (default 4)")
+    parser.add_argument("--scale-batch", type=int, default=None,
+                        help="divide each op's batch-role dimension by this "
+                             "(suite workloads only; applies at op lowering)")
+    parser.add_argument("--scale-spatial", type=int, default=None,
+                        help="divide each op's spatial/sequence extent by this "
+                             "(conv output-spatial product, attention sequence "
+                             "dims; suite workloads only)")
     parser.add_argument("--fidelity", default=None, choices=sorted(FIDELITIES),
                         help="simulation backend (default: fast)")
 
@@ -225,6 +235,13 @@ def _cmd_designs() -> int:
     return 0
 
 
+def _format_op_composition(composition: Dict[str, int]) -> str:
+    """``{kind: count}`` -> "53 conv-fwd / 53 conv-dgrad / ..." (suite order)."""
+    if not composition:
+        return "pre-lowered"
+    return " / ".join(f"{count} {kind}" for kind, count in composition.items())
+
+
 def _cmd_models(args) -> int:
     rows = []
     for name in suite_names():
@@ -239,11 +256,13 @@ def _cmd_models(args) -> int:
                 f"{suite.dedup_factor:.1f}x",
                 f"{suite.total_macs / 1e6:.0f}",
                 batch if batch is not None else "per-layer",
+                _format_op_composition(spec.op_composition(batch=args.batch)),
                 spec.description,
             )
         )
     print(format_table(
-        ["suite", "GEMMs", "distinct", "dedup", "MMACs", "batch", "description"],
+        ["suite", "GEMMs", "distinct", "dedup", "MMACs", "batch", "ops",
+         "description"],
         rows,
         title="workload suites — sweep with: repro sweep --workloads <suite>",
     ))
@@ -454,6 +473,8 @@ def _reject_axis_flags_with_plan_file(args) -> None:
             ("--batch", args.batch),
             ("--batches", args.batches),
             ("--scale", args.scale),
+            ("--scale-batch", args.scale_batch),
+            ("--scale-spatial", args.scale_spatial),
             ("--fidelity", args.fidelity),
         )
         if value is not None
@@ -479,6 +500,8 @@ def _plan_from_args(args) -> SweepPlan:
     designs = args.designs if args.designs is not None else "all"
     workloads = args.workloads if args.workloads is not None else "table1"
     scale = args.scale if args.scale is not None else 4
+    scale_batch = args.scale_batch if args.scale_batch is not None else 1
+    scale_spatial = args.scale_spatial if args.scale_spatial is not None else 1
     fidelity = args.fidelity if args.fidelity is not None else "fast"
     if args.batch is not None and args.batches is not None:
         raise ReproError(
@@ -497,6 +520,11 @@ def _plan_from_args(args) -> SweepPlan:
                 "--scale does not apply to an ad-hoc --m/--n/--k GEMM; "
                 "give the dimensions you want simulated"
             )
+        if args.scale_batch is not None or args.scale_spatial is not None:
+            raise ReproError(
+                "--scale-batch/--scale-spatial apply to suite workloads "
+                "(ops know their dimension roles), not --m/--n/--k"
+            )
         return SweepPlan(
             designs=tuple(_sweep_designs(designs)),
             workloads=(("cli", GemmShape(m=args.m, n=args.n, k=args.k, name="cli")),),
@@ -513,6 +541,8 @@ def _plan_from_args(args) -> SweepPlan:
                 else None
             ),
             scale=scale,
+            scale_batch=scale_batch,
+            scale_spatial=scale_spatial,
             fidelity=fidelity,
         )
     # Resolve the spec first so a typo'd suite name reports "unknown
@@ -523,6 +553,11 @@ def _plan_from_args(args) -> SweepPlan:
     if args.batch is not None or args.batches is not None:
         raise ReproError(
             "--batch/--batches apply to suite workloads "
+            f"({', '.join(SUITES)}), not Table I layer names"
+        )
+    if args.scale_batch is not None or args.scale_spatial is not None:
+        raise ReproError(
+            "--scale-batch/--scale-spatial apply to suite workloads "
             f"({', '.join(SUITES)}), not Table I layer names"
         )
     return SweepPlan(
@@ -642,7 +677,8 @@ def _cmd_sweep_suite_batches(args, plan: SweepPlan) -> int:
     # dims), so count the padded union against the naive per-batch total.
     names = [_suite_name(entry) for entry in plan.suites]
     distinct, expanded = curve_point_counts(
-        names, plan.batches, plan.scale, design_count=len(plan.designs)
+        names, plan.batches, plan.scale, design_count=len(plan.designs),
+        lowering=plan.lowering_config(),
     )
     line = (
         f"{distinct} distinct points for {expanded} per-batch suite points "
@@ -735,7 +771,10 @@ def _describe_plan(plan: SweepPlan) -> List[str]:
         + (", ".join(_suite_name(entry) for entry in plan.suites) or "(none)"),
         f"batch axis: {list(plan.batches) if plan.batches is not None else '-'}"
         + (f" (batch override {plan.batch})" if plan.batch is not None else ""),
-        f"scale     : 1/{plan.scale}, fidelity: {plan.fidelity}",
+        f"scale     : 1/{plan.scale}"
+        + (f", batch 1/{plan.scale_batch}" if plan.scale_batch != 1 else "")
+        + (f", spatial 1/{plan.scale_spatial}" if plan.scale_spatial != 1 else "")
+        + f", fidelity: {plan.fidelity}",
         f"jobs      : {plan.job_count()} expanded, {len(distinct)} distinct "
         f"points ({plan.job_count() / len(distinct):.1f}x dedup)",
     ]

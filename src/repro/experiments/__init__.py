@@ -3,8 +3,9 @@
 Every driver returns plain data structures *and* a formatted text rendering
 (the same rows/series the paper's figure plots), so the benchmark harness
 under ``benchmarks/`` just invokes these and prints.  All simulation flows
-through :mod:`repro.runtime` (backend registry + parallel, cache-backed
-:class:`SweepRunner`); the drivers only build grids and render tables.
+through :mod:`repro.runtime` (declarative :class:`SweepPlan`\\ s run by a
+parallel, cache-backed :class:`Session`); the drivers only build plans and
+render tables.
 
 | Driver                  | Paper artifact                          |
 |-------------------------|------------------------------------------|
@@ -18,6 +19,7 @@ through :mod:`repro.runtime` (backend registry + parallel, cache-backed
 | ``model_report``        | E15 — whole-model suite runtime/speedup  |
 | ``suite_batch_sweep``   | E16 — per-model batch curves (Fig. 7)    |
 | ``register_scaling``    | E17 — register-scaling counterfactual    |
+| ``training_report``     | E18 — training vs inference per pass     |
 """
 
 from repro.experiments.runner import ExperimentSettings, run_design, runtime_sweep
@@ -34,6 +36,7 @@ from repro.experiments.register_scaling import (
     render_register_scaling,
 )
 from repro.experiments.suite_batch_sweep import SuiteBatchSweep, suite_batch_sweep
+from repro.experiments.training_report import TrainingReport, training_report
 from repro.experiments.report import full_report
 
 __all__ = [
@@ -53,5 +56,7 @@ __all__ = [
     "suite_batch_sweep",
     "register_scaling_sweep",
     "render_register_scaling",
+    "TrainingReport",
+    "training_report",
     "full_report",
 ]

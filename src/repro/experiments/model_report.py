@@ -31,7 +31,6 @@ from repro.experiments.runner import (
 from repro.physical.energy import EnergyModel
 from repro.runtime.plan import SuiteTotals, SweepPlan
 from repro.runtime.session import Session
-from repro.runtime.sweep import SweepRunner
 from repro.utils.tables import format_table
 from repro.workloads.suites import suite_names
 
@@ -116,7 +115,6 @@ def model_report(
     suites: Optional[Iterable[str]] = None,
     design_keys: Optional[Iterable[str]] = None,
     batch: Optional[int] = None,
-    runner: Optional[SweepRunner] = None,
     fidelity: str = "fast",
     session: Optional[Session] = None,
 ) -> ModelReport:
@@ -124,7 +122,6 @@ def model_report(
 
     The whole (suite x design) cross-product is one :class:`SweepPlan`
     executed through ``session`` (default: the shared environment-driven
-    session; ``runner`` is the deprecated spelling and contributes its
     session).  Suites are scaled by ``settings.scale`` like every other
     sweep; ``batch`` overrides each suite's streamed-rows dimension, and
     ``fidelity`` selects the simulation backend (``"fast"`` default;
@@ -146,5 +143,5 @@ def model_report(
         codegen=settings.codegen,
         fidelity=fidelity,
     )
-    totals = _resolve_session(session, runner).run(plan).suite_totals()
+    totals = _resolve_session(session).run(plan).suite_totals()
     return ModelReport(totals=totals, design_keys=design_keys)

@@ -2,9 +2,10 @@
 
 ``python -m repro report`` (or :func:`full_report`) regenerates Fig. 1, 2,
 5, 6, 7, Table I, the Sec. V area/energy table, the E15 whole-model suite
-table, the E16 per-model batch curves and the E17 register-scaling
-counterfactual, and stitches them into a markdown document — the quickest
-way to eyeball the whole reproduction at once.
+table, the E16 per-model batch curves, the E17 register-scaling
+counterfactual and the E18 training-vs-inference table, and stitches them
+into a markdown document — the quickest way to eyeball the whole
+reproduction at once.
 """
 
 from __future__ import annotations
@@ -22,6 +23,7 @@ from repro.experiments.runner import DEFAULT_SETTINGS, ExperimentSettings
 from repro.experiments.runtime_sweep import fig5_normalized_runtime
 from repro.experiments.suite_batch_sweep import suite_batch_sweep
 from repro.experiments.toy import fig1_toy_example
+from repro.experiments.training_report import training_report
 from repro.experiments.utilization_sweep import fig2_utilization
 
 
@@ -36,8 +38,8 @@ def full_report(
     """Render the complete reproduction report as markdown.
 
     ``fidelity`` selects the simulation backend for the suite-level
-    sections (E15 and E16) — pass ``"ooo"`` for cycle-accurate validation
-    runs; the figure sections always use the fast model.
+    sections (E15, E16 and E18) — pass ``"ooo"`` for cycle-accurate
+    validation runs; the figure sections always use the fast model.
     """
     parts = [
         "# RASA (DAC 2021) — reproduction report",
@@ -75,6 +77,10 @@ def full_report(
         _section(
             "E17 — register-scaling counterfactual",
             render_register_scaling(register_scaling_sweep()),
+        ),
+        _section(
+            "E18 — training vs inference",
+            training_report(settings, fidelity=fidelity).render(),
         ),
     ]
     return "\n".join(parts)

@@ -32,7 +32,6 @@ from repro.errors import ExperimentError
 from repro.runtime.plan import SweepPlan
 from repro.runtime.registry import resolve_backend
 from repro.runtime.session import Session, cached_program
-from repro.runtime.sweep import SweepRunner
 from repro.workloads.codegen import CodegenOptions
 from repro.workloads.gemm import GemmShape
 from repro.workloads.layers import table1_gemms
@@ -71,28 +70,10 @@ def default_session(
     )
 
 
-def default_runner(
-    workers: Optional[int] = None,
-    cache_dir: Optional[Path] = None,
-    use_cache: bool = True,
-) -> SweepRunner:
-    """Deprecated spelling of :func:`default_session` (same env knobs).
-
-    Returns the legacy :class:`SweepRunner` facade; its ``run_*`` methods
-    emit :class:`DeprecationWarning` and delegate to the owned session.
-    """
-    session = default_session(workers, cache_dir, use_cache)
-    return SweepRunner(cache=session.cache, workers=session.workers)
-
-
-def _resolve_session(
-    session: Optional[Session], runner: Optional[SweepRunner]
-) -> Session:
-    """Driver-argument compatibility: prefer ``session``, accept ``runner``."""
+def _resolve_session(session: Optional[Session]) -> Session:
+    """An explicit driver session, or the shared environment-driven one."""
     if session is not None:
         return session
-    if runner is not None:
-        return runner.session
     return default_session()
 
 

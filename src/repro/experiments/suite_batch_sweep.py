@@ -14,11 +14,12 @@ sub-tile batches lower to identical streams and simulate once, as do
 scaled batches that saturate at the one-register-block floor.  Each curve
 point still matches a standalone single-batch suite plan bit for bit.
 
-The default suites are the FC-shaped models: a conv suite's streamed rows
-are batch x output spatial, so ``resnet50`` (or ``table1``, which embeds
-its convs) at large batches lowers to millions of tile rows — sweep those
-explicitly via ``repro sweep --workloads resnet50 --batches ...`` when the
-cost is intended.
+The default suites are the FC/attention-shaped models: a conv suite's
+streamed rows are batch x output spatial, so ``resnet50`` (or ``table1``,
+which embeds its convs) at large batches lowers to millions of tile rows —
+sweep those explicitly via ``repro sweep --workloads resnet50 --batches
+... --scale-spatial N``, whose dimension-role-aware knob shrinks the
+spatial product without touching filters or channels.
 """
 
 from __future__ import annotations
@@ -37,16 +38,18 @@ from repro.experiments.runner import (
 )
 from repro.runtime.plan import SuiteBatchCurve, SweepPlan
 from repro.runtime.session import Session
-from repro.runtime.sweep import SweepRunner
 from repro.utils.tables import format_table
+from repro.workloads.ops import DEFAULT_LOWERING, LoweringConfig
 from repro.workloads.suites import SUITES
 
 #: The batch axis the per-model curves sweep by default.
 DEFAULT_SUITE_BATCHES: Sequence[int] = (1, 4, 16, 64, 256, 1024)
 
-#: Suites swept by default: the FC-shaped models, whose streamed-rows
-#: dimension *is* the batch (conv suites multiply it by output spatial).
-DEFAULT_CURVE_SUITES: Tuple[str, ...] = ("bert-base", "dlrm", "training")
+#: Suites swept by default: the FC/attention-shaped models, whose
+#: streamed-rows dimension *is* the batch (conv suites multiply it by
+#: output spatial — sweep those with ``scale_spatial`` to keep large
+#: batches tractable).
+DEFAULT_CURVE_SUITES: Tuple[str, ...] = ("bert-base", "bert-full", "dlrm", "training")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -107,6 +110,7 @@ def curve_point_counts(
     batches: Sequence[int],
     scale: int,
     design_count: int,
+    lowering: LoweringConfig = DEFAULT_LOWERING,
 ) -> Tuple[int, int]:
     """(distinct padded points submitted, naive per-batch point count).
 
@@ -118,7 +122,7 @@ def curve_point_counts(
     expanded = 0
     for name in names:
         for batch in batches:
-            suite = SUITES[name].build(batch=batch, scale=scale)
+            suite = SUITES[name].build(batch=batch, scale=scale, lowering=lowering)
             entries = suite.distinct()
             expanded += len(entries)
             padded.update(entry.shape.tile_padded().dims for entry in entries)
@@ -131,8 +135,8 @@ def suite_batch_sweep(
     batches: Sequence[int] = DEFAULT_SUITE_BATCHES,
     design_key: str = BEST_DESIGN,
     fidelity: str = "fast",
-    runner: Optional[SweepRunner] = None,
     session: Optional[Session] = None,
+    lowering: LoweringConfig = DEFAULT_LOWERING,
 ) -> SuiteBatchSweep:
     """Sweep whole-model suites over the batch axis vs the baseline.
 
@@ -140,7 +144,10 @@ def suite_batch_sweep(
     rebuilt shapes with the usual floors) and the full
     (suite x batch x {design, baseline}) cross-product is one dedup-aware
     :class:`SweepPlan` executed through ``session`` (default: the shared
-    environment-driven session; ``runner`` is the deprecated spelling).
+    environment-driven session).  ``lowering`` carries the role-aware
+    ``scale_batch``/``scale_spatial`` knobs — the way to keep conv-suite
+    curves (batch x output-spatial streamed rows) tractable at large
+    batches.
     """
     if design_key == "baseline":
         raise ExperimentError(
@@ -153,13 +160,15 @@ def suite_batch_sweep(
         suites=tuple(names),
         batches=tuple(batches),
         scale=settings.scale,
+        scale_batch=lowering.scale_batch,
+        scale_spatial=lowering.scale_spatial,
         core=settings.core,
         codegen=settings.codegen,
         fidelity=fidelity,
     )
-    curves = _resolve_session(session, runner).run(plan).batch_curves()
+    curves = _resolve_session(session).run(plan).batch_curves()
     simulated, expanded = curve_point_counts(
-        names, tuple(batches), settings.scale, design_count=2
+        names, tuple(batches), settings.scale, design_count=2, lowering=lowering
     )
     return SuiteBatchSweep(
         design_key=design_key,

@@ -25,10 +25,11 @@ cycle-accurate OoO — runs through this subsystem:
 - :mod:`repro.runtime.session` executes plans: a :class:`Session` owns
   the result cache, backend resolution and the ``multiprocessing`` pool,
   and exposes the single entry point ``session.run(plan)`` with
-  crash-safe streaming write-back;
-- :mod:`repro.runtime.sweep` keeps the deprecated
-  :class:`SweepRunner.run_*` method family as thin plan-building shims
-  (each emits :class:`DeprecationWarning`).
+  crash-safe streaming write-back.
+
+(The deprecated ``SweepRunner.run_*`` shim family is gone: every driver,
+bench and test declares a :class:`SweepPlan` and runs it through a
+:class:`Session` — see the README migration table.)
 
 The experiment drivers (:mod:`repro.experiments`), the CLI (``repro
 sweep`` / ``repro plan``) and the benchmark suite are all thin clients of
@@ -57,7 +58,6 @@ from repro.runtime.registry import (
     resolve_backend,
 )
 from repro.runtime.session import PROGRAM_CACHE_SIZE, Session, cached_program
-from repro.runtime.sweep import SweepRunner
 
 __all__ = [
     "SimBackend",
@@ -75,7 +75,6 @@ __all__ = [
     "SweepPlan",
     "SweepReport",
     "Session",
-    "SweepRunner",
     "SuiteTotals",
     "SuiteBatchCurve",
     "PROGRAM_CACHE_SIZE",

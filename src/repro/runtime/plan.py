@@ -54,6 +54,7 @@ from repro.errors import ExperimentError
 from repro.runtime.cache import cache_key
 from repro.workloads.codegen import CodegenOptions
 from repro.workloads.gemm import GemmShape
+from repro.workloads.ops import DEFAULT_LOWERING, LoweringConfig
 from repro.workloads.suites import SUITES, SuiteSpec, WorkloadSuite
 from repro.workloads.tiling import BlockingConfig, MMOrder
 
@@ -283,8 +284,13 @@ class SweepPlan:
     shapes via :meth:`repro.workloads.gemm.GemmShape.scaled` (same
     floors), so plans serialize the *unscaled* declaration; ``batch`` is a
     single streamed-rows override, ``batches`` the sweep axis (mutually
-    exclusive).  ``shard`` marks the plan as one deterministic slice of
-    the full key set — see :meth:`shard`.
+    exclusive).  ``scale_batch``/``scale_spatial`` are the dimension-
+    role-aware lowering knobs (:class:`repro.workloads.ops.LoweringConfig`)
+    — they apply at op lowering, before the generic ``scale``, and only to
+    suites built from op factories (registered names / op-level
+    :class:`SuiteSpec`\\ s; pre-built multisets are already lowered).
+    ``shard`` marks the plan as one deterministic slice of the full key
+    set — see :meth:`shard`.
 
     Plans validate eagerly — unknown designs (including pre-built jobs'),
     unknown suites, bad batches and bad shards all raise at construction —
@@ -300,6 +306,8 @@ class SweepPlan:
     batches: Optional[Tuple[int, ...]] = None
     batch: Optional[int] = None
     scale: int = 1
+    scale_batch: int = 1
+    scale_spatial: int = 1
     core: CoreConfig = dataclasses.field(default_factory=CoreConfig)
     codegen: CodegenOptions = dataclasses.field(default_factory=CodegenOptions)
     fidelity: str = "fast"
@@ -401,14 +409,33 @@ class SweepPlan:
                         "and cannot be rebatched; use a registered name or a "
                         "SuiteSpec for batch sweeps"
                     )
-        if (
-            not isinstance(self.scale, int)
-            or isinstance(self.scale, bool)
-            or self.scale < 1
-        ):
-            raise ExperimentError(
-                f"scale must be a positive integer, got {self.scale!r}"
-            )
+        for knob in ("scale", "scale_batch", "scale_spatial"):
+            value = getattr(self, knob)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                raise ExperimentError(
+                    f"{knob} must be a positive integer, got {value!r}"
+                )
+        if self.scale_batch != 1 or self.scale_spatial != 1:
+            if not self.suites:
+                raise ExperimentError(
+                    "scale_batch/scale_spatial are dimension-role-aware "
+                    "lowering knobs; they apply to suite workloads only"
+                )
+            for entry in self.suites:
+                resolved = (
+                    entry
+                    if isinstance(entry, (SuiteSpec, WorkloadSuite))
+                    else _resolve_spec(entry)
+                )
+                if isinstance(resolved, WorkloadSuite) or resolved.ops() is None:
+                    # Probe the spec's factory eagerly: a pre-lowered
+                    # (shape-mapping) factory would only fail deep inside
+                    # built_suites(), breaking the eager-validation contract.
+                    raise ExperimentError(
+                        f"suite {_suite_name(entry)!r} is already lowered "
+                        "(shapes, not ops); scale_batch/scale_spatial need a "
+                        "registered name or an op-level SuiteSpec"
+                    )
         if not self.fidelity or not isinstance(self.fidelity, str):
             raise ExperimentError(
                 f"fidelity must be a non-empty backend name, got {self.fidelity!r}"
@@ -436,21 +463,32 @@ class SweepPlan:
         cached = self.__dict__.get("_built_suites")
         if cached is not None:
             return cached
+        lowering = self.lowering_config()
         built: List[Tuple[WorkloadSuite, Optional[int]]] = []
         for entry in self.suites:
             resolved = _resolve_spec(entry)
             if isinstance(resolved, WorkloadSuite):
                 built.append((resolved.scaled(self.scale), None))
             elif self.batches is None:
-                built.append((resolved.build(batch=self.batch, scale=self.scale),
+                built.append((resolved.build(batch=self.batch, scale=self.scale,
+                                             lowering=lowering),
                               self.batch))
             else:
                 built.extend(
-                    (resolved.build(batch=batch, scale=self.scale), batch)
+                    (resolved.build(batch=batch, scale=self.scale,
+                                    lowering=lowering), batch)
                     for batch in self.batches
                 )
         object.__setattr__(self, "_built_suites", built)
         return built
+
+    def lowering_config(self) -> LoweringConfig:
+        """The plan's role-aware lowering knobs as one config value."""
+        if self.scale_batch == 1 and self.scale_spatial == 1:
+            return DEFAULT_LOWERING
+        return LoweringConfig(
+            scale_batch=self.scale_batch, scale_spatial=self.scale_spatial
+        )
 
     def iter_jobs(self) -> Iterator[SweepJob]:
         """Lazily expand the declaration into the flat job stream.
@@ -731,6 +769,8 @@ def _encode_plan(plan: SweepPlan) -> Dict[str, Any]:
         "batches": None if plan.batches is None else list(plan.batches),
         "batch": plan.batch,
         "scale": plan.scale,
+        "scale_batch": plan.scale_batch,
+        "scale_spatial": plan.scale_spatial,
         "core": _encode_core(plan.core),
         "codegen": _encode_codegen(plan.codegen),
         "fidelity": plan.fidelity,
@@ -752,6 +792,9 @@ def _decode_plan(raw: Dict[str, Any]) -> SweepPlan:
             batches=None if raw["batches"] is None else tuple(raw["batches"]),
             batch=raw["batch"],
             scale=raw["scale"],
+            # Absent in pre-IR plan documents: identity lowering.
+            scale_batch=raw.get("scale_batch", 1),
+            scale_spatial=raw.get("scale_spatial", 1),
             core=_decode_core(raw["core"]),
             codegen=_decode_codegen(raw["codegen"]),
             fidelity=raw["fidelity"],
@@ -857,6 +900,37 @@ class SweepReport:
                 for design in self.plan.designs
             }
         return totals
+
+    def suite_layer_cycles(self) -> Dict[str, Dict[str, Dict[str, int]]]:
+        """``cycles[suite][design][label]`` — per-layer-label cycle totals.
+
+        Labels that occur multiple times in the multiset (e.g. the 24
+        per-head copies of one attention matmul) aggregate
+        occurrence-weighted, so summing a suite's labels reproduces its
+        :class:`SuiteTotals` cycles exactly.  Like :meth:`suite_totals`,
+        this view is for plans without a batch axis; the experiments use
+        it to split training suites into fwd/dgrad/wgrad shares.
+        """
+        self._require_complete("suite_layer_cycles()")
+        if self.plan.batches is not None:
+            raise ExperimentError(
+                "this plan sweeps a batch axis; suite_layer_cycles() reads "
+                "single-batch suite plans only"
+            )
+        stream = self._suite_stream()
+        table: Dict[str, Dict[str, Dict[str, int]]] = {}
+        for suite, _ in self.plan.built_suites():
+            entries = suite.distinct()
+            per_design: Dict[str, Dict[str, int]] = {}
+            for design in self.plan.designs:
+                cycles: Dict[str, int] = {}
+                for entry in entries:
+                    result = next(stream)
+                    for label in entry.layers:
+                        cycles[label] = cycles.get(label, 0) + result.cycles
+                per_design[design] = cycles
+            table[suite.name] = per_design
+        return table
 
     def batch_curves(self) -> Dict[str, Dict[str, SuiteBatchCurve]]:
         """``curves[suite_name][design_key]`` along the plan's batch axis."""

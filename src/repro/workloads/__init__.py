@@ -1,19 +1,24 @@
-"""Workloads: DL layers -> GEMMs -> RASA instruction streams.
+"""Workloads: DL layers -> ops -> GEMMs -> RASA instruction streams.
 
 The paper evaluates nine MLPerf layers (Table I): three ResNet50
 convolutions, three DLRM FC layers, three BERT FC layers.  This package
 
 - catalogs those layers (:mod:`repro.workloads.layers`),
-- lowers convolutions to GEMM via im2col (:mod:`repro.workloads.lowering`),
+- models whole networks as sequences of ops that know their own GEMM
+  lowering — matmuls, head-batched matmuls, conv and FC layers per
+  training pass (:mod:`repro.workloads.ops`),
+- lowers convolutions to GEMM via im2col, forward and backward
+  (:mod:`repro.workloads.lowering`, adjoint oracles in
+  :mod:`repro.workloads.reference`),
 - tiles GEMMs onto the 16x16x32 rasa_mm granularity with Algorithm-1-style
-  register blocking (:mod:`repro.workloads.tiling`), and
+  register blocking (:mod:`repro.workloads.tiling`),
 - generates the LIBXSMM-like instruction streams the simulators replay
   (:mod:`repro.workloads.codegen`), substituting for the paper's Intel-SDE
   trace collection, and
 - packages whole-model GEMM multisets as sweepable
   :class:`~repro.workloads.suites.WorkloadSuite`\\ s
   (:mod:`repro.workloads.suites`): ``table1``, ``resnet50``, ``bert-base``,
-  ``dlrm`` and ``training``.
+  ``bert-full``, ``dlrm``, ``training`` and ``resnet50-train``.
 """
 
 from repro.workloads.gemm import GemmShape
@@ -24,6 +29,17 @@ from repro.workloads.layers import (
     table1_gemms,
 )
 from repro.workloads.lowering import im2col, conv_to_gemm_shape, conv_reference
+from repro.workloads.ops import (
+    BatchedMatmulOp,
+    ConvOp,
+    FCOp,
+    LoweringConfig,
+    MatmulOp,
+    Op,
+    lower,
+    lower_ops,
+    op_kind_counts,
+)
 from repro.workloads.tiling import BlockingConfig, TileLoopNest
 from repro.workloads.codegen import (
     CodegenOptions,
@@ -59,6 +75,15 @@ __all__ = [
     "im2col",
     "conv_to_gemm_shape",
     "conv_reference",
+    "Op",
+    "MatmulOp",
+    "BatchedMatmulOp",
+    "ConvOp",
+    "FCOp",
+    "LoweringConfig",
+    "lower",
+    "lower_ops",
+    "op_kind_counts",
     "BlockingConfig",
     "TileLoopNest",
     "CodegenOptions",

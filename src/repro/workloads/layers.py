@@ -56,6 +56,16 @@ class ConvLayer:
             name=self.name,
         )
 
+    def with_batch(self, batch: int) -> "ConvLayer":
+        """The same layer at a different batch size (the ``Layer`` protocol).
+
+        Every layer kind implements ``with_batch``, so suite factories
+        rebatch uniformly instead of reaching for ``dataclasses.replace``
+        on some kinds — a new layer type cannot silently miss batch
+        overrides.
+        """
+        return dataclasses.replace(self, batch=batch)
+
     def __str__(self) -> str:
         return (
             f"{self.name}: N={self.batch} K={self.filters} C={self.channels} "
@@ -88,6 +98,8 @@ class FCLayer:
         return f"{self.name}: N={self.batch} NIN={self.nin} NON={self.non}"
 
 
+#: Every layer kind supports ``gemm()`` and ``with_batch(batch)`` — the
+#: protocol suite factories and the op IR build on.
 Layer = Union[ConvLayer, FCLayer]
 
 #: Table I, verbatim.

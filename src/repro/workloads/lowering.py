@@ -10,6 +10,21 @@ stride-1 'same'-padded convolution of input (N, C, X, Y) with filters
 
 ``conv_reference`` computes the same convolution directly, so tests can
 confirm the lowering (and then the whole simulated pipeline) is exact.
+
+The **training passes** lower to GEMM the same way:
+
+- **dgrad** (``conv_dgrad``): dX is the 'same' convolution of dY with the
+  *transposed, spatially flipped* filters (:func:`dgrad_filters` turns
+  (K, C, R, S) into (C, K, R, S) rotated 180°), so it reuses ``im2col``
+  on dY — GEMM dims (N·X·Y, C, K·R·S);
+- **wgrad** (``conv_wgrad``): dW is the patch matrix of the *inputs*
+  contracted with dY over every (batch, spatial) position —
+  ``X_colᵀ @ dY_mat``, GEMM dims (C·R·S, K, N·X·Y), the conv analog of
+  the FC wgrad ``Xᵀ @ dY``.
+
+Both are validated against the independent adjoint oracles in
+:mod:`repro.workloads.reference` (``conv_dgrad_reference`` /
+``conv_wgrad_reference``), which never touch im2col.
 """
 
 from __future__ import annotations
@@ -70,6 +85,59 @@ def gemm_output_to_conv(output: np.ndarray, n: int, x: int, y: int) -> np.ndarra
 def conv_to_gemm_shape(layer: ConvLayer) -> GemmShape:
     """The GEMM dimensions im2col produces for ``layer`` (same as layer.gemm())."""
     return layer.gemm()
+
+
+def dgrad_filters(weights: np.ndarray) -> np.ndarray:
+    """The transposed-filter bank dgrad convolves with.
+
+    (K, C, R, S) forward filters become (C, K, R, S) filters rotated 180°
+    spatially: ``W'[c, k, dr, ds] = W[k, c, R-1-dr, S-1-ds]``.  Convolving
+    dY with these ('same' padding, stride 1) is exactly the adjoint of the
+    forward convolution.
+    """
+    if weights.ndim != 4:
+        raise WorkloadError(f"expected KCRS weights, got shape {weights.shape}")
+    return weights.transpose(1, 0, 2, 3)[:, :, ::-1, ::-1].copy()
+
+
+def conv_dgrad(grad_output: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Input gradient dX via the transposed-filter im2col GEMM (stride 1).
+
+    ``grad_output`` is dY (N, K, X, Y); the result is dX (N, C, X, Y).
+    This is the *lowered* path — ``im2col`` on dY times the reshaped
+    :func:`dgrad_filters` — which tests compare against the direct
+    adjoint oracle :func:`repro.workloads.reference.conv_dgrad_reference`.
+    """
+    _check_conv_operands(grad_output, weights.transpose(1, 0, 2, 3))
+    n, _, x, y = grad_output.shape
+    r, s = weights.shape[2], weights.shape[3]
+    a = im2col(grad_output, r, s)
+    b = filters_to_gemm_b(dgrad_filters(weights))
+    return gemm_output_to_conv(a @ b, n, x, y)
+
+
+def conv_wgrad(inputs: np.ndarray, grad_output: np.ndarray, r: int, s: int) -> np.ndarray:
+    """Weight gradient dW via the im2col GEMM ``X_colᵀ @ dY_mat`` (stride 1).
+
+    ``inputs`` (N, C, X, Y) and ``grad_output`` dY (N, K, X, Y) produce
+    dW (K, C, R, S).  The GEMM streams M = C·R·S rows against
+    K-dim = N·X·Y — the conv analog of the FC wgrad ``Xᵀ @ dY``.
+    """
+    if inputs.ndim != 4 or grad_output.ndim != 4:
+        raise WorkloadError(
+            f"conv_wgrad expects NCHW inputs and NKXY grads, got "
+            f"{inputs.shape} / {grad_output.shape}"
+        )
+    if inputs.shape[0] != grad_output.shape[0] or inputs.shape[2:] != grad_output.shape[2:]:
+        raise WorkloadError(
+            f"batch/spatial mismatch: inputs {inputs.shape}, grads {grad_output.shape}"
+        )
+    n, c, x, y = inputs.shape
+    k = grad_output.shape[1]
+    x_col = im2col(inputs, r, s)                                    # (NXY, CRS)
+    dy_mat = grad_output.transpose(0, 2, 3, 1).reshape(n * x * y, k)  # (NXY, K)
+    dw = x_col.T @ dy_mat                                           # (CRS, K)
+    return dw.T.reshape(k, c, r, s).copy()
 
 
 def conv_reference(inputs: np.ndarray, weights: np.ndarray) -> np.ndarray:

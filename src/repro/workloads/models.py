@@ -1,12 +1,20 @@
-"""Full-model GEMM catalogs (extension beyond Table I's nine layers).
+"""Full-model op catalogs (extension beyond Table I's nine layers).
 
 The paper evaluates three layers per MLPerf model; these catalogs carry the
-*complete* GEMM suite of each network so whole-model speedups can be
-simulated: every ResNet-50 convolution (lowered via im2col dimensions),
-every BERT-base encoder projection/FFN GEMM, and the DLRM MLP stacks.
-Attention score/context batched matmuls and embedding lookups are excluded
-(they are not tile-GEMM work on this engine); the catalogs cover the
-GEMM-shaped portion the matrix engine would execute.
+*complete* matrix-engine work of each network as sequences of
+:mod:`repro.workloads.ops` ops, each of which knows its own GEMM lowering:
+every ResNet-50 convolution (:func:`resnet50_ops`), every BERT-base encoder
+projection/FFN GEMM (:func:`bert_encoder_ops`), the *full* BERT-base stack
+including the head-batched attention score/context matmuls
+(:func:`bert_full_ops`), and the DLRM MLP stacks (:func:`dlrm_ops`).
+
+The ``*_gemms`` functions are the lowered ``{label: GemmShape}`` views the
+original catalogs exposed — identical output, now produced by
+:func:`repro.workloads.ops.lower` instead of ad-hoc shape arithmetic.
+Attention matmuls are not tile-GEMMs *per head* (seq x head_dim slices),
+but head-batched they are exactly ``heads x sequences`` independent GEMMs
+of one shape, which is how :func:`bert_full_ops` models them; embedding
+lookups remain excluded (not matrix-engine work).
 """
 
 from __future__ import annotations
@@ -16,6 +24,13 @@ from typing import Dict, List, Sequence
 from repro.errors import WorkloadError
 from repro.workloads.gemm import GemmShape
 from repro.workloads.layers import ConvLayer, FCLayer
+from repro.workloads.ops import (
+    BatchedMatmulOp,
+    ConvOp,
+    FCOp,
+    Op,
+    lower,
+)
 
 # -- ResNet-50 ------------------------------------------------------------------
 
@@ -58,63 +73,163 @@ def resnet50_conv_layers(batch: int = 32) -> List[ConvLayer]:
     return layers
 
 
+def resnet50_ops(batch: int = 32) -> List[Op]:
+    """Every ResNet-50 convolution as a forward :class:`ConvOp`."""
+    return [ConvOp.from_layer(layer) for layer in resnet50_conv_layers(batch)]
+
+
 def resnet50_gemms(batch: int = 32) -> Dict[str, GemmShape]:
     """Lowered GEMM of every ResNet-50 convolution."""
-    return {layer.name: layer.gemm() for layer in resnet50_conv_layers(batch)}
+    return _lowered_dict(resnet50_ops(batch))
 
 
 # -- BERT-base --------------------------------------------------------------------
 
 
-def bert_encoder_gemms(
+def bert_encoder_ops(
     tokens: int = 256, hidden: int = 768, ffn: int = 3072, layers: int = 12
-) -> Dict[str, GemmShape]:
-    """The projection/FFN GEMMs of a BERT-base encoder stack.
+) -> List[Op]:
+    """The projection/FFN ops of a BERT-base encoder stack.
 
     Per layer: Q, K, V projections (hidden -> hidden), attention output
     projection (hidden -> hidden), FFN up (hidden -> ffn), FFN down
-    (ffn -> hidden).  ``tokens`` is batch x sequence rows, matching the
-    paper's BERT-1/2/3 shapes at tokens = 256.
+    (ffn -> hidden), each an :class:`FCOp` with ``tokens`` batch rows —
+    matching the paper's BERT-1/2/3 shapes at tokens = 256.
     """
     if layers <= 0:
         raise WorkloadError(f"layers must be positive, got {layers}")
-    out: Dict[str, GemmShape] = {}
+    ops: List[Op] = []
     for i in range(layers):
         p = f"enc{i}"
         for proj in ("q", "k", "v", "attn_out"):
-            out[f"{p}.{proj}"] = GemmShape(tokens, hidden, hidden, name=f"{p}.{proj}")
-        out[f"{p}.ffn_up"] = GemmShape(tokens, ffn, hidden, name=f"{p}.ffn_up")
-        out[f"{p}.ffn_down"] = GemmShape(tokens, hidden, ffn, name=f"{p}.ffn_down")
-    return out
+            ops.append(FCOp(f"{p}.{proj}", batch=tokens, nin=hidden, non=hidden))
+        ops.append(FCOp(f"{p}.ffn_up", batch=tokens, nin=hidden, non=ffn))
+        ops.append(FCOp(f"{p}.ffn_down", batch=tokens, nin=ffn, non=hidden))
+    return ops
+
+
+def bert_encoder_gemms(
+    tokens: int = 256, hidden: int = 768, ffn: int = 3072, layers: int = 12
+) -> Dict[str, GemmShape]:
+    """The projection/FFN GEMMs of a BERT-base encoder stack."""
+    return _lowered_dict(bert_encoder_ops(tokens, hidden, ffn, layers))
+
+
+#: BERT-base attention geometry: 12 heads of 64 dims over 128-token sequences.
+BERT_HEADS = 12
+BERT_SEQ = 128
+
+
+def bert_full_ops(
+    tokens: int = 256,
+    hidden: int = 768,
+    ffn: int = 3072,
+    layers: int = 12,
+    heads: int = BERT_HEADS,
+    seq: int = BERT_SEQ,
+) -> List[Op]:
+    """The *complete* BERT-base encoder stack, attention matmuls included.
+
+    On top of the six projection/FFN :class:`FCOp`\\ s per layer, each
+    encoder layer contributes two head-batched attention matmuls as
+    :class:`BatchedMatmulOp`\\ s with ``count = heads x sequences``:
+
+    - **score**:   Q_h (seq x head_dim) @ K_hᵀ -> (seq, seq, head_dim);
+    - **context**: P_h (seq x seq) @ V_h       -> (seq, head_dim, seq).
+
+    ``tokens`` is the total row count (batch x sequence), so the number of
+    sequences is ``ceil(tokens / seq)`` — a trailing partial sequence
+    still costs a (padded) attention pass, so rounding up matches padded
+    execution where truncating would silently drop its score/context work.
+    Below one full sequence the sequence itself shortens to ``tokens``
+    (the batch-sweep small end).  Both matmuls mark their sequence dims as
+    ``seq_axes`` for the role-aware ``scale_spatial`` knob.
+    """
+    if hidden % heads:
+        raise WorkloadError(
+            f"hidden {hidden} must divide evenly into {heads} heads"
+        )
+    head_dim = hidden // heads
+    seq_eff = min(seq, tokens)
+    sequences = -(-tokens // seq_eff)
+    ops: List[Op] = []
+    for op in bert_encoder_ops(tokens, hidden, ffn, layers):
+        ops.append(op)
+        if op.name.endswith(".v"):
+            p = op.name[: -len(".v")]
+            ops.append(
+                BatchedMatmulOp(
+                    f"{p}.attn_score",
+                    count=heads * sequences,
+                    m=seq_eff, n=seq_eff, k=head_dim,
+                    seq_axes=("m", "n"),
+                )
+            )
+            ops.append(
+                BatchedMatmulOp(
+                    f"{p}.attn_ctx",
+                    count=heads * sequences,
+                    m=seq_eff, n=head_dim, k=seq_eff,
+                    seq_axes=("m", "k"),
+                )
+            )
+    return ops
 
 
 # -- DLRM -----------------------------------------------------------------------
 
 
-def mlp_gemms(batch: int, widths: Sequence[int], prefix: str) -> Dict[str, GemmShape]:
-    """GEMMs of an MLP with the given layer widths."""
+def mlp_ops(batch: int, widths: Sequence[int], prefix: str) -> List[Op]:
+    """Ops of an MLP with the given layer widths (forward FCs)."""
     if len(widths) < 2:
         raise WorkloadError("an MLP needs at least two widths")
-    out: Dict[str, GemmShape] = {}
-    for i, (nin, non) in enumerate(zip(widths, widths[1:])):
-        layer = FCLayer(f"{prefix}{i}", batch=batch, nin=nin, non=non)
-        out[layer.name] = layer.gemm()
-    return out
+    return [
+        FCOp(f"{prefix}{i}", batch=batch, nin=nin, non=non)
+        for i, (nin, non) in enumerate(zip(widths, widths[1:]))
+    ]
+
+
+def mlp_gemms(batch: int, widths: Sequence[int], prefix: str) -> Dict[str, GemmShape]:
+    """GEMMs of an MLP with the given layer widths."""
+    return _lowered_dict(mlp_ops(batch, widths, prefix))
+
+
+def dlrm_ops(batch: int = 512) -> List[Op]:
+    """DLRM MLP ops (RM2-class sizes, matching Table I's 1024/2048 FCs)."""
+    return mlp_ops(batch, (256, 1024, 1024, 1024, 64), "bottom") + mlp_ops(
+        batch, (512, 2048, 2048, 2048, 1024, 1), "top"
+    )
 
 
 def dlrm_gemms(batch: int = 512) -> Dict[str, GemmShape]:
     """DLRM MLP GEMMs (RM2-class sizes, matching Table I's 1024/2048 FCs)."""
-    gemms = mlp_gemms(batch, (256, 1024, 1024, 1024, 64), "bottom")
-    gemms.update(mlp_gemms(batch, (512, 2048, 2048, 2048, 1024, 1), "top"))
-    return gemms
+    return _lowered_dict(dlrm_ops(batch))
 
 
 # -- registry ----------------------------------------------------------------------
+
+
+def _lowered_dict(ops: Sequence[Op]) -> Dict[str, GemmShape]:
+    """Identity-lowered ``{label: shape}`` view of single-GEMM op lists."""
+    out: Dict[str, GemmShape] = {}
+    for op in ops:
+        for label, shape, _ in lower(op):
+            out[label] = shape
+    return out
+
 
 MODEL_CATALOGS = {
     "resnet50": resnet50_gemms,
     "bert-base": bert_encoder_gemms,
     "dlrm": dlrm_gemms,
+}
+
+#: Op-level catalogs, same keys plus the attention-complete BERT stack.
+OP_CATALOGS = {
+    "resnet50": resnet50_ops,
+    "bert-base": bert_encoder_ops,
+    "bert-full": bert_full_ops,
+    "dlrm": dlrm_ops,
 }
 
 
@@ -125,5 +240,16 @@ def model_gemms(model: str, **kwargs) -> Dict[str, GemmShape]:
     except KeyError:
         raise WorkloadError(
             f"unknown model {model!r}; known: {', '.join(MODEL_CATALOGS)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def model_ops(model: str, **kwargs) -> List[Op]:
+    """Catalog lookup: the full op sequence of ``model``."""
+    try:
+        factory = OP_CATALOGS[model]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown model {model!r}; known: {', '.join(OP_CATALOGS)}"
         ) from None
     return factory(**kwargs)

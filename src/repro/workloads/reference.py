@@ -5,12 +5,23 @@ tile the array reduces in ascending k (or in two even/odd chains on DM
 designs).  This oracle composes the per-tile oracles in the same order, so a
 full program executed on the functional engine must match it *bit-exactly*
 — the strongest end-to-end check the test suite has.
+
+The module also carries the **conv training oracles**
+(:func:`conv_dgrad_reference` / :func:`conv_wgrad_reference`): direct
+numpy adjoint computations — structured like the forward
+:func:`repro.workloads.lowering.conv_reference` loop, never touching
+im2col — that the transposed-filter GEMM lowerings must match exactly.
+Because convolution is linear, these adjoints satisfy the inner-product
+identities ``<dY, conv(X, W)> == <dgrad(dY, W), X> == <wgrad(X, dY), W>``
+(what a finite-difference/autograd check would verify, but exact), which
+the tests assert alongside the element-wise comparison.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import WorkloadError
 from repro.numerics.mac import matmul_bf16_fp32, matmul_bf16_fp32_chained
 from repro.workloads.gemm import GemmShape, TILE_K
 
@@ -52,3 +63,69 @@ def gemm_reference(
         else:
             out = matmul_bf16_fp32_chained(a_slab, b_slab, out, chains=chains)
     return out[:m, :n]
+
+
+def _check_grad_operands(grad_output: np.ndarray, r: int, s: int) -> None:
+    if grad_output.ndim != 4:
+        raise WorkloadError(
+            f"expected a 4-D NKXY output gradient, got shape {grad_output.shape}"
+        )
+    if r % 2 == 0 or s % 2 == 0:
+        raise WorkloadError("'same' padding requires odd filter dims R, S")
+
+
+def conv_dgrad_reference(grad_output: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Direct adjoint dX of a stride-1 'same' convolution (float64 oracle).
+
+    Scatters each output gradient back through every filter tap:
+    ``dXp[n, c, x+dr, y+ds] += Σ_k dY[n, k, x, y] · W[k, c, dr, ds]``,
+    then crops the padding ring — the exact transpose of the forward
+    gather in :func:`repro.workloads.lowering.conv_reference`, computed
+    without im2col so it independently checks the GEMM lowering.
+    """
+    if weights.ndim != 4:
+        raise WorkloadError(f"expected KCRS weights, got shape {weights.shape}")
+    k, c, r, s = weights.shape
+    _check_grad_operands(grad_output, r, s)
+    if grad_output.shape[1] != k:
+        raise WorkloadError(
+            f"filter mismatch: grad K={grad_output.shape[1]}, weight K={k}"
+        )
+    n, _, x, y = grad_output.shape
+    pad_r, pad_s = r // 2, s // 2
+    dx_padded = np.zeros((n, c, x + 2 * pad_r, y + 2 * pad_s), dtype=np.float64)
+    for dr in range(r):
+        for ds in range(s):
+            dx_padded[:, :, dr : dr + x, ds : ds + y] += np.einsum(
+                "nkxy,kc->ncxy", grad_output, weights[:, :, dr, ds]
+            )
+    return dx_padded[:, :, pad_r : pad_r + x, pad_s : pad_s + y]
+
+
+def conv_wgrad_reference(
+    inputs: np.ndarray, grad_output: np.ndarray, r: int, s: int
+) -> np.ndarray:
+    """Direct adjoint dW of a stride-1 'same' convolution (float64 oracle).
+
+    Correlates the padded inputs with the output gradient per tap:
+    ``dW[k, c, dr, ds] = Σ_{n,x,y} Xp[n, c, x+dr, y+ds] · dY[n, k, x, y]``
+    — again the plain transpose of the forward loop, no im2col involved.
+    """
+    _check_grad_operands(grad_output, r, s)
+    if inputs.ndim != 4:
+        raise WorkloadError(f"expected NCHW inputs, got shape {inputs.shape}")
+    if inputs.shape[0] != grad_output.shape[0] or inputs.shape[2:] != grad_output.shape[2:]:
+        raise WorkloadError(
+            f"batch/spatial mismatch: inputs {inputs.shape}, grads {grad_output.shape}"
+        )
+    n, c, x, y = inputs.shape
+    k = grad_output.shape[1]
+    pad_r, pad_s = r // 2, s // 2
+    padded = np.zeros((n, c, x + 2 * pad_r, y + 2 * pad_s), dtype=np.float64)
+    padded[:, :, pad_r : pad_r + x, pad_s : pad_s + y] = inputs
+    dw = np.zeros((k, c, r, s), dtype=np.float64)
+    for dr in range(r):
+        for ds in range(s):
+            window = padded[:, :, dr : dr + x, ds : ds + y]
+            dw[:, :, dr, ds] = np.einsum("ncxy,nkxy->kc", window, grad_output)
+    return dw

@@ -1,38 +1,66 @@
 """First-class model workload suites: name -> GEMM multiset.
 
-The paper evaluates three layers per MLPerf model (Table I); the catalogs
-in :mod:`repro.workloads.models` and :mod:`repro.workloads.training` carry
-the *complete* GEMM work of each network.  A :class:`WorkloadSuite` makes
-that sweepable: an ordered multiset of (layer label, GEMM shape) pairs
-whose :meth:`~WorkloadSuite.distinct` view collapses dimensionally
-identical layers into one representative plus an occurrence count — the
-unit :meth:`repro.runtime.sweep.SweepRunner.run_suite` simulates.
+The paper evaluates three layers per MLPerf model (Table I); the op
+catalogs in :mod:`repro.workloads.models` and
+:mod:`repro.workloads.training` carry the *complete* matrix-engine work of
+each network.  A :class:`WorkloadSuite` makes that sweepable: an ordered
+multiset of (layer label, GEMM shape) pairs whose
+:meth:`~WorkloadSuite.distinct` view collapses dimensionally identical
+layers into one representative plus an occurrence count — the unit the
+runtime layer simulates.
+
+Suites are built from the **op IR** (:mod:`repro.workloads.ops`): each
+registry entry holds an op factory, and :meth:`SuiteSpec.build` lowers the
+ops through :func:`repro.workloads.ops.lower` under a
+:class:`~repro.workloads.ops.LoweringConfig` — which is what gives every
+suite the dimension-role-aware ``scale_batch`` / ``scale_spatial`` knobs
+on top of the generic every-dimension ``scale``.
 
 Real models repeat shapes heavily: BERT-base's 72 encoder GEMMs are 3
-distinct points (48 identical q/k/v/attn-out projections alone), DLRM's
-MLP stacks repeat their 1024x1024 and 2048x2048 FCs, and ResNet-50's
+distinct points (48 identical q/k/v/attn-out projections alone), the full
+attention-included stack's 648 GEMMs are 5 (each layer's 288 per-head
+score and 288 context matmuls collapse onto one point apiece), DLRM's MLP
+stacks repeat their 1024x1024 and 2048x2048 FCs, and ResNet-50's
 within-stage bottleneck blocks reuse the same three convolutions.  The
 registry (:data:`SUITES` / :func:`get_suite`) covers ``table1``,
-``resnet50``, ``bert-base``, ``dlrm`` and ``training`` (fwd/dgrad/wgrad
-over the Table I FC layers), each with an optional batch override and the
-same ``scale`` convention the experiment layer uses.
+``resnet50``, ``bert-base``, ``bert-full``, ``dlrm``, ``training``
+(fwd/dgrad/wgrad over the Table I FC layers) and ``resnet50-train``
+(fwd/dgrad/wgrad over every ResNet-50 convolution), each with an optional
+batch override and the same ``scale`` convention the experiment layer
+uses.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.errors import WorkloadError
 from repro.workloads.gemm import GemmShape
-from repro.workloads.layers import FC_LAYER_NAMES, FCLayer, TABLE1_LAYERS, table1_gemms
+from repro.workloads.layers import FC_LAYER_NAMES, FCLayer, TABLE1_LAYERS
 from repro.workloads.models import (
-    bert_encoder_gemms,
-    dlrm_gemms,
-    resnet50_gemms,
+    bert_encoder_ops,
+    bert_full_ops,
+    dlrm_ops,
+    resnet50_conv_layers,
+    resnet50_ops,
 )
-from repro.workloads.training import training_gemms
+from repro.workloads.ops import (
+    ConvOp,
+    DEFAULT_LOWERING,
+    FCOp,
+    LoweringConfig,
+    Op,
+    lower_ops,
+    op_kind_counts,
+)
+from repro.workloads.training import conv_training_ops, fc_training_ops
 from repro.utils.validation import check_positive
+
+#: What a registry factory may return: an op sequence (preferred — lowers
+#: through the op IR, role-aware knobs apply) or a pre-lowered
+#: ``{label: shape}`` mapping (ad-hoc specs; identity lowering only).
+SuiteSource = Union[Sequence[Op], Mapping[str, GemmShape]]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -61,6 +89,23 @@ class WorkloadSuite:
         if not gemms:
             raise WorkloadError(f"suite {name!r} has no GEMMs")
         return cls(name=name, gemms=tuple(gemms.items()))
+
+    @classmethod
+    def from_ops(
+        cls,
+        name: str,
+        ops: Sequence[Op],
+        lowering: LoweringConfig = DEFAULT_LOWERING,
+    ) -> "WorkloadSuite":
+        """Lower an op sequence into a suite multiset.
+
+        Batched ops expand to ``count`` rows apiece, so the multiset is
+        the exact network-order GEMM stream (BERT-full's 24 attention ops
+        become 576 rows) and occurrence weighting needs no special cases.
+        """
+        if not ops:
+            raise WorkloadError(f"suite {name!r} has no ops")
+        return cls(name=name, gemms=tuple(lower_ops(ops, lowering)))
 
     def __len__(self) -> int:
         """Total GEMM count, duplicates included."""
@@ -115,24 +160,28 @@ class WorkloadSuite:
 # -- registry ----------------------------------------------------------------------
 
 
-def _table1_suite(batch: Optional[int]) -> Dict[str, GemmShape]:
-    if batch is None:
-        return table1_gemms()
-    out: Dict[str, GemmShape] = {}
-    for name, layer in TABLE1_LAYERS.items():
-        if isinstance(layer, FCLayer):
+def _table1_ops(batch: Optional[int]) -> List[Op]:
+    """Table I as ops: every layer kind rebatches via ``Layer.with_batch``."""
+    ops: List[Op] = []
+    for layer in TABLE1_LAYERS.values():
+        if batch is not None:
             layer = layer.with_batch(batch)
+        if isinstance(layer, FCLayer):
+            ops.append(FCOp.from_layer(layer))
         else:
-            layer = dataclasses.replace(layer, batch=batch)
-        out[name] = layer.gemm()
-    return out
+            ops.append(ConvOp.from_layer(layer))
+    return ops
 
 
-def _training_suite(batch: Optional[int]) -> Dict[str, GemmShape]:
+def _training_ops(batch: Optional[int]) -> List[Op]:
     layers = [TABLE1_LAYERS[name] for name in FC_LAYER_NAMES]
     if batch is not None:
         layers = [layer.with_batch(batch) for layer in layers]
-    return training_gemms(layers)
+    return fc_training_ops(layers)
+
+
+def _resnet50_train_ops(batch: Optional[int]) -> List[Op]:
+    return conv_training_ops(resnet50_conv_layers(batch=batch))
 
 
 @dataclasses.dataclass(frozen=True)
@@ -143,20 +192,62 @@ class SuiteSpec:
     :meth:`build` resolves it before calling the factory.  ``None`` means
     the factory keeps its catalog's per-layer defaults (Table I batches
     differ per model).
+
+    ``factory`` maps the resolved batch to either a sequence of ops
+    (preferred — the lowering pipeline applies, role-aware scale knobs
+    work) or a pre-lowered ``{label: shape}`` mapping (ad-hoc specs,
+    identity lowering only).
     """
 
     name: str
     description: str
     default_batch: Optional[int]
-    factory: Callable[[Optional[int]], Dict[str, GemmShape]]
+    factory: Callable[[Optional[int]], SuiteSource]
 
-    def build(self, batch: Optional[int] = None, scale: int = 1) -> WorkloadSuite:
+    def _resolve_batch(self, batch: Optional[int]) -> Optional[int]:
         if batch is not None:
             check_positive("batch", batch)
+            return batch
+        return self.default_batch
+
+    def ops(self, batch: Optional[int] = None) -> Optional[List[Op]]:
+        """The suite's op sequence, or ``None`` for pre-lowered factories."""
+        source = self.factory(self._resolve_batch(batch))
+        if isinstance(source, Mapping):
+            return None
+        return list(source)
+
+    def build(
+        self,
+        batch: Optional[int] = None,
+        scale: int = 1,
+        lowering: LoweringConfig = DEFAULT_LOWERING,
+    ) -> WorkloadSuite:
+        """Lower the suite at ``batch``, then apply the scale knobs.
+
+        ``lowering`` scales *roles* (batch/spatial dims, at lowering
+        time); ``scale`` then shrinks every dimension generically — the
+        two compose, and both default to identity.
+        """
+        source = self.factory(self._resolve_batch(batch))
+        if isinstance(source, Mapping):
+            if not lowering.is_identity:
+                raise WorkloadError(
+                    f"suite {self.name!r} is pre-lowered (its factory returns "
+                    "shapes, not ops); scale_batch/scale_spatial need an "
+                    "op-level factory"
+                )
+            suite = WorkloadSuite.from_gemms(self.name, source)
         else:
-            batch = self.default_batch
-        suite = WorkloadSuite.from_gemms(self.name, self.factory(batch))
+            suite = WorkloadSuite.from_ops(self.name, source, lowering)
         return suite.scaled(scale)
+
+    def op_composition(self, batch: Optional[int] = None) -> Dict[str, int]:
+        """``{op kind: count}`` of the suite (empty for pre-lowered specs)."""
+        ops = self.ops(batch)
+        if ops is None:
+            return {}
+        return op_kind_counts(ops)
 
 
 #: Every registered model workload suite, by name.
@@ -167,32 +258,46 @@ SUITES: Dict[str, SuiteSpec] = {
             "table1",
             "the paper's nine Table I layers (three per MLPerf model)",
             None,
-            _table1_suite,
+            _table1_ops,
         ),
         SuiteSpec(
             "resnet50",
             "every ResNet-50 convolution, im2col-lowered (ImageNet geometry)",
             32,
-            lambda batch: resnet50_gemms(batch=batch),
+            lambda batch: resnet50_ops(batch=batch),
         ),
         SuiteSpec(
             "bert-base",
             "full 12-layer BERT-base encoder projections + FFNs "
             "(batch = token rows)",
             256,
-            lambda batch: bert_encoder_gemms(tokens=batch),
+            lambda batch: bert_encoder_ops(tokens=batch),
+        ),
+        SuiteSpec(
+            "bert-full",
+            "BERT-base with head-batched attention score/context matmuls "
+            "on top of the projections + FFNs",
+            256,
+            lambda batch: bert_full_ops(tokens=batch),
         ),
         SuiteSpec(
             "dlrm",
             "DLRM bottom + top MLP stacks (RM2-class widths)",
             512,
-            lambda batch: dlrm_gemms(batch=batch),
+            lambda batch: dlrm_ops(batch=batch),
         ),
         SuiteSpec(
             "training",
             "fwd/dgrad/wgrad GEMMs of the six Table I FC layers",
             None,
-            _training_suite,
+            _training_ops,
+        ),
+        SuiteSpec(
+            "resnet50-train",
+            "fwd/dgrad/wgrad GEMMs of every ResNet-50 convolution "
+            "(transposed-filter im2col backward lowerings)",
+            32,
+            _resnet50_train_ops,
         ),
     )
 }
@@ -204,12 +309,18 @@ def suite_names() -> List[str]:
 
 
 def get_suite(
-    name: str, batch: Optional[int] = None, scale: int = 1
+    name: str,
+    batch: Optional[int] = None,
+    scale: int = 1,
+    lowering: LoweringConfig = DEFAULT_LOWERING,
 ) -> WorkloadSuite:
     """Build the named suite, optionally rebatched and scaled.
 
     ``batch`` overrides the streamed-rows dimension (FC/MLP batch, BERT
     token rows, conv batch); ``None`` keeps each catalog's defaults.
+    ``lowering`` carries the dimension-role-aware ``scale_batch`` /
+    ``scale_spatial`` knobs; ``scale`` shrinks every dimension
+    generically on top.
     """
     try:
         spec = SUITES[name]
@@ -217,4 +328,4 @@ def get_suite(
         raise WorkloadError(
             f"unknown workload suite {name!r}; known: {', '.join(SUITES)}"
         ) from None
-    return spec.build(batch=batch, scale=scale)
+    return spec.build(batch=batch, scale=scale, lowering=lowering)

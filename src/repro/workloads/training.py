@@ -19,7 +19,8 @@ import dataclasses
 from typing import Dict, List
 
 from repro.workloads.gemm import GemmShape
-from repro.workloads.layers import FCLayer
+from repro.workloads.layers import ConvLayer, FCLayer
+from repro.workloads.ops import ConvOp, FCOp, Op
 
 
 @dataclasses.dataclass(frozen=True)
@@ -66,3 +67,38 @@ def training_gemms(layers: List[FCLayer]) -> Dict[str, GemmShape]:
         for pass_name, shape in step.gemms().items():
             out[f"{layer.name}-{pass_name}"] = shape
     return out
+
+
+#: Suite label suffix per pass (``forward`` predates the op IR; kept so
+#: the ``training`` suite's multiset labels stay byte-identical).
+_FC_PASS_LABELS = (("forward", "fwd"), ("dgrad", "dgrad"), ("wgrad", "wgrad"))
+
+
+def fc_training_ops(layers: List[FCLayer]) -> List[Op]:
+    """fwd/dgrad/wgrad :class:`FCOp`\\ s of one training step per FC layer.
+
+    The lowered shapes equal :func:`training_gemms` exactly — the op IR
+    spelling of the same suite (golden-tested against the legacy dict).
+    """
+    return [
+        FCOp.from_layer(layer, pass_=pass_, name=f"{layer.name}-{label}")
+        for layer in layers
+        for label, pass_ in _FC_PASS_LABELS
+    ]
+
+
+def conv_training_ops(layers: List[ConvLayer]) -> List[Op]:
+    """fwd/dgrad/wgrad :class:`ConvOp`\\ s of one training step per conv.
+
+    dgrad streams the *input* spatial extent (M = N·X·Y against
+    K-dim = filters·R·S, the transposed-filter im2col); wgrad streams the
+    filter taps (M = C·R·S) and reduces over every (batch, output
+    spatial) position — the conv analogs of the FC pass shapes above,
+    validated numerically in :mod:`repro.workloads.lowering` /
+    :mod:`repro.workloads.reference`.
+    """
+    return [
+        ConvOp.from_layer(layer, pass_=pass_, name=f"{layer.name}-{pass_}")
+        for layer in layers
+        for pass_ in ("fwd", "dgrad", "wgrad")
+    ]

@@ -8,12 +8,8 @@ import pytest
 
 from repro.errors import ExperimentError
 from repro.experiments.model_report import model_report, suite_energy_j
-from repro.experiments.runner import (
-    ExperimentSettings,
-    default_runner,
-    default_session,
-)
-from repro.runtime import Session, SweepRunner
+from repro.experiments.runner import ExperimentSettings, default_session
+from repro.runtime import Session
 
 SETTINGS = ExperimentSettings(scale=16)
 
@@ -23,7 +19,7 @@ def report():
     return model_report(
         SETTINGS,
         suites=("bert-base", "dlrm"),
-        runner=SweepRunner(workers=1),
+        session=Session(workers=1),
     )
 
 
@@ -63,7 +59,7 @@ class TestModelReport:
                 SETTINGS,
                 suites=("dlrm",),
                 design_keys=["rasa-wlbp"],
-                runner=SweepRunner(workers=1),
+                session=Session(workers=1),
             )
 
     def test_zero_energy_denominator_raises(self, report, monkeypatch):
@@ -115,21 +111,10 @@ class TestFidelityPlumbing:
                 < fast.totals["dlrm"][design].cycles
             )
 
-    def test_legacy_runner_argument_still_accepted(self):
-        """Drivers take the deprecated runner's session without warning."""
-        legacy = model_report(
-            SETTINGS,
-            suites=("dlrm",),
-            design_keys=["baseline", "rasa-dmdb-wls"],
-            runner=SweepRunner(workers=1),
-        )
-        fresh = model_report(
-            SETTINGS,
-            suites=("dlrm",),
-            design_keys=["baseline", "rasa-dmdb-wls"],
-            session=Session(workers=1),
-        )
-        assert legacy.totals == fresh.totals
+    def test_runner_argument_is_gone(self):
+        """The deprecated ``runner=`` spelling was removed with the shims."""
+        with pytest.raises(TypeError, match="runner"):
+            model_report(SETTINGS, suites=("dlrm",), runner=object())
 
 
 class TestDefaultSessionEnv:
@@ -148,6 +133,7 @@ class TestDefaultSessionEnv:
         monkeypatch.setenv("REPRO_SWEEP_WORKERS", "3")
         assert default_session().workers == 3
 
-    def test_deprecated_default_runner_mirrors_the_session(self, monkeypatch):
-        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "3")
-        assert default_runner().workers == 3
+    def test_deprecated_default_runner_is_gone(self):
+        import repro.experiments.runner as runner_module
+
+        assert not hasattr(runner_module, "default_runner")

@@ -1,0 +1,102 @@
+"""Tests for the E18 training-vs-inference report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.runner import ExperimentSettings
+from repro.experiments.training_report import (
+    label_pass,
+    pass_cycles,
+    training_report,
+)
+from repro.runtime import Session
+
+SETTINGS = ExperimentSettings(scale=16)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return training_report(SETTINGS, session=Session(workers=1))
+
+
+class TestPassClassification:
+    def test_label_pass_suffixes(self):
+        assert label_pass("conv2_1a-dgrad") == "dgrad"
+        assert label_pass("BERT-1-wgrad") == "wgrad"
+        assert label_pass("DLRM-1-forward") == "fwd"
+        assert label_pass("conv1-fwd") == "fwd"
+        assert label_pass("enc0.q") == "fwd"
+
+    def test_pass_cycles_aggregates(self):
+        cycles = pass_cycles(
+            {"a-fwd": 10, "a-dgrad": 20, "a-wgrad": 30, "b-fwd": 5}
+        )
+        assert cycles == {"fwd": 15, "dgrad": 20, "wgrad": 30}
+
+
+class TestTrainingReport:
+    def test_covers_both_training_suites(self, report):
+        assert set(report.totals) == {"training", "resnet50-train"}
+        for per_design in report.passes.values():
+            for cycles in per_design.values():
+                assert set(cycles) == {"fwd", "dgrad", "wgrad"}
+                assert all(v > 0 for v in cycles.values())
+
+    def test_pass_split_sums_to_suite_totals(self, report):
+        """The per-pass view is an exact re-weighting of the same run."""
+        for suite, per_design in report.passes.items():
+            for design, cycles in per_design.items():
+                assert sum(cycles.values()) == report.totals[suite][design].cycles
+
+    def test_training_premium_exceeds_one(self, report):
+        for suite in report.totals:
+            for design in ("baseline", "rasa-dmdb-wls"):
+                assert report.premium(suite, design) > 1.0
+
+    def test_resnet50_train_runs_end_to_end(self, report):
+        totals = report.totals["resnet50-train"]
+        base, best = totals["baseline"], totals["rasa-dmdb-wls"]
+        assert base.gemm_count == 159
+        assert best.normalized_to(base) < 0.3  # RASA gain holds in training
+
+    def test_render_mentions_passes_and_premium(self, report):
+        text = report.render()
+        assert "E18" in text
+        assert "wgrad share" in text
+        assert "train/infer" in text
+        assert "resnet50-train" in text
+
+    def test_missing_baseline_rejected(self):
+        with pytest.raises(ExperimentError, match="baseline"):
+            training_report(
+                SETTINGS,
+                design_keys=("rasa-dmdb-wls",),
+                session=Session(workers=1),
+            )
+
+    def test_baseline_only_rejected(self):
+        with pytest.raises(ExperimentError, match="non-baseline"):
+            training_report(
+                SETTINGS, design_keys=("baseline",), session=Session(workers=1)
+            )
+
+    def test_best_fallback_never_selects_baseline(self):
+        """Regression: design_keys ending in 'baseline' must not compare
+        the baseline against itself."""
+        report = training_report(
+            SETTINGS,
+            suites=("training",),
+            design_keys=("rasa-wlbp", "baseline"),
+            session=Session(workers=1),
+        )
+        assert report.best_design == "rasa-wlbp"
+        totals = report.totals["training"]
+        assert totals["rasa-wlbp"].normalized_to(totals["baseline"]) < 1.0
+
+    def test_inference_only_suite_rejected(self):
+        with pytest.raises(ExperimentError, match="no dgrad/wgrad"):
+            training_report(
+                SETTINGS, suites=("dlrm",), session=Session(workers=1)
+            )

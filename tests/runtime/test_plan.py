@@ -108,8 +108,93 @@ class TestValidation:
         with pytest.raises(ExperimentError, match="scale"):
             suite_plan(scale=scale)
 
+    @pytest.mark.parametrize("knob", ["scale_batch", "scale_spatial"])
+    @pytest.mark.parametrize("value", [0, -1, 1.5, "4"])
+    def test_bad_role_knobs_rejected(self, knob, value):
+        with pytest.raises(ExperimentError, match=knob):
+            suite_plan(**{knob: value})
+
+    @pytest.mark.parametrize("knob", ["scale_batch", "scale_spatial"])
+    def test_role_knobs_without_suites_rejected(self, knob):
+        with pytest.raises(ExperimentError, match="suite workloads only"):
+            grid_plan(**{knob: 4})
+
+    @pytest.mark.parametrize("knob", ["scale_batch", "scale_spatial"])
+    def test_role_knobs_reject_inline_suites(self, knob):
+        with pytest.raises(ExperimentError, match="already lowered"):
+            SweepPlan(
+                designs=("baseline",), suites=(INLINE_SUITE,), **{knob: 4}
+            )
+
+    @pytest.mark.parametrize("knob", ["scale_batch", "scale_spatial"])
+    def test_role_knobs_reject_pre_lowered_specs_eagerly(self, knob):
+        """A shape-mapping SuiteSpec fails at construction, not mid-run."""
+        adhoc = SuiteSpec(
+            "adhoc", "pre-lowered", None, lambda batch: {"x": SMALL}
+        )
+        with pytest.raises(ExperimentError, match="already lowered"):
+            SweepPlan(designs=("baseline",), suites=(adhoc,), **{knob: 4})
+
     def test_workloads_mapping_normalizes_to_items(self):
         assert grid_plan(workloads={"small": SMALL, "tall": TALL}) == grid_plan()
+
+
+class TestRoleAwareLowering:
+    """scale_batch/scale_spatial thread from the plan into suite lowering."""
+
+    def test_scale_spatial_shrinks_conv_suite_rows_only(self):
+        plain = suite_plan(suites=("resnet50",), scale=1)
+        shrunk = suite_plan(suites=("resnet50",), scale=1, scale_spatial=16)
+        plain_suite = plain.built_suites()[0][0]
+        shrunk_suite = shrunk.built_suites()[0][0]
+        for (label, a), (_, b) in zip(plain_suite.gemms, shrunk_suite.gemms):
+            assert b.n == a.n and b.k == a.k
+            assert b.m < a.m
+
+    def test_scale_batch_reduces_distinct_key_count_not_identity(self):
+        """Knobs change *which* shapes lower, tracked by the cache keys."""
+        a = suite_plan(scale_batch=8)
+        b = suite_plan()
+        assert a.distinct_keys() != b.distinct_keys()
+
+    def test_lowering_config_roundtrips_through_json(self):
+        plan = suite_plan(suites=("resnet50",), scale_batch=8, scale_spatial=4)
+        decoded = SweepPlan.from_json(plan.to_json())
+        assert decoded == plan
+        assert decoded.lowering_config().scale_batch == 8
+        assert decoded.lowering_config().scale_spatial == 4
+        assert decoded.distinct_keys() == plan.distinct_keys()
+
+    def test_pre_knob_plan_json_still_decodes(self):
+        """Plan documents written before the op IR lack the knob fields."""
+        raw = json.loads(suite_plan().to_json())
+        del raw["plan"]["scale_batch"]
+        del raw["plan"]["scale_spatial"]
+        decoded = SweepPlan.from_json(json.dumps(raw))
+        assert decoded.scale_batch == 1 and decoded.scale_spatial == 1
+        assert decoded == suite_plan()
+
+    def test_knobbed_batch_axis_curves_execute(self):
+        plan = suite_plan(
+            suites=("resnet50-train",), scale=16, batches=(1, 4),
+            scale_batch=8, scale_spatial=8,
+        )
+        report = Session(workers=1).run(plan)
+        curves = report.batch_curves()["resnet50-train"]
+        for curve in curves.values():
+            assert curve.batches == (1, 4)
+            assert all(t.gemm_count == 159 for t in curve.totals)
+
+    def test_sharded_knobbed_plan_merges_bit_identically(self):
+        plan = suite_plan(
+            suites=("resnet50-train",), scale=16, scale_batch=8, scale_spatial=8
+        )
+        full = Session(workers=1).run(plan)
+        merged = Session(workers=1).run(plan.shard(0, 2)).merge(
+            Session(workers=1).run(plan.shard(1, 2))
+        )
+        assert merged == full
+        assert merged.to_json() == full.to_json()
 
 
 class TestExpansion:

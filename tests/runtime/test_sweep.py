@@ -1,17 +1,15 @@
-"""SweepRunner shim tests: parallel == serial, memoization, dedup, suites.
+"""Sweep-execution semantics: dedup, memoization, suite totals, batch curves.
 
-The ``run_*`` family is deprecated (each call builds a
-:class:`repro.runtime.SweepPlan` and runs it through the owned
-:class:`repro.runtime.Session`), but its return values must stay identical
-— these tests prove exactly that by exercising the shims end to end, with
-the deprecation noise silenced module-wide.  ``TestDeprecationShims``
-asserts the warnings themselves.  Also covers the ``normalized_runtimes``
-/ ``geometric_mean`` edge cases the grid consumers rely on.
+The ``SweepRunner.run_*`` shim family is gone; every sweep is a
+:class:`repro.runtime.SweepPlan` run by a :class:`repro.runtime.Session`.
+These tests pin the execution semantics the shims used to cover — each
+distinct point simulates exactly once, suite totals match brute-force
+per-layer oracles that bypass the dedup layer, batch curves match
+standalone per-batch runs — plus the ``normalized_runtimes`` /
+``geometric_mean`` edge cases the grid consumers rely on.
 """
 
 from __future__ import annotations
-
-import warnings
 
 import pytest
 
@@ -22,19 +20,17 @@ from repro.cpu.result import SimResult
 from repro.engine.designs import DESIGNS
 from repro.errors import ExperimentError
 from repro.experiments.runner import geometric_mean, normalized_runtimes
-from repro.runtime import ResultCache, SweepJob, SweepRunner, cached_program
+from repro.runtime import ResultCache, Session, SweepJob, SweepPlan, cached_program
 from repro.runtime.registry import FIDELITIES, resolve_backend
 from repro.workloads.codegen import generate_gemm_program
 from repro.workloads.gemm import GemmShape
 from repro.workloads.suites import SuiteSpec, WorkloadSuite
 
-pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
-
 SHAPES = {
     "small": GemmShape(m=64, n=64, k=64, name="small"),
     "tall": GemmShape(m=128, n=32, k=64, name="tall"),
 }
-DESIGN_KEYS = ["baseline", "rasa-wlbp", "rasa-dmdb-wls"]
+DESIGN_KEYS = ("baseline", "rasa-wlbp", "rasa-dmdb-wls")
 
 
 def _jobs():
@@ -43,6 +39,18 @@ def _jobs():
         for name, shape in SHAPES.items()
         for key in DESIGN_KEYS
     ]
+
+
+def _run_flat(jobs, **session_kwargs):
+    return Session(workers=1, **session_kwargs).run(SweepPlan(jobs=tuple(jobs))).flat()
+
+
+def _grid(design_keys=DESIGN_KEYS, shapes=None, workers=1):
+    plan = SweepPlan(
+        designs=tuple(design_keys),
+        workloads=tuple((shapes or SHAPES).items()),
+    )
+    return Session(workers=workers).run(plan).grid()
 
 
 @pytest.fixture
@@ -88,66 +96,35 @@ def counting_fidelity():
         del FIDELITIES["counting-test"]
 
 
-class TestSweepRunner:
+class TestFlatJobPlans:
     def test_serial_results(self):
-        results = SweepRunner(workers=1).run(_jobs())
+        results = _run_flat(_jobs())
         assert len(results) == 6
         assert all(isinstance(r, SimResult) for r in results)
-
-    def test_parallel_matches_serial_bit_identical(self):
-        serial = SweepRunner(workers=1).run(_jobs())
-        parallel = SweepRunner(workers=2).run(_jobs())
-        assert serial == parallel
 
     def test_duplicate_jobs_share_one_simulation(self, tmp_path):
         cache = ResultCache(tmp_path)
         job = _jobs()[0]
-        results = SweepRunner(cache=cache, workers=1).run([job, job, job])
+        results = _run_flat([job, job, job], cache=cache)
         assert results[0] == results[1] == results[2]
         assert len(cache) == 1  # one key, simulated once
 
     def test_cache_hit_on_second_run(self, tmp_path):
         first = ResultCache(tmp_path)
-        cold = SweepRunner(cache=first, workers=1).run(_jobs())
+        cold = _run_flat(_jobs(), cache=first)
         assert (first.hits, first.misses) == (0, 6)
 
         warm_cache = ResultCache(tmp_path)
-        warm = SweepRunner(cache=warm_cache, workers=1).run(_jobs())
+        warm = _run_flat(_jobs(), cache=warm_cache)
         assert (warm_cache.hits, warm_cache.misses) == (6, 0)
         assert warm == cold
 
-    def test_parallel_cold_equals_warm_cache(self, tmp_path):
-        cache = ResultCache(tmp_path)
-        cold = SweepRunner(cache=cache, workers=2).run(_jobs())
-        warm = SweepRunner(cache=ResultCache(tmp_path), workers=2).run(_jobs())
-        assert cold == warm
-
-    def test_empty_job_list(self):
-        assert SweepRunner(workers=1).run([]) == []
-
-    def test_run_grid_layout(self):
-        grid = SweepRunner(workers=1).run_grid(DESIGN_KEYS, SHAPES)
-        assert set(grid) == set(SHAPES)
-        for per_design in grid.values():
-            assert set(per_design) == set(DESIGN_KEYS)
-
-    def test_grid_matches_flat_jobs(self):
-        grid = SweepRunner(workers=1).run_grid(DESIGN_KEYS, SHAPES)
-        flat = SweepRunner(workers=1).run(_jobs())
-        by_pair = {
-            (job.workload, job.design_key): result
-            for job, result in zip(_jobs(), flat)
-        }
-        for workload, per_design in grid.items():
-            for key, result in per_design.items():
-                assert result == by_pair[(workload, key)]
-
     def test_fidelity_flows_through(self):
-        job = SweepJob(
-            design_key="rasa-wlbp", shape=SHAPES["small"], fidelity="engine"
-        )
-        engine = SweepRunner(workers=1).run([job])[0]
-        fast = SweepRunner(workers=1).run(
+        engine = _run_flat(
+            [SweepJob(design_key="rasa-wlbp", shape=SHAPES["small"],
+                      fidelity="engine")]
+        )[0]
+        fast = _run_flat(
             [SweepJob(design_key="rasa-wlbp", shape=SHAPES["small"])]
         )[0]
         assert engine.mm_count == fast.mm_count
@@ -162,6 +139,17 @@ class TestSweepRunner:
         )
         assert a.key != b.key
 
+    def test_grid_matches_flat_jobs(self):
+        grid = _grid()
+        flat = _run_flat(_jobs())
+        by_pair = {
+            (job.workload, job.design_key): result
+            for job, result in zip(_jobs(), flat)
+        }
+        for workload, per_design in grid.items():
+            for key, result in per_design.items():
+                assert result == by_pair[(workload, key)]
+
 
 class TestDedup:
     """Each distinct (design, dims, config, fidelity) point simulates once."""
@@ -170,7 +158,7 @@ class TestDedup:
         job = SweepJob(
             design_key="baseline", shape=SHAPES["small"], fidelity="counting-test"
         )
-        results = SweepRunner(workers=1).run([job, job, job])
+        results = _run_flat([job, job, job])
         assert len(counting_fidelity) == 1
         assert results[0] == results[1] == results[2]
 
@@ -184,7 +172,7 @@ class TestDedup:
             )
             for i in range(5)
         ]
-        results = SweepRunner(workers=1).run(jobs)
+        results = _run_flat(jobs)
         assert len(counting_fidelity) == 1
         assert len(set(map(id, results))) == 1
 
@@ -193,13 +181,13 @@ class TestDedup:
             SweepJob(design_key="baseline", shape=shape, fidelity="counting-test")
             for shape in SHAPES.values()
         ]
-        SweepRunner(workers=1).run(jobs)
+        _run_flat(jobs)
         assert len(counting_fidelity) == 2
 
     def test_repeated_keys_count_one_cache_miss(self, tmp_path):
         cache = ResultCache(tmp_path)
         job = _jobs()[0]
-        SweepRunner(cache=cache, workers=1).run([job] * 4)
+        _run_flat([job] * 4, cache=cache)
         assert (cache.hits, cache.misses) == (0, 1)
 
     def test_program_memo_is_name_independent(self):
@@ -211,7 +199,7 @@ class TestDedup:
         assert a is b
 
 
-class TestRunSuite:
+class TestSuiteTotals:
     SUITE = WorkloadSuite.from_gemms(
         "toy-model",
         {
@@ -222,10 +210,15 @@ class TestRunSuite:
         },
     )
 
-    def test_simulates_distinct_points_only(self, counting_fidelity):
-        totals = SweepRunner(workers=1).run_suite(
-            DESIGN_KEYS, self.SUITE, fidelity="counting-test"
+    @staticmethod
+    def _totals(suites, design_keys=DESIGN_KEYS, fidelity="fast"):
+        plan = SweepPlan(
+            designs=tuple(design_keys), suites=tuple(suites), fidelity=fidelity
         )
+        return Session(workers=1).run(plan).suite_totals()
+
+    def test_simulates_distinct_points_only(self, counting_fidelity):
+        totals = self._totals([self.SUITE], fidelity="counting-test")["toy-model"]
         assert len(counting_fidelity) == 2 * len(DESIGN_KEYS)
         for totals_one in totals.values():
             assert totals_one.gemm_count == 4
@@ -236,10 +229,10 @@ class TestRunSuite:
         """Oracle independence: per-layer runs bypass the dedup layer.
 
         Every layer simulates directly through ``resolve_backend`` — not
-        ``SweepRunner.run`` — so a cache-key conflation or a wrong dedup
-        expansion cannot leak into both sides of the comparison.
+        a session — so a cache-key conflation or a wrong dedup expansion
+        cannot leak into both sides of the comparison.
         """
-        totals = SweepRunner(workers=1).run_suite(DESIGN_KEYS, self.SUITE)
+        totals = self._totals([self.SUITE])["toy-model"]
         for key in DESIGN_KEYS:
             per_layer = [
                 resolve_backend(key).simulate(generate_gemm_program(shape))
@@ -253,9 +246,9 @@ class TestRunSuite:
             assert agg.weight_loads == sum(r.weight_loads for r in per_layer)
 
     def test_normalized_and_speedup(self):
-        totals = SweepRunner(workers=1).run_suite(
-            ["baseline", "rasa-dmdb-wls"], self.SUITE
-        )
+        totals = self._totals([self.SUITE], ["baseline", "rasa-dmdb-wls"])[
+            "toy-model"
+        ]
         base = totals["baseline"]
         best = totals["rasa-dmdb-wls"]
         assert base.normalized_to(base) == pytest.approx(1.0)
@@ -263,12 +256,12 @@ class TestRunSuite:
         assert best.speedup_over(base) > 4.0
 
     def test_per_shape_counts_cover_the_multiset(self):
-        totals = SweepRunner(workers=1).run_suite(["baseline"], self.SUITE)
+        totals = self._totals([self.SUITE], ["baseline"])["toy-model"]
         per_shape = totals["baseline"].per_shape
         assert sum(count for _, count, _ in per_shape) == len(self.SUITE)
         assert [count for _, count, _ in per_shape] == [3, 1]
 
-    def test_run_suites_dedups_across_suites(self, counting_fidelity):
+    def test_multi_suite_plans_dedup_across_suites(self, counting_fidelity):
         other = WorkloadSuite.from_gemms(
             "toy-sibling",
             {
@@ -276,8 +269,8 @@ class TestRunSuite:
                 "y": GemmShape(32, 256, 64, name="y"),   # unique
             },
         )
-        totals = SweepRunner(workers=1).run_suites(
-            ["baseline"], [self.SUITE, other], fidelity="counting-test"
+        totals = self._totals(
+            [self.SUITE, other], ["baseline"], fidelity="counting-test"
         )
         # 2 distinct in SUITE + 1 new in other: the shared 64^3 point
         # simulates once for the whole batch.
@@ -285,23 +278,17 @@ class TestRunSuite:
         assert set(totals) == {"toy-model", "toy-sibling"}
         assert totals["toy-sibling"]["baseline"].gemm_count == 2
 
-    def test_run_suites_rejects_duplicate_names(self):
+    def test_duplicate_suite_names_rejected(self):
         with pytest.raises(ExperimentError, match="duplicates: toy-model"):
-            SweepRunner(workers=1).run_suites(
-                ["baseline"], [self.SUITE, self.SUITE]
-            )
-
-    def test_run_suites_matches_run_suite(self):
-        runner = SweepRunner(workers=1)
-        combined = runner.run_suites(DESIGN_KEYS, [self.SUITE])
-        assert combined["toy-model"] == runner.run_suite(DESIGN_KEYS, self.SUITE)
+            self._totals([self.SUITE, self.SUITE], ["baseline"])
 
     def test_suite_uses_result_cache(self, tmp_path):
+        plan = SweepPlan(designs=DESIGN_KEYS, suites=(self.SUITE,))
         cold = ResultCache(tmp_path)
-        first = SweepRunner(cache=cold, workers=1).run_suite(DESIGN_KEYS, self.SUITE)
+        first = Session(cache=cold, workers=1).run(plan).suite_totals()
         assert (cold.hits, cold.misses) == (0, 2 * len(DESIGN_KEYS))
         warm = ResultCache(tmp_path)
-        second = SweepRunner(cache=warm, workers=1).run_suite(DESIGN_KEYS, self.SUITE)
+        second = Session(cache=warm, workers=1).run(plan).suite_totals()
         assert (warm.hits, warm.misses) == (2 * len(DESIGN_KEYS), 0)
         assert first == second
 
@@ -324,7 +311,7 @@ class TestKeyHashing:
 
         monkeypatch.setattr(plan_module, "cache_key", counting)
         jobs = _jobs() + [_jobs()[0]] * 3  # duplicates still hash once each
-        SweepRunner(workers=1).run(jobs)
+        _run_flat(jobs)
         assert len(calls) == len(jobs)
 
     def test_one_cache_key_call_per_job_with_cache(self, tmp_path, monkeypatch):
@@ -337,110 +324,28 @@ class TestKeyHashing:
 
         monkeypatch.setattr(plan_module, "cache_key", counting)
         jobs = _jobs()
-        SweepRunner(cache=ResultCache(tmp_path), workers=1).run(jobs)
+        _run_flat(jobs, cache=ResultCache(tmp_path))
         assert len(calls) == len(jobs)
 
 
-class TestDeprecationShims:
-    """Every ``run_*`` method warns once and names the plan replacement."""
+class TestSweepRunnerIsGone:
+    """The deprecated shim family is deleted, not just hidden."""
 
-    @staticmethod
-    def _warnings_for(invoke):
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            invoke()
-        return [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    def test_runtime_no_longer_exports_sweeprunner(self):
+        import repro.runtime as runtime
 
-    def test_run_warns(self):
-        caught = self._warnings_for(
-            lambda: SweepRunner(workers=1).run([_jobs()[0]])
-        )
-        assert len(caught) == 1
-        assert "SweepRunner.run is deprecated" in str(caught[0].message)
-        assert "SweepPlan" in str(caught[0].message)
+        assert not hasattr(runtime, "SweepRunner")
+        assert "SweepRunner" not in runtime.__all__
 
-    def test_run_grid_warns(self):
-        caught = self._warnings_for(
-            lambda: SweepRunner(workers=1).run_grid(["baseline"], SHAPES)
-        )
-        assert len(caught) == 1
-        assert "run_grid" in str(caught[0].message)
+    def test_top_level_package_no_longer_exports_sweeprunner(self):
+        import repro
 
-    def test_run_suite_warns(self):
-        suite = WorkloadSuite.from_gemms(
-            "toy", {"a": GemmShape(64, 64, 64, name="a")}
-        )
-        caught = self._warnings_for(
-            lambda: SweepRunner(workers=1).run_suite(["baseline"], suite)
-        )
-        assert len(caught) == 1
-        assert "run_suite" in str(caught[0].message)
+        assert not hasattr(repro, "SweepRunner")
+        assert "SweepRunner" not in repro.__all__
 
-    def test_run_suites_batches_warns(self):
-        caught = self._warnings_for(
-            lambda: SweepRunner(workers=1).run_suites_batches(
-                ["baseline"], ["dlrm"], batches=(64,), scale=8
-            )
-        )
-        assert len(caught) == 1
-        assert "run_suites_batches" in str(caught[0].message)
-
-    def test_empty_run_returns_empty_without_warning_noise(self):
-        caught = self._warnings_for(lambda: SweepRunner(workers=1).run([]))
-        assert len(caught) == 1  # still deprecated, even for the no-op
-
-
-class TestDegenerateShimInputs:
-    """Empty inputs keep their PR-3 return shapes instead of raising."""
-
-    def test_empty_grid_inputs(self):
-        runner = SweepRunner(workers=1)
-        assert runner.run([]) == []
-        assert runner.run_grid(DESIGN_KEYS, {}) == {}
-        assert runner.run_grid([], SHAPES) == {"small": {}, "tall": {}}
-
-    def test_empty_suite_inputs(self):
-        runner = SweepRunner(workers=1)
-        assert runner.run_suites(DESIGN_KEYS, []) == {}
-        suite = WorkloadSuite.from_gemms(
-            "toy", {"a": GemmShape(64, 64, 64, name="a")}
-        )
-        assert runner.run_suite([], suite) == {}
-        assert runner.run_suites([], [suite]) == {"toy": {}}
-
-    def test_empty_batch_sweep_inputs_still_validate(self):
-        runner = SweepRunner(workers=1)
-        assert runner.run_suites_batches(DESIGN_KEYS, [], (16,)) == {}
-        assert runner.run_suites_batches([], ["dlrm"], (16,)) == {"dlrm": {}}
-        with pytest.raises(ExperimentError, match="at least one batch"):
-            runner.run_suites_batches(DESIGN_KEYS, [], ())
-        with pytest.raises(ExperimentError, match="unknown workload suite"):
-            runner.run_suites_batches([], ["bogus"], (16,))
-
-
-class TestWorkerValidation:
-    """Non-positive worker counts fail loudly, not silently-serially."""
-
-    @pytest.mark.parametrize("workers", [0, -3, 2.5, "4"])
-    def test_bad_worker_counts_rejected(self, workers):
-        with pytest.raises(ExperimentError, match="workers"):
-            SweepRunner(workers=workers)
-
-    def test_serial_and_default_still_fine(self):
-        assert SweepRunner(workers=1).workers == 1
-        assert SweepRunner().workers >= 1
-
-    def test_attributes_stay_assignable(self, tmp_path):
-        """Pre-refactor these were plain attributes; assignment still works."""
-        runner = SweepRunner(workers=2)
-        runner.workers = 1
-        assert runner.workers == 1
-        cache = ResultCache(tmp_path)
-        runner.cache = cache
-        assert runner.cache is cache
-        assert runner.session.cache is cache
-        with pytest.raises(ExperimentError, match="workers"):
-            runner.workers = 0
+    def test_shim_module_is_deleted(self):
+        with pytest.raises(ImportError):
+            import repro.runtime.sweep  # noqa: F401
 
 
 def _toy_fc_factory(batch):
@@ -456,13 +361,23 @@ TOY_FC_SPEC = SuiteSpec("toy-fc", "toy FC stack for batch-curve tests",
                         None, _toy_fc_factory)
 
 
+def _curves(design_keys, spec, batches, fidelity="fast", scale=1, workers=1):
+    plan = SweepPlan(
+        designs=tuple(design_keys),
+        suites=(spec,),
+        batches=tuple(batches),
+        scale=scale,
+        fidelity=fidelity,
+    )
+    name = spec if isinstance(spec, str) else spec.name
+    return Session(workers=workers).run(plan).batch_curves()[name]
+
+
 class TestSuiteBatchCurves:
     """The Fig. 7 batch axis at suite granularity, dedup across batches."""
 
     def test_curve_layout(self):
-        curves = SweepRunner(workers=1).run_suite_batches(
-            DESIGN_KEYS, TOY_FC_SPEC, batches=(16, 64)
-        )
+        curves = _curves(DESIGN_KEYS, TOY_FC_SPEC, batches=(16, 64))
         assert set(curves) == set(DESIGN_KEYS)
         for design, curve in curves.items():
             assert curve.suite == "toy-fc"
@@ -473,45 +388,42 @@ class TestSuiteBatchCurves:
 
     def test_sub_tile_batches_simulate_once(self, counting_fidelity):
         """Batches 1..16 pad to one tile row block: identical streams."""
-        SweepRunner(workers=1).run_suite_batches(
-            ["baseline"], TOY_FC_SPEC, batches=(1, 2, 4, 8, 16),
-            fidelity="counting-test",
-        )
+        _curves(["baseline"], TOY_FC_SPEC, batches=(1, 2, 4, 8, 16),
+                fidelity="counting-test")
         # 2 distinct (padded) shapes, once each — not 5 batches x 2 shapes.
         assert len(counting_fidelity) == 2
 
     def test_sub_tile_batches_identical_normalized_runtime(self):
         """The Fig. 7 plateau at suite granularity: one lowered stream."""
-        curves = SweepRunner(workers=1).run_suite_batches(
-            ["baseline", "rasa-dmdb-wls"], TOY_FC_SPEC,
-            batches=(1, 2, 4, 8, 16),
+        curves = _curves(
+            ["baseline", "rasa-dmdb-wls"], TOY_FC_SPEC, batches=(1, 2, 4, 8, 16)
         )
         normalized = curves["rasa-dmdb-wls"].normalized_to(curves["baseline"])
         values = set(normalized.values())
         assert len(values) == 1
         assert 0.0 < values.pop() < 1.0
 
-    def test_matches_per_batch_run_suite_oracle(self, counting_fidelity):
+    def test_matches_per_batch_suite_oracle(self, counting_fidelity):
         """Curve points == standalone per-batch runs, with fewer simulations.
 
-        The oracle rebuilds and runs each batch through ``run_suite`` on a
-        fresh runner, so the cross-batch dedup cannot leak into both
-        sides; totals must agree on every weighted counter.
+        The oracle rebuilds and runs each batch as its own single-batch
+        plan in a fresh session, so the cross-batch dedup cannot leak
+        into both sides; totals must agree on every weighted counter.
         """
         batches = (1, 4, 16, 64)
-        runner = SweepRunner(workers=1)
-        curves = runner.run_suite_batches(
-            DESIGN_KEYS, TOY_FC_SPEC, batches=batches,
-            fidelity="counting-test",
+        curves = _curves(
+            DESIGN_KEYS, TOY_FC_SPEC, batches=batches, fidelity="counting-test"
         )
         curve_simulations = len(counting_fidelity)
         oracle_simulations = 0
         for batch in batches:
             before = len(counting_fidelity)
-            oracle = SweepRunner(workers=1).run_suite(
-                DESIGN_KEYS, TOY_FC_SPEC.build(batch=batch),
+            oracle_plan = SweepPlan(
+                designs=DESIGN_KEYS,
+                suites=(TOY_FC_SPEC.build(batch=batch),),
                 fidelity="counting-test",
             )
+            oracle = Session(workers=1).run(oracle_plan).suite_totals()["toy-fc"]
             oracle_simulations += len(counting_fidelity) - before
             for design in DESIGN_KEYS:
                 point = curves[design].totals_by_batch()[batch]
@@ -527,51 +439,32 @@ class TestSuiteBatchCurves:
         assert curve_simulations == 2 * 2 * len(DESIGN_KEYS)
 
     def test_accepts_registered_suite_names(self, counting_fidelity):
-        curves = SweepRunner(workers=1).run_suite_batches(
-            ["baseline"], "dlrm", batches=(64,), fidelity="counting-test",
-            scale=8,
+        curves = _curves(
+            ["baseline"], "dlrm", batches=(64,), fidelity="counting-test", scale=8
         )
         assert curves["baseline"].suite == "dlrm"
         assert curves["baseline"].totals[0].gemm_count == 9
 
     def test_unknown_suite_name_rejected(self):
         with pytest.raises(ExperimentError, match="unknown workload suite"):
-            SweepRunner(workers=1).run_suite_batches(
-                ["baseline"], "bogus", batches=(1,)
-            )
-
-    def test_multi_suite_variant_matches_single(self):
-        runner = SweepRunner(workers=1)
-        combined = runner.run_suites_batches(
-            ["baseline"], [TOY_FC_SPEC], batches=(16, 32)
-        )
-        assert combined["toy-fc"] == runner.run_suite_batches(
-            ["baseline"], TOY_FC_SPEC, batches=(16, 32)
-        )
+            _curves(["baseline"], "bogus", batches=(1,))
 
     def test_duplicate_batches_rejected(self):
         with pytest.raises(ExperimentError, match="duplicates: 16"):
-            SweepRunner(workers=1).run_suite_batches(
-                ["baseline"], TOY_FC_SPEC, batches=(16, 64, 16)
-            )
+            _curves(["baseline"], TOY_FC_SPEC, batches=(16, 64, 16))
 
     def test_empty_batches_rejected(self):
         with pytest.raises(ExperimentError, match="at least one batch"):
-            SweepRunner(workers=1).run_suite_batches(
-                ["baseline"], TOY_FC_SPEC, batches=()
-            )
+            _curves(["baseline"], TOY_FC_SPEC, batches=())
 
     @pytest.mark.parametrize("batch", [0, -4, 1.5, "16"])
     def test_non_positive_batches_rejected(self, batch):
         with pytest.raises(ExperimentError, match="positive integers"):
-            SweepRunner(workers=1).run_suite_batches(
-                ["baseline"], TOY_FC_SPEC, batches=(batch,)
-            )
+            _curves(["baseline"], TOY_FC_SPEC, batches=(batch,))
 
     def test_normalize_rejects_mismatched_batch_axes(self):
-        runner = SweepRunner(workers=1)
-        a = runner.run_suite_batches(["baseline"], TOY_FC_SPEC, batches=(16,))
-        b = runner.run_suite_batches(["baseline"], TOY_FC_SPEC, batches=(64,))
+        a = _curves(["baseline"], TOY_FC_SPEC, batches=(16,))
+        b = _curves(["baseline"], TOY_FC_SPEC, batches=(64,))
         with pytest.raises(ExperimentError, match="do not match"):
             a["baseline"].normalized_to(b["baseline"])
 
@@ -581,7 +474,7 @@ class TestZeroCycleGuards:
 
     @staticmethod
     def _totals(cycles, suite="toy-model", design="baseline"):
-        from repro.runtime.sweep import SuiteTotals
+        from repro.runtime.plan import SuiteTotals
 
         return SuiteTotals(
             suite=suite, design_key=design, gemm_count=1, simulations=1,
@@ -607,12 +500,12 @@ class TestGridEdgeCases:
         assert normalized_runtimes({}) == {}
 
     def test_normalized_runtimes_missing_baseline(self):
-        grid = SweepRunner(workers=1).run_grid(["rasa-wlbp"], SHAPES)
+        grid = _grid(["rasa-wlbp"])
         with pytest.raises(ExperimentError, match="no baseline"):
             normalized_runtimes(grid)
 
     def test_normalized_runtimes_custom_baseline(self):
-        grid = SweepRunner(workers=1).run_grid(["rasa-wlbp"], SHAPES)
+        grid = _grid(["rasa-wlbp"])
         table = normalized_runtimes(grid, baseline_key="rasa-wlbp")
         for per_design in table.values():
             assert per_design["rasa-wlbp"] == pytest.approx(1.0)
@@ -624,10 +517,8 @@ class TestGridEdgeCases:
         assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
 
     def test_full_design_registry_grid(self):
-        """Every registered design runs through the runner unchanged."""
-        grid = SweepRunner(workers=1).run_grid(
-            DESIGNS, {"small": SHAPES["small"]}
-        )
+        """Every registered design runs through the session unchanged."""
+        grid = _grid(DESIGNS, {"small": SHAPES["small"]})
         normalized = normalized_runtimes(grid)["small"]
         assert normalized["baseline"] == pytest.approx(1.0)
         assert normalized["rasa-dmdb-wls"] < 0.25

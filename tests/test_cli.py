@@ -279,13 +279,92 @@ class TestModels:
     def test_models_lists_suites(self, capsys):
         assert main(["models"]) == 0
         out = capsys.readouterr().out
-        for suite in ("table1", "resnet50", "bert-base", "dlrm", "training"):
+        for suite in ("table1", "resnet50", "bert-base", "bert-full", "dlrm",
+                      "training", "resnet50-train"):
             assert suite in out
         assert "24.0x" in out  # bert-base dedup factor
 
     def test_models_batch_override(self, capsys):
         assert main(["models", "--batch", "64"]) == 0
         assert "64" in capsys.readouterr().out
+
+    def test_models_shows_op_composition(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "ops" in out
+        assert "53 conv-fwd / 53 conv-dgrad / 53 conv-wgrad" in out
+        assert "72 fc-fwd / 24 batched-matmul" in out
+        assert "6 fc-fwd / 6 fc-dgrad / 6 fc-wgrad" in out
+
+
+class TestRoleAwareScaleKnobs:
+    def test_scale_spatial_keeps_bert_full_tractable(self, tmp_path, capsys):
+        # The CI smoke flags: head-batched attention shrinks its sequence
+        # dims; batches 1 and 8 rebuild the token axis.
+        assert main(["sweep", "--workloads", "bert-full", "--batches", "1,8",
+                     "--scale-spatial", "8", "--designs", "rasa-dmdb-wls",
+                     "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "suite batch sweep — bert-full" in out
+        assert "cross-batch dedup" in out
+
+    def test_resnet50_train_single_design_run(self, tmp_path, capsys):
+        assert main(["sweep", "--workloads", "resnet50-train", "--designs",
+                     "baseline", "--scale", "16", "--scale-batch", "8",
+                     "--scale-spatial", "8",
+                     "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "resnet50-train | 159" in out
+
+    def test_knobs_change_the_simulated_points(self, tmp_path, capsys):
+        base = ["sweep", "--workloads", "resnet50", "--designs", "rasa-wlbp",
+                "--scale", "16", "--cache-dir", str(tmp_path)]
+        assert main(base + ["--scale-spatial", "64"]) == 0
+        spatial = capsys.readouterr().out
+        assert main(base) == 0
+        plain = capsys.readouterr().out
+        # The spatially shrunk lowering simulates its own (cheaper) points;
+        # the unknobbed rerun cannot be served by them.
+        assert "0 cached" in spatial
+        assert "0 simulated" not in plain.splitlines()[-1]
+
+    def test_knobs_rejected_for_layer_names(self, capsys):
+        assert main(["sweep", "--workloads", "DLRM-2", "--scale-batch", "4",
+                     "--no-cache"]) == 1
+        assert "apply to suite workloads" in capsys.readouterr().err
+
+    def test_knobs_rejected_for_adhoc_gemm(self, capsys):
+        assert main(["sweep", "--m", "64", "--n", "64", "--k", "64",
+                     "--scale-spatial", "4", "--no-cache"]) == 1
+        assert "--scale-batch/--scale-spatial" in capsys.readouterr().err
+
+    def test_knobs_conflict_with_plan_file(self, tmp_path, capsys):
+        plan_file = tmp_path / "plan.json"
+        assert main(["plan", "show", "--workloads", "dlrm", "--scale", "8",
+                     "-o", str(plan_file)]) == 0
+        capsys.readouterr()
+        assert main(["plan", "show", "--plan", str(plan_file),
+                     "--scale-batch", "2"]) == 1
+        err = capsys.readouterr().err
+        assert "cannot amend a plan file" in err and "--scale-batch" in err
+
+    def test_plan_show_records_the_knobs(self, capsys):
+        assert main(["plan", "show", "--workloads", "resnet50",
+                     "--scale-batch", "8", "--scale-spatial", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "batch 1/8" in out and "spatial 1/4" in out
+        assert '"scale_batch": 8' in out and '"scale_spatial": 4' in out
+
+    def test_plan_json_round_trips_the_knobs(self, tmp_path, capsys):
+        plan_file = tmp_path / "plan.json"
+        assert main(["plan", "show", "--workloads", "resnet50-train",
+                     "--scale", "16", "--scale-batch", "8", "--scale-spatial",
+                     "8", "-o", str(plan_file)]) == 0
+        capsys.readouterr()
+        assert main(["plan", "run", "--plan", str(plan_file),
+                     "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "resnet50-train" in out and "simulated" in out
 
 
 class TestPlanShow:
