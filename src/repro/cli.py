@@ -66,7 +66,7 @@ from repro.runtime.plan import SweepPlan, SweepReport, _suite_name
 from repro.runtime.registry import FIDELITIES, resolve_backend
 from repro.runtime.session import Session
 from repro.utils.tables import format_table
-from repro.workloads.codegen import generate_gemm_program
+from repro.workloads.codegen import CodegenOptions, generate_gemm_program
 from repro.workloads.gemm import GemmShape
 from repro.workloads.layers import TABLE1_LAYERS
 from repro.workloads.suites import SUITES, get_suite, suite_names
@@ -295,8 +295,12 @@ def _cmd_fig(args) -> int:
 
 
 def _simulate(design_key: str, shape: GemmShape, fidelity: str = "fast"):
+    backend = resolve_backend(design_key, fidelity=fidelity)
+    run_shape = getattr(backend, "run_shape", None)
+    if run_shape is not None:  # shape-level fidelity (analytic): no program
+        return run_shape(shape, CodegenOptions())
     program = generate_gemm_program(shape)
-    return resolve_backend(design_key, fidelity=fidelity).prepare(program).run()
+    return backend.prepare(program).run()
 
 
 def _cmd_simulate(args) -> int:

@@ -81,6 +81,13 @@ class FastCoreModel:
         dispatch_prev = float(core.frontend_latency)
         retire_prev = 0.0
 
+        # Port selection is on the per-instruction hot path; the default
+        # core has 2 load ports and 1 store port, where the generic
+        # min-over-range scan is pure overhead.  The inline forms keep
+        # min()'s lowest-index tie-breaking, so timing is bit-identical.
+        two_load_ports = core.load_ports == 2
+        one_store_port = core.store_ports == 1
+
         mm_count = 0
         schedule: List[StageTimes] = [] if keep_schedule else None
         first_wl: Optional[int] = None
@@ -94,7 +101,10 @@ class FastCoreModel:
             op = inst.opcode
 
             if op is Opcode.RASA_TL:
-                port = min(range(core.load_ports), key=load_ports.__getitem__)
+                if two_load_ports:
+                    port = 0 if load_ports[0] <= load_ports[1] else 1
+                else:
+                    port = min(range(core.load_ports), key=load_ports.__getitem__)
                 start = max(dispatch, load_ports[port])
                 load_ports[port] = start + transfer
                 complete = start + memory.tile_load_latency(
@@ -105,7 +115,10 @@ class FastCoreModel:
                 tile_version[reg] += 1
 
             elif op is Opcode.RASA_TS:
-                port = min(range(core.store_ports), key=store_ports.__getitem__)
+                if one_store_port:
+                    port = 0
+                else:
+                    port = min(range(core.store_ports), key=store_ports.__getitem__)
                 start = max(dispatch, tile_ready[inst.srcs[0].index], store_ports[port])
                 store_ports[port] = start + transfer
                 complete = start + transfer

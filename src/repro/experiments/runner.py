@@ -90,9 +90,15 @@ def run_design(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     fidelity: str = "fast",
 ) -> SimResult:
-    """Generate the stream for ``shape`` and simulate it on one design."""
-    program = cached_program(shape, settings.codegen)
+    """Generate the stream for ``shape`` and simulate it on one design.
+
+    Shape-level fidelities (``analytic``) skip generation entirely.
+    """
     backend = resolve_backend(design_key, fidelity=fidelity, core=settings.core)
+    run_shape = getattr(backend, "run_shape", None)
+    if run_shape is not None:
+        return run_shape(shape, settings.codegen)
+    program = cached_program(shape, settings.codegen)
     return backend.prepare(program).run()
 
 

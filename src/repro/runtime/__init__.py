@@ -38,9 +38,11 @@ backends) plugs in here.
 """
 
 from repro.runtime.backend import (
+    AnalyticBackend,
     EngineBackend,
     FastCoreBackend,
     OoOCoreBackend,
+    ShapeBackend,
     SimBackend,
 )
 from repro.runtime.cache import CODE_VERSION, ResultCache, cache_key
@@ -61,6 +63,8 @@ from repro.runtime.session import PROGRAM_CACHE_SIZE, Session, cached_program
 
 __all__ = [
     "SimBackend",
+    "ShapeBackend",
+    "AnalyticBackend",
     "EngineBackend",
     "FastCoreBackend",
     "OoOCoreBackend",

@@ -13,8 +13,12 @@ setup — the engine adapter resets its register file and scheduler there);
 record every layer above consumes.  ``simulate`` is the one-shot
 convenience combining both.
 
-Three fidelities exist, cheapest first:
+Four fidelities exist, cheapest first:
 
+- ``"analytic"`` — :class:`repro.cpu.analytic.AnalyticCoreModel`, the
+  closed-form O(1)-per-point model.  Shape-level: it never builds a
+  program, so it implements :meth:`ShapeBackend.run_shape` instead of
+  ``prepare``/``run`` (the runtime layer dispatches on that);
 - ``"engine"`` — engine-bound :class:`repro.engine.engine.MatrixEngine`
   execution: operands always ready, optional functional data movement
   (``"array"`` / ``"oracle"`` / ``"off"``);
@@ -28,6 +32,7 @@ from __future__ import annotations
 
 from typing import Optional, Protocol, runtime_checkable
 
+from repro.cpu.analytic import AnalyticCoreModel
 from repro.cpu.config import CoreConfig
 from repro.cpu.fast import FastCoreModel
 from repro.cpu.ooo.core import OutOfOrderCore
@@ -36,6 +41,8 @@ from repro.engine.config import EngineConfig
 from repro.engine.engine import MatrixEngine
 from repro.errors import SimError
 from repro.isa.program import Program
+from repro.workloads.codegen import CodegenOptions
+from repro.workloads.gemm import GemmShape
 
 
 @runtime_checkable
@@ -54,6 +61,24 @@ class SimBackend(Protocol):
 
     def simulate(self, program: Program) -> SimResult:
         """One-shot ``prepare(program).run()``."""
+        ...
+
+
+@runtime_checkable
+class ShapeBackend(Protocol):
+    """A backend that executes (shape, codegen) points without a program.
+
+    The runtime layer's single dispatch rule: if a resolved backend has
+    ``run_shape``, jobs skip program generation entirely and call it with
+    the job's shape and codegen options.
+    """
+
+    fidelity: str
+
+    def run_shape(
+        self, shape: GemmShape, codegen: CodegenOptions
+    ) -> SimResult:
+        """Estimate the point directly from the shape's structure."""
         ...
 
 
@@ -85,6 +110,44 @@ class _BaseBackend:
 
     def _execute(self, program: Program) -> SimResult:
         raise NotImplementedError
+
+
+class AnalyticBackend:
+    """Adapter over the closed-form analytic model (shape-level).
+
+    This backend deliberately does *not* implement the program-based
+    :class:`SimBackend` phases: the whole point of the analytic tier is
+    that no program ever exists.  Probe memoization lives in the model, so
+    holding one backend across a sweep amortizes the scheduler probes over
+    every shape that hits the same block geometries.
+    """
+
+    fidelity = "analytic"
+
+    def __init__(self, engine: EngineConfig, core: Optional[CoreConfig] = None):
+        self.engine = engine
+        self.core = core if core is not None else CoreConfig()
+        self._model = AnalyticCoreModel(core=self.core, engine=engine)
+
+    def run_shape(
+        self, shape: GemmShape, codegen: CodegenOptions = CodegenOptions()
+    ) -> SimResult:
+        return self._model.run_shape(shape, codegen)
+
+    def prepare(self, program: Program) -> "AnalyticBackend":
+        raise SimError(
+            "the 'analytic' fidelity is shape-level and never executes "
+            "programs; call run_shape(shape, codegen) instead (the Session "
+            "layer does this automatically)"
+        )
+
+    def run(self) -> SimResult:
+        raise SimError(
+            "the 'analytic' fidelity is shape-level; use run_shape(shape, codegen)"
+        )
+
+    def simulate(self, program: Program) -> SimResult:
+        return self.prepare(program).run()
 
 
 class FastCoreBackend(_BaseBackend):

@@ -24,6 +24,7 @@ from repro.engine.config import EngineConfig
 from repro.engine.designs import get_design
 from repro.errors import ConfigError
 from repro.runtime.backend import (
+    AnalyticBackend,
     EngineBackend,
     FastCoreBackend,
     OoOCoreBackend,
@@ -50,6 +51,18 @@ def register_backend(name: str) -> Callable[[BackendFactory], BackendFactory]:
         return factory
 
     return _register
+
+
+@register_backend("analytic")
+def _analytic_factory(
+    engine: EngineConfig, core: CoreConfig, functional: str
+) -> SimBackend:
+    if functional != "off":
+        raise ConfigError(
+            "the 'analytic' fidelity is timing-only; functional execution "
+            "requires fidelity='engine'"
+        )
+    return AnalyticBackend(engine, core)
 
 
 @register_backend("fast")

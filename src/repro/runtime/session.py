@@ -22,9 +22,12 @@ Execution layers three accelerations on top of the backend registry:
    an FC layer are one point;
 3. **parallelism** — misses fan out over a ``multiprocessing`` pool
    (``fork`` start method where available, so workers inherit the warm
-   per-process program cache).  ``workers=1`` — or a single-CPU host —
-   degrades to plain serial execution in-process, with bit-identical
-   results: jobs are independent deterministic simulations.
+   per-process program cache).  The pool is created lazily and *persists
+   across* ``run()`` calls — multi-plan sessions pay the fork cost once —
+   and tasks submit in computed chunks rather than one IPC round trip per
+   job.  ``workers=1`` — or a single-CPU host — degrades to plain serial
+   execution in-process, with bit-identical results: jobs are independent
+   deterministic simulations.
 
 Write-back is **crash-safe**: results stream back from the pool
 *unordered*, each is written to the cache the moment it completes, and
@@ -91,9 +94,17 @@ cached_program.cache_clear = _unlabeled_program.cache_clear
 
 
 def _execute_job(job: SweepJob) -> SimResult:
-    """Simulate one job (top-level so worker processes can unpickle it)."""
-    program = cached_program(job.shape, job.codegen)
+    """Simulate one job (top-level so worker processes can unpickle it).
+
+    Shape-level backends (``run_shape``, e.g. the analytic fidelity) skip
+    program generation entirely — no lowering, no instruction walk; the
+    program-based fidelities go through the per-process program memo.
+    """
     backend = resolve_backend(job.design_key, fidelity=job.fidelity, core=job.core)
+    run_shape = getattr(backend, "run_shape", None)
+    if run_shape is not None:
+        return run_shape(job.shape, job.codegen)
+    program = cached_program(job.shape, job.codegen)
     return backend.prepare(program).run()
 
 
@@ -160,6 +171,7 @@ class Session:
                 "use workers=1 for serial execution"
             )
         self.workers = workers
+        self._pool = None  # lazily created, persists across run() calls
 
     @classmethod
     def from_env(
@@ -241,13 +253,51 @@ class Session:
         """
         if not jobs:
             return
-        workers = min(self.workers, len(jobs))
-        if workers <= 1:
+        if self.workers <= 1 or len(jobs) == 1:
             for index, job in enumerate(jobs):
                 yield index, _execute_job(job)
             return
-        ctx = _pool_context()
-        with ctx.Pool(processes=workers) as pool:
-            yield from pool.imap_unordered(
-                _execute_indexed, enumerate(jobs), chunksize=1
-            )
+        # Batch IPC: one task per job was one pickled round trip per point,
+        # which dominated wall time once the analytic tier made the points
+        # themselves cheap.  Chunks of jobs/(workers*4) keep every worker
+        # busy (4 chunks each smooths uneven chunk durations) while cutting
+        # round trips by the chunk size.
+        chunksize = max(1, len(jobs) // (self.workers * 4))
+        yield from self._get_pool().imap_unordered(
+            _execute_indexed, enumerate(jobs), chunksize=chunksize
+        )
+
+    # -- worker-pool lifecycle -------------------------------------------------------
+
+    def _get_pool(self):
+        """The persistent worker pool, created on first parallel fan-out.
+
+        Spawning a ``multiprocessing.Pool`` costs tens of milliseconds plus
+        a fork per worker; sessions that run many plans (sweep suites, the
+        benchmark harness, notebook loops) previously paid it per ``run()``
+        call.  The pool now lives until :meth:`close`.  Workers inherit the
+        process state (fidelity registry, program memo) from pool-creation
+        time — register custom fidelities before the first parallel run.
+        """
+        if self._pool is None:
+            self._pool = _pool_context().Pool(processes=self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; the pool respawns on use)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass  # interpreter teardown; the pool's own finalizer handles it

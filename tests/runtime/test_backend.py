@@ -9,9 +9,11 @@ from repro.cpu.fast import FastCoreModel
 from repro.engine.designs import get_design
 from repro.errors import ConfigError, SimError
 from repro.runtime import (
+    AnalyticBackend,
     EngineBackend,
     FastCoreBackend,
     OoOCoreBackend,
+    ShapeBackend,
     SimBackend,
     register_backend,
     resolve_backend,
@@ -105,3 +107,32 @@ class TestExecution:
         ooo = resolve_backend("rasa-dmdb-wls", fidelity="ooo").simulate(program)
         assert ooo.mm_count == fast.mm_count
         assert ooo.cycles == pytest.approx(fast.cycles, rel=0.05)
+
+
+class TestAnalyticBackend:
+    """The shape-level fidelity: no program ever exists."""
+
+    def test_resolves_and_satisfies_shape_protocol(self):
+        backend = resolve_backend("rasa-dmdb-wls", fidelity="analytic")
+        assert isinstance(backend, AnalyticBackend)
+        assert isinstance(backend, ShapeBackend)
+        assert backend.fidelity == "analytic"
+        assert backend.engine == get_design("rasa-dmdb-wls").config
+
+    def test_functional_rejected(self):
+        with pytest.raises(ConfigError, match="timing-only"):
+            resolve_backend("baseline", fidelity="analytic", functional="oracle")
+
+    def test_program_phases_raise(self, program):
+        backend = resolve_backend("baseline", fidelity="analytic")
+        with pytest.raises(SimError, match="shape-level"):
+            backend.prepare(program)
+        with pytest.raises(SimError, match="shape-level"):
+            backend.run()
+        with pytest.raises(SimError, match="shape-level"):
+            backend.simulate(program)
+
+    def test_run_shape_matches_fast_backend(self, program, design_key):
+        analytic = resolve_backend(design_key, fidelity="analytic")
+        fast = resolve_backend(design_key, fidelity="fast")
+        assert analytic.run_shape(SHAPE) == fast.simulate(program)

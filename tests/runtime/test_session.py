@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.cpu.result import SimResult
+from repro.engine.designs import DESIGNS
 from repro.errors import ExperimentError, SimError
 from repro.runtime import ResultCache, Session, SweepPlan
 from repro.runtime.registry import FIDELITIES, resolve_backend
@@ -195,3 +196,65 @@ class TestShardedRuns:
         assert report.is_partial
         assert 0 < report.distinct_points < len(plan.distinct_keys())
         assert report.job_count < plan.job_count()
+
+
+class TestPersistentPool:
+    """The worker pool outlives run(): multi-plan sessions fork once."""
+
+    def test_pool_survives_across_runs(self):
+        session = Session(workers=2)
+        assert session._pool is None  # created lazily, on first fan-out
+        session.run(grid_plan())
+        pool = session._pool
+        assert pool is not None
+        session.run(grid_plan(designs=("rasa-pipe", "rasa-wlbp")))
+        assert session._pool is pool
+        session.close()
+
+    def test_close_idempotent_and_pool_respawns(self):
+        session = Session(workers=2)
+        session.close()  # nothing to close yet: a no-op
+        first = session.run(grid_plan())
+        session.close()
+        session.close()
+        assert session._pool is None
+        second = session.run(grid_plan())  # pool respawns transparently
+        assert second == first
+        session.close()
+
+    def test_context_manager_closes_pool(self):
+        with Session(workers=2) as session:
+            session.run(grid_plan())
+            assert session._pool is not None
+        assert session._pool is None
+
+    def test_serial_session_never_spawns_a_pool(self):
+        session = Session(workers=1)
+        session.run(grid_plan())
+        assert session._pool is None
+
+
+class TestLargeFanOut:
+    """200 jobs through computed chunks: unordered streaming, complete results."""
+
+    def _plan_200(self) -> SweepPlan:
+        # 8 designs x 25 distinct shapes = 200 distinct analytic points;
+        # the analytic fidelity keeps both the parallel and the serial
+        # reference runs test-suite cheap.
+        shapes = tuple(
+            (f"s{i}", GemmShape(32 * (i + 1), 32, 32)) for i in range(25)
+        )
+        return SweepPlan(
+            designs=tuple(DESIGNS), workloads=shapes, fidelity="analytic"
+        )
+
+    def test_unordered_but_complete(self):
+        plan = self._plan_200()
+        assert plan.job_count() == 200
+        with Session(workers=4) as parallel:
+            report = parallel.run(plan)
+        # chunksize = max(1, 200 // (4 * 4)) = 12: results arrive unordered
+        # in batches, yet every distinct key lands exactly once.
+        assert report.simulated == 200
+        assert set(report.results) == set(plan.distinct_keys())
+        assert report == Session(workers=1).run(plan)

@@ -47,6 +47,24 @@ class TestSimulate:
                      "--m", "64", "--n", "64", "--k", "64"]) == 0
         assert "fidelity    : engine" in capsys.readouterr().out
 
+    def test_simulate_analytic_matches_fast(self, capsys):
+        args = ["simulate", "--design", "rasa-wlbp",
+                "--m", "64", "--n", "64", "--k", "64"]
+        assert main(args) == 0
+        fast_out = capsys.readouterr().out
+        assert main(args + ["--fidelity", "analytic"]) == 0
+        analytic_out = capsys.readouterr().out
+        assert "fidelity    : analytic" in analytic_out
+        # The analytic tier reproduces the fast model's numbers exactly on
+        # this point; only the fidelity line differs.
+        assert analytic_out.replace("analytic", "fast") == fast_out
+
+    def test_sweep_analytic(self, capsys):
+        assert main(["sweep", "--m", "64", "--n", "64", "--k", "64",
+                     "--fidelity", "analytic", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "Baseline" in out and "RASA-DMDB-WLS" in out
+
     def test_sweep(self, capsys):
         assert main(["sweep", "--m", "64", "--n", "64", "--k", "64",
                      "--no-cache"]) == 0
