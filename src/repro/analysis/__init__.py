@@ -1,4 +1,4 @@
-"""Analysis utilities over engine schedules (PE occupancy, utilization)."""
+"""Analysis passes over programs and schedules: static verification, occupancy."""
 
 from repro.analysis.occupancy import (
     OccupancyReport,
@@ -6,10 +6,40 @@ from repro.analysis.occupancy import (
     schedule_utilization,
     single_mm_active_pes,
 )
+from repro.analysis.verifier import (
+    CounterMismatch,
+    Diagnostic,
+    HazardReport,
+    PolicyCounters,
+    Region,
+    StaticCounters,
+    VerifierReport,
+    cross_check_counters,
+    hazard_report,
+    kernel_regions,
+    lint_shape,
+    static_counters,
+    verify_kernel,
+    verify_program,
+)
 
 __all__ = [
     "single_mm_active_pes",
     "occupancy_timeline",
     "schedule_utilization",
     "OccupancyReport",
+    "CounterMismatch",
+    "Diagnostic",
+    "HazardReport",
+    "PolicyCounters",
+    "Region",
+    "StaticCounters",
+    "VerifierReport",
+    "cross_check_counters",
+    "hazard_report",
+    "kernel_regions",
+    "lint_shape",
+    "static_counters",
+    "verify_kernel",
+    "verify_program",
 ]

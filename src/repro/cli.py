@@ -26,6 +26,14 @@ Commands:
                                     it, run it — whole or one deterministic
                                     ``--shard I/N`` slice — and merge shard
                                     reports bit-identically
+- ``lint``                          statically verify generated programs: the
+                                    :mod:`repro.analysis.verifier` dataflow
+                                    pass (def-use, memory legality, hazard
+                                    stats) plus the three-way counter oracle
+                                    (static vs analytic vs fast) over one
+                                    ``--m/--n/--k`` GEMM or
+                                    ``--workloads <suite>|all``; ``--json``
+                                    for machine-readable reports
 - ``asm`` / ``disasm``              assemble ``.rasa`` text <-> JSONL traces
 
 Every sweep — ``sweep`` and ``plan run`` alike — is declared as a
@@ -39,11 +47,18 @@ with a one-line ``error: ...`` message — never a traceback.
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 import time
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from repro.analysis.verifier import (
+    VerifierReport,
+    cross_check_counters,
+    lint_shape,
+)
 from repro.engine.designs import DESIGNS, get_design
 from repro.errors import ReproError
 from repro.experiments.area_energy import area_energy_report
@@ -116,6 +131,9 @@ def _add_session_knobs(parser: argparse.ArgumentParser) -> None:
                         help="bypass the on-disk result cache")
     parser.add_argument("--cache-dir", type=Path, default=None,
                         help="result-cache directory (default: ~/.cache/repro)")
+    parser.add_argument("--verify", action="store_true",
+                        help="statically lint each distinct program before "
+                             "simulating (fails on any diagnostic)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -133,6 +151,11 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="override the streamed-rows (batch) dimension")
     models.add_argument("--scale", type=int, default=1,
                         help="divide each GEMM dimension by this (default 1)")
+    models.add_argument("--lint", action="store_true",
+                        help="statically verify each suite's distinct programs "
+                             "and add a per-suite diagnostic count (0 means "
+                             "clean; full-size suites take a while — combine "
+                             "with --scale for a quick self-check)")
 
     fig = sub.add_parser("fig", help="regenerate a paper figure")
     fig.add_argument("number", type=int, choices=(1, 2, 5, 6, 7))
@@ -207,6 +230,31 @@ def _build_parser() -> argparse.ArgumentParser:
     merge.add_argument("-o", "--output", type=Path, default=None,
                        help="write the merged report as canonical JSON")
 
+    lint = sub.add_parser(
+        "lint",
+        help="statically verify generated programs (def-use, memory legality, "
+             "hazards) and cross-check static counters against the analytic "
+             "and fast models",
+    )
+    lint.add_argument("--m", type=int, help="ad-hoc GEMM M (with --n/--k)")
+    lint.add_argument("--n", type=int, help="ad-hoc GEMM N")
+    lint.add_argument("--k", type=int, help="ad-hoc GEMM K")
+    lint.add_argument("--workloads", default=None,
+                      help='comma-separated suite names or "all" '
+                           "(default: table1)")
+    lint.add_argument("--designs", default="all",
+                      help='"all" or comma-separated design keys for the '
+                           "counter oracle (default: all)")
+    lint.add_argument("--batch", type=int, default=None,
+                      help="override a suite's streamed-rows (batch) dimension")
+    lint.add_argument("--scale", type=int, default=4,
+                      help="divide each workload dimension by this (default 4)")
+    lint.add_argument("--no-oracle", action="store_true",
+                      help="skip the three-way counter cross-check "
+                           "(diagnostics and hazards only)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit the full report as JSON instead of a table")
+
     asm = sub.add_parser("asm", help="assemble .rasa text into a JSONL trace")
     asm.add_argument("source", type=Path)
     asm.add_argument("output", type=Path)
@@ -244,28 +292,49 @@ def _format_op_composition(composition: Dict[str, int]) -> str:
 
 def _cmd_models(args) -> int:
     rows = []
+    lint_cache: Dict[Tuple[int, int, int], int] = {}  # padded dims -> diags
+    total_diags = 0
     for name in suite_names():
         spec = SUITES[name]
         suite = get_suite(name, batch=args.batch, scale=args.scale)
         batch = args.batch if args.batch is not None else spec.default_batch
-        rows.append(
-            (
-                name,
-                len(suite),
-                len(suite.distinct()),
-                f"{suite.dedup_factor:.1f}x",
-                f"{suite.total_macs / 1e6:.0f}",
-                batch if batch is not None else "per-layer",
-                _format_op_composition(spec.op_composition(batch=args.batch)),
-                spec.description,
-            )
-        )
+        row = [
+            name,
+            len(suite),
+            len(suite.distinct()),
+            f"{suite.dedup_factor:.1f}x",
+            f"{suite.total_macs / 1e6:.0f}",
+            batch if batch is not None else "per-layer",
+            _format_op_composition(spec.op_composition(batch=args.batch)),
+        ]
+        if args.lint:
+            # Distinct programs dedup across suites too (padded dims are
+            # the program identity), so shared shapes lint exactly once.
+            diags = 0
+            for entry in suite.distinct():
+                dims = entry.shape.tile_padded().dims
+                if dims not in lint_cache:
+                    lint_cache[dims] = len(lint_shape(entry.shape).diagnostics)
+                diags += lint_cache[dims]
+            total_diags += diags
+            row.append(diags)
+        row.append(spec.description)
+        rows.append(tuple(row))
+    headers = ["suite", "GEMMs", "distinct", "dedup", "MMACs", "batch", "ops"]
+    if args.lint:
+        headers.append("diags")
+    headers.append("description")
     print(format_table(
-        ["suite", "GEMMs", "distinct", "dedup", "MMACs", "batch", "ops",
-         "description"],
+        headers,
         rows,
         title="workload suites — sweep with: repro sweep --workloads <suite>",
     ))
+    if args.lint:
+        print(
+            f"lint: {total_diags} diagnostic(s) across "
+            f"{len(lint_cache)} distinct program(s) at scale 1/{args.scale}"
+        )
+        return 0 if not total_diags else 1
     return 0
 
 
@@ -455,7 +524,136 @@ def _parse_shard(spec: str) -> Tuple[int, int]:
 def _session_from_args(args) -> Session:
     """One :class:`Session` per invocation, from the shared execution flags."""
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    return Session(cache=cache, workers=args.jobs)
+    return Session(
+        cache=cache, workers=args.jobs, verify=getattr(args, "verify", False)
+    )
+
+
+def _lint_designs(spec: str) -> List[str]:
+    """Design keys for the lint counter oracle (no baseline insertion)."""
+    if spec == "all":
+        return list(DESIGNS)
+    keys = _split_spec(spec)
+    if not keys:
+        raise ReproError('--designs needs "all" or comma-separated design keys')
+    for key in keys:
+        get_design(key)  # raises ConfigError with the known keys
+    return keys
+
+
+def _lint_targets(args) -> List[Tuple[str, GemmShape, Tuple[str, ...]]]:
+    """Expand the lint flags into distinct programs: (label, shape, suites).
+
+    Suites dedup by tile-padded dims — the program identity — so shapes
+    shared across models lint and cross-check exactly once.
+    """
+    if (args.m, args.n, args.k) != (None, None, None):
+        if None in (args.m, args.n, args.k):
+            raise ReproError("--m/--n/--k must be given together")
+        if args.workloads is not None:
+            raise ReproError(
+                "--m/--n/--k (one ad-hoc GEMM) and --workloads (suites) are "
+                "mutually exclusive"
+            )
+        return [("cli", GemmShape(m=args.m, n=args.n, k=args.k, name="cli"), ())]
+    spec = args.workloads if args.workloads is not None else "table1"
+    targets: Dict[Tuple[int, int, int], Tuple[str, GemmShape, List[str]]] = {}
+    for name in _suite_spec_names(spec):
+        suite = get_suite(name, batch=args.batch, scale=args.scale)
+        for entry in suite.distinct():
+            dims = entry.shape.tile_padded().dims
+            if dims not in targets:
+                targets[dims] = (entry.shape.name or entry.layers[0],
+                                 entry.shape, [name])
+            elif name not in targets[dims][2]:
+                targets[dims][2].append(name)
+    return [(label, shape, tuple(suites))
+            for label, shape, suites in targets.values()]
+
+
+def _lint_report_json(
+    label: str,
+    shape: GemmShape,
+    suites: Tuple[str, ...],
+    report: VerifierReport,
+    mismatches,
+) -> Dict:
+    return {
+        "workload": label,
+        "suites": list(suites),
+        "m": shape.m, "n": shape.n, "k": shape.k,
+        "counters": dataclasses.asdict(report.counters),
+        "hazards": dataclasses.asdict(report.hazards),
+        "diagnostics": [dataclasses.asdict(d) for d in report.diagnostics],
+        "counter_mismatches": [dataclasses.asdict(m) for m in mismatches],
+    }
+
+
+def _cmd_lint(args) -> int:
+    design_keys = _lint_designs(args.designs)
+    targets = _lint_targets(args)
+    rows = []
+    entries = []
+    total_diags = total_mismatches = 0
+    for label, shape, suites in targets:
+        report = lint_shape(shape)
+        mismatches = (
+            () if args.no_oracle
+            else cross_check_counters(shape, design_keys=design_keys)
+        )
+        total_diags += len(report.diagnostics)
+        total_mismatches += len(mismatches)
+        entries.append((label, shape, suites, report, mismatches))
+        c, h = report.counters, report.hazards
+        rows.append((
+            label,
+            f"{shape.m}x{shape.n}x{shape.k}",
+            c.instructions,
+            c.mm_count,
+            c.weight_reuses,
+            f"{h.raw}/{h.war}/{h.waw}",
+            h.longest_raw_chain,
+            h.max_live,
+            len(report.diagnostics),
+            "-" if args.no_oracle else ("ok" if not mismatches else "MISMATCH"),
+        ))
+    if args.json:
+        print(json.dumps({
+            "scale": args.scale,
+            "designs": design_keys,
+            "programs": [
+                _lint_report_json(label, shape, suites, report, mismatches)
+                for label, shape, suites, report, mismatches in entries
+            ],
+            "total_diagnostics": total_diags,
+            "total_counter_mismatches": total_mismatches,
+        }, indent=2))
+    else:
+        print(format_table(
+            ["workload", "mnk", "insts", "mm", "reuses", "raw/war/waw",
+             "chain", "max live", "diags", "oracle"],
+            rows,
+            title="static verification — repro.analysis.verifier",
+        ))
+        shown_per_program = 8
+        for label, _, _, report, mismatches in entries:
+            for diag in report.diagnostics[:shown_per_program]:
+                print(f"{label}: {diag}")
+            hidden = len(report.diagnostics) - shown_per_program
+            if hidden > 0:
+                print(f"{label}: ... {hidden} more diagnostic(s) elided")
+            for mismatch in mismatches:
+                print(f"{label}: counter mismatch: {mismatch}")
+        oracle = (
+            "oracle skipped"
+            if args.no_oracle
+            else f"{total_mismatches} counter mismatch(es) over "
+                 f"{len(design_keys)} design(s)"
+        )
+        print(
+            f"{len(targets)} program(s): {total_diags} diagnostic(s), {oracle}"
+        )
+    return 0 if not (total_diags or total_mismatches) else 1
 
 
 def _reject_axis_flags_with_plan_file(args) -> None:
@@ -905,6 +1103,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_sweep(args)
         if args.command == "plan":
             return _cmd_plan(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
         if args.command == "asm":
             return _cmd_asm(args.source, args.output)
         if args.command == "disasm":

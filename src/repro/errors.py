@@ -23,6 +23,10 @@ class AssemblerError(IsaError):
     """The textual assembler rejected the input program."""
 
 
+class VerificationError(IsaError):
+    """The static verifier found diagnostics in a program that must be clean."""
+
+
 class TileError(ReproError):
     """A tile-register access violated the tile layout or typing rules."""
 

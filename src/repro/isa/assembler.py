@@ -16,7 +16,7 @@ Comments start with ``//`` or ``#``; blank lines are ignored.  Round-tripping
 from __future__ import annotations
 
 import re
-from typing import List
+from typing import List, Tuple
 
 from repro.errors import AssemblerError
 from repro.isa.instructions import (
@@ -57,7 +57,7 @@ def _parse_sreg(token: str, line_no: int) -> ScalarReg:
     return ScalarReg(int(match.group(1)))
 
 
-def _parse_ptr(token: str, line_no: int):
+def _parse_ptr(token: str, line_no: int) -> Tuple[int, int]:
     match = _PTR_RE.fullmatch(token.strip())
     if not match:
         raise AssemblerError(f"line {line_no}: expected ptr[...] operand, got {token!r}")

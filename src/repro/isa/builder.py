@@ -40,7 +40,7 @@ class ProgramBuilder:
         program = b.build()
     """
 
-    def __init__(self, name: str = "program"):
+    def __init__(self, name: str = "program") -> None:
         self.name = name
         self._instructions: List[Instruction] = []
 

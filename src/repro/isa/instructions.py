@@ -15,7 +15,7 @@ Dependency convention (used by both CPU models):
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Tuple
+from typing import Optional, Tuple, cast
 
 from repro.errors import IsaError
 from repro.isa.opcodes import Opcode
@@ -158,19 +158,19 @@ class Instruction:
     def mm_c(self) -> TileReg:
         """The C (accumulator) operand of a ``rasa_mm``."""
         self._require_mm()
-        return self.srcs[0]
+        return cast(TileReg, self.srcs[0])
 
     @property
     def mm_a(self) -> TileReg:
         """The A (input) operand of a ``rasa_mm``."""
         self._require_mm()
-        return self.srcs[1]
+        return cast(TileReg, self.srcs[1])
 
     @property
     def mm_b(self) -> TileReg:
         """The B (weight) operand of a ``rasa_mm`` — the WLBP reuse target."""
         self._require_mm()
-        return self.srcs[2]
+        return cast(TileReg, self.srcs[2])
 
     def _require_mm(self) -> None:
         if self.opcode is not Opcode.RASA_MM:

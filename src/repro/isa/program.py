@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable, Iterator, List
+from typing import Iterable, Iterator, List, Union, overload
 
 from repro.isa.instructions import Instruction
 from repro.isa.opcodes import Opcode
@@ -35,7 +35,7 @@ class Program:
     :class:`repro.isa.builder.ProgramBuilder` to construct them.
     """
 
-    def __init__(self, instructions: Iterable[Instruction], name: str = "program"):
+    def __init__(self, instructions: Iterable[Instruction], name: str = "program") -> None:
         self._instructions: List[Instruction] = list(instructions)
         self.name = name
 
@@ -45,11 +45,19 @@ class Program:
     def __iter__(self) -> Iterator[Instruction]:
         return iter(self._instructions)
 
-    def __getitem__(self, index):
-        result = self._instructions[index]
+    @overload
+    def __getitem__(self, index: int) -> Instruction: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> "Program": ...
+
+    def __getitem__(self, index: Union[int, slice]) -> Union[Instruction, "Program"]:
         if isinstance(index, slice):
-            return Program(result, name=f"{self.name}[{index.start}:{index.stop}]")
-        return result
+            return Program(
+                self._instructions[index],
+                name=f"{self.name}[{index.start}:{index.stop}]",
+            )
+        return self._instructions[index]
 
     def __add__(self, other: "Program") -> "Program":
         return Program(

@@ -87,7 +87,7 @@ class _BaseBackend:
 
     fidelity = "abstract"
 
-    def __init__(self, engine: EngineConfig, core: Optional[CoreConfig] = None):
+    def __init__(self, engine: EngineConfig, core: Optional[CoreConfig] = None) -> None:
         self.engine = engine
         self.core = core if core is not None else CoreConfig()
         self._program: Optional[Program] = None
@@ -124,7 +124,7 @@ class AnalyticBackend:
 
     fidelity = "analytic"
 
-    def __init__(self, engine: EngineConfig, core: Optional[CoreConfig] = None):
+    def __init__(self, engine: EngineConfig, core: Optional[CoreConfig] = None) -> None:
         self.engine = engine
         self.core = core if core is not None else CoreConfig()
         self._model = AnalyticCoreModel(core=self.core, engine=engine)
@@ -170,7 +170,7 @@ class OoOCoreBackend(_BaseBackend):
         engine: EngineConfig,
         core: Optional[CoreConfig] = None,
         max_cycles: int = 50_000_000,
-    ):
+    ) -> None:
         super().__init__(engine, core)
         self.max_cycles = max_cycles
 
@@ -194,7 +194,7 @@ class EngineBackend(_BaseBackend):
         engine: EngineConfig,
         core: Optional[CoreConfig] = None,
         functional: str = "off",
-    ):
+    ) -> None:
         super().__init__(engine, core)
         self.functional = functional
         self._engine_sim = MatrixEngine(engine, functional=functional)

@@ -129,7 +129,7 @@ class ResultCache:
     ``hits``/``misses`` count ``get`` outcomes since construction.
     """
 
-    def __init__(self, directory: Optional[Path] = None):
+    def __init__(self, directory: Optional[Path] = None) -> None:
         self.directory = Path(directory) if directory is not None else default_cache_dir()
         self.path = self.directory / _CACHE_FILENAME
         self._entries: Dict[str, Dict[str, Any]] = self._load()

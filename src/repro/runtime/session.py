@@ -54,12 +54,13 @@ from __future__ import annotations
 
 import functools
 import multiprocessing
+import multiprocessing.pool
 import os
 from pathlib import Path
-from typing import Dict, Iterator, Optional, Sequence
+from typing import Dict, Iterable, Iterator, Optional, Sequence
 
 from repro.cpu.result import SimResult
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, VerificationError
 from repro.isa.program import Program
 from repro.runtime.cache import ResultCache
 from repro.runtime.plan import SweepJob, SweepPlan, SweepReport
@@ -119,7 +120,7 @@ def _execute_indexed(item: "tuple[int, SweepJob]") -> "tuple[int, SimResult]":
     return index, _execute_job(job)
 
 
-def _pool_context():
+def _pool_context() -> multiprocessing.context.BaseContext:
     """Prefer ``fork`` (cheap, inherits warm caches); fall back otherwise."""
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context("fork" if "fork" in methods else None)
@@ -155,13 +156,21 @@ class Session:
             CPU count.  ``1`` forces serial in-process execution; zero or
             negative counts are rejected with :class:`ExperimentError`
             rather than silently degrading to serial.
+        verify: statically lint each distinct program through
+            :func:`repro.analysis.verifier.lint_shape` before anything
+            simulates, raising :class:`repro.errors.VerificationError` on
+            any diagnostic.  Each program identity (tile-padded unlabeled
+            shape + codegen options — at most one lint per cache key) is
+            verified once per session, so repeated ``run()`` calls and
+            multi-design grids pay the pass once per distinct stream.
     """
 
     def __init__(
         self,
         cache: Optional[ResultCache] = None,
         workers: Optional[int] = None,
-    ):
+        verify: bool = False,
+    ) -> None:
         self.cache = cache
         if workers is None:
             workers = os.cpu_count() or 1
@@ -171,7 +180,10 @@ class Session:
                 "use workers=1 for serial execution"
             )
         self.workers = workers
-        self._pool = None  # lazily created, persists across run() calls
+        self.verify = verify
+        # Lazily created, persists across run() calls.
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+        self._verified: "set[tuple[GemmShape, CodegenOptions]]" = set()
 
     @classmethod
     def from_env(
@@ -179,6 +191,7 @@ class Session:
         workers: Optional[int] = None,
         cache_dir: Optional[Path] = None,
         use_cache: bool = True,
+        verify: bool = False,
     ) -> "Session":
         """The session the experiment drivers and the CLI share.
 
@@ -194,7 +207,7 @@ class Session:
             cache = None
         if workers is None:
             workers = _env_workers()
-        return cls(cache=cache, workers=workers)
+        return cls(cache=cache, workers=workers, verify=verify)
 
     # -- execution -----------------------------------------------------------------
 
@@ -217,6 +230,8 @@ class Session:
         if plan.shard_spec is not None:
             owned = set(plan.shard_keys())  # the partition's single source
             distinct = {k: j for k, j in distinct.items() if k in owned}
+        if self.verify:
+            self._verify_jobs(distinct.values())
         results: Dict[str, SimResult] = {}
         misses: Dict[str, SweepJob] = {}
         for key, job in distinct.items():
@@ -240,6 +255,34 @@ class Session:
             simulated=len(misses),
             cache_hits=len(distinct) - len(misses),
         )
+
+    def _verify_jobs(self, jobs: "Iterable[SweepJob]") -> None:
+        """Lint every distinct program before simulation (``verify=True``).
+
+        Diagnostics are design-independent — the stream is a function of
+        (shape, codegen) only — so the lint memoizes on the tile-padded
+        unlabeled program identity: a grid of 8 designs over one GEMM
+        verifies once, and sessions running many plans never re-lint a
+        stream they already proved clean.  Shape-level (analytic) jobs are
+        linted too: the whole point is checking the program the closed
+        forms claim to summarize.
+        """
+        from repro.analysis import verifier  # deferred: pulls in codegen + engine
+
+        for job in jobs:
+            identity = (job.shape.tile_padded(), job.codegen)
+            if identity in self._verified:
+                continue
+            report = verifier.lint_shape(job.shape, job.codegen)
+            if report.diagnostics:
+                shown = "; ".join(str(d) for d in report.diagnostics[:3])
+                more = len(report.diagnostics) - 3
+                raise VerificationError(
+                    f"program for {job.shape} failed static verification "
+                    f"with {len(report.diagnostics)} diagnostic(s): {shown}"
+                    + (f"; +{more} more" if more > 0 else "")
+                )
+            self._verified.add(identity)
 
     def _simulate(
         self, jobs: Sequence[SweepJob]
@@ -269,7 +312,7 @@ class Session:
 
     # -- worker-pool lifecycle -------------------------------------------------------
 
-    def _get_pool(self):
+    def _get_pool(self) -> multiprocessing.pool.Pool:
         """The persistent worker pool, created on first parallel fan-out.
 
         Spawning a ``multiprocessing.Pool`` costs tens of milliseconds plus
@@ -293,7 +336,7 @@ class Session:
     def __enter__(self) -> "Session":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def __del__(self) -> None:

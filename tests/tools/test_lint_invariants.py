@@ -1,0 +1,106 @@
+"""The invariant lint: clean on the real tree, loud on seeded violations."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+TOOL = pathlib.Path(__file__).resolve().parents[2] / "tools" / "lint_invariants.py"
+
+
+@pytest.fixture(scope="module")
+def lint():
+    spec = importlib.util.spec_from_file_location("lint_invariants", TOOL)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("lint_invariants", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_repository_is_clean(lint, capsys):
+    assert lint.main([]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_every_scoped_module_exists(lint):
+    for module in lint.SCOPED_MODULES:
+        assert (lint.SRC / module).exists(), module
+
+
+def test_unfrozen_dataclass_flagged(lint, tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "import dataclasses\n"
+        "@dataclasses.dataclass\n"
+        "class Key:\n"
+        "    m: int\n"
+    )
+    problems = lint.check_file(bad, "repro/fake.py")
+    assert len(problems) == 1
+    assert "frozen=True" in problems[0]
+    assert "'Key'" in problems[0]
+
+
+def test_frozen_false_flagged(lint, tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "from dataclasses import dataclass\n"
+        "@dataclass(frozen=False, order=True)\n"
+        "class Key:\n"
+        "    m: int\n"
+    )
+    assert len(lint.check_file(bad, "repro/fake.py")) == 1
+
+
+def test_frozen_true_passes(lint, tmp_path):
+    good = tmp_path / "good.py"
+    good.write_text(
+        "import dataclasses\n"
+        "@dataclasses.dataclass(frozen=True)\n"
+        "class Key:\n"
+        "    m: int\n"
+    )
+    assert lint.check_file(good, "repro/fake.py") == []
+
+
+def test_allowlisted_class_passes(lint, tmp_path):
+    module, name = next(iter(lint.ALLOW_MUTABLE))
+    source = tmp_path / "allowed.py"
+    source.write_text(
+        "import dataclasses\n"
+        "@dataclasses.dataclass\n"
+        f"class {name}:\n"
+        "    m: int\n"
+    )
+    assert lint.check_file(source, module) == []
+
+
+def test_nondataclass_decorators_ignored(lint, tmp_path):
+    source = tmp_path / "plain.py"
+    source.write_text(
+        "import functools\n"
+        "@functools.total_ordering\n"
+        "class NotAKey:\n"
+        "    pass\n"
+    )
+    assert lint.check_file(source, "repro/fake.py") == []
+
+
+@pytest.mark.parametrize(
+    "line",
+    ["import time", "import random", "from time import monotonic",
+     "import uuid as u", "import random.whatever"],
+)
+def test_nondeterministic_import_flagged(lint, tmp_path, line):
+    bad = tmp_path / "bad.py"
+    bad.write_text(line + "\n")
+    problems = lint.check_file(bad, "repro/fake.py")
+    assert len(problems) == 1
+    assert "deterministic" in problems[0]
+
+
+def test_benign_imports_pass(lint, tmp_path):
+    good = tmp_path / "good.py"
+    good.write_text("import dataclasses\nfrom typing import Tuple\nimport math\n")
+    assert lint.check_file(good, "repro/fake.py") == []
