@@ -16,7 +16,6 @@ from repro.experiments.register_scaling import (
 
 def test_register_scaling(benchmark, emit):
     points = benchmark(register_scaling_sweep)
-    by_label = {p.label.split(",")[0]: p for p in points}
     rasa = points[-1]
     tm16 = points[0]
 

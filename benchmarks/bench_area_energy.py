@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from repro.engine.designs import DESIGNS
 from repro.experiments.area_energy import area_energy_report
-from repro.physical.energy import EnergyModel
 
 
 def test_area_energy(benchmark, emit, settings):

@@ -16,7 +16,7 @@ This is the quantitative form of the paper's under-utilization argument:
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -350,6 +350,7 @@ def static_counters(program: Program) -> StaticCounters:
         op = inst.opcode
         if op is Opcode.RASA_TL:
             loads += 1
+            assert inst.dst is not None  # _validate invariant
             version[inst.dst.index] += 1
         elif op is Opcode.RASA_TS:
             stores += 1

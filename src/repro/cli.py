@@ -33,7 +33,17 @@ Commands:
                                     (static vs analytic vs fast) over one
                                     ``--m/--n/--k`` GEMM or
                                     ``--workloads <suite>|all``; ``--json``
-                                    for machine-readable reports
+                                    for machine-readable reports;
+                                    ``--bounds`` adds the cycle-level bound
+                                    oracle
+- ``bounds``                        static cycle bounds per program x design:
+                                    the :mod:`repro.analysis.bounds`
+                                    dependence/resource lower bounds, greedy
+                                    list-schedule upper bound, and bottleneck
+                                    attribution, cross-checked against the
+                                    analytic and fast models (exit 1 on any
+                                    violated bound); same target flags as
+                                    ``lint``
 - ``asm`` / ``disasm``              assemble ``.rasa`` text <-> JSONL traces
 
 Every sweep — ``sweep`` and ``plan run`` alike — is declared as a
@@ -54,6 +64,7 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from repro.analysis.bounds import BoundsCheck, cross_check_bounds
 from repro.analysis.verifier import (
     VerifierReport,
     cross_check_counters,
@@ -252,8 +263,36 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--no-oracle", action="store_true",
                       help="skip the three-way counter cross-check "
                            "(diagnostics and hazards only)")
+    lint.add_argument("--bounds", action="store_true",
+                      help="also run the cycle-level bound oracle "
+                           "(LB <= fast <= UB per design; see: repro bounds)")
     lint.add_argument("--json", action="store_true",
                       help="emit the full report as JSON instead of a table")
+
+    bounds = sub.add_parser(
+        "bounds",
+        help="static cycle bounds per program x design: dependence/resource "
+             "lower bounds, list-schedule upper bound, bottleneck "
+             "attribution — cross-checked against the analytic and fast "
+             "models (exit 1 on any violated bound)",
+    )
+    bounds.add_argument("--m", type=int, help="ad-hoc GEMM M (with --n/--k)")
+    bounds.add_argument("--n", type=int, help="ad-hoc GEMM N")
+    bounds.add_argument("--k", type=int, help="ad-hoc GEMM K")
+    bounds.add_argument("--workloads", default=None,
+                        help='comma-separated suite names or "all" '
+                             "(default: table1)")
+    bounds.add_argument("--designs", default="all",
+                        help='"all" or comma-separated design keys '
+                             "(default: all)")
+    bounds.add_argument("--batch", type=int, default=None,
+                        help="override a suite's streamed-rows (batch) "
+                             "dimension")
+    bounds.add_argument("--scale", type=int, default=4,
+                        help="divide each workload dimension by this "
+                             "(default 4)")
+    bounds.add_argument("--json", action="store_true",
+                        help="emit the full report as JSON instead of a table")
 
     asm = sub.add_parser("asm", help="assemble .rasa text into a JSONL trace")
     asm.add_argument("source", type=Path)
@@ -577,8 +616,9 @@ def _lint_report_json(
     suites: Tuple[str, ...],
     report: VerifierReport,
     mismatches,
+    bound_checks: Tuple[BoundsCheck, ...] = (),
 ) -> Dict:
-    return {
+    payload = {
         "workload": label,
         "suites": list(suites),
         "m": shape.m, "n": shape.n, "k": shape.k,
@@ -587,6 +627,9 @@ def _lint_report_json(
         "diagnostics": [dataclasses.asdict(d) for d in report.diagnostics],
         "counter_mismatches": [dataclasses.asdict(m) for m in mismatches],
     }
+    if bound_checks:
+        payload["bounds"] = [_bounds_check_json(c) for c in bound_checks]
+    return payload
 
 
 def _cmd_lint(args) -> int:
@@ -594,16 +637,21 @@ def _cmd_lint(args) -> int:
     targets = _lint_targets(args)
     rows = []
     entries = []
-    total_diags = total_mismatches = 0
+    total_diags = total_mismatches = total_bound_violations = 0
     for label, shape, suites in targets:
         report = lint_shape(shape)
         mismatches = (
             () if args.no_oracle
             else cross_check_counters(shape, design_keys=design_keys)
         )
+        bound_checks = (
+            cross_check_bounds(shape, design_keys=design_keys)
+            if args.bounds else ()
+        )
         total_diags += len(report.diagnostics)
         total_mismatches += len(mismatches)
-        entries.append((label, shape, suites, report, mismatches))
+        total_bound_violations += sum(len(c.violations) for c in bound_checks)
+        entries.append((label, shape, suites, report, mismatches, bound_checks))
         c, h = report.counters, report.hazards
         rows.append((
             label,
@@ -618,16 +666,21 @@ def _cmd_lint(args) -> int:
             "-" if args.no_oracle else ("ok" if not mismatches else "MISMATCH"),
         ))
     if args.json:
-        print(json.dumps({
+        payload = {
             "scale": args.scale,
             "designs": design_keys,
             "programs": [
-                _lint_report_json(label, shape, suites, report, mismatches)
-                for label, shape, suites, report, mismatches in entries
+                _lint_report_json(label, shape, suites, report, mismatches,
+                                  bound_checks)
+                for label, shape, suites, report, mismatches, bound_checks
+                in entries
             ],
             "total_diagnostics": total_diags,
             "total_counter_mismatches": total_mismatches,
-        }, indent=2))
+        }
+        if args.bounds:
+            payload["total_bound_violations"] = total_bound_violations
+        print(json.dumps(payload, indent=2))
     else:
         print(format_table(
             ["workload", "mnk", "insts", "mm", "reuses", "raw/war/waw",
@@ -636,7 +689,7 @@ def _cmd_lint(args) -> int:
             title="static verification — repro.analysis.verifier",
         ))
         shown_per_program = 8
-        for label, _, _, report, mismatches in entries:
+        for label, _, _, report, mismatches, bound_checks in entries:
             for diag in report.diagnostics[:shown_per_program]:
                 print(f"{label}: {diag}")
             hidden = len(report.diagnostics) - shown_per_program
@@ -644,16 +697,92 @@ def _cmd_lint(args) -> int:
                 print(f"{label}: ... {hidden} more diagnostic(s) elided")
             for mismatch in mismatches:
                 print(f"{label}: counter mismatch: {mismatch}")
+            for check in bound_checks:
+                for violation in check.violations:
+                    print(f"{label}: bound violation: {violation}")
         oracle = (
             "oracle skipped"
             if args.no_oracle
             else f"{total_mismatches} counter mismatch(es) over "
                  f"{len(design_keys)} design(s)"
         )
+        summary = f"{len(targets)} program(s): {total_diags} diagnostic(s), {oracle}"
+        if args.bounds:
+            summary += f", {total_bound_violations} bound violation(s)"
+        print(summary)
+    failed = total_diags or total_mismatches or total_bound_violations
+    return 0 if not failed else 1
+
+
+def _bounds_check_json(check: BoundsCheck) -> Dict:
+    return {
+        "design": check.design_key,
+        "lower_bound": check.report.lower_bound,
+        "upper_bound": check.report.upper_bound,
+        "analytic_cycles": check.analytic_cycles,
+        "fast_cycles": check.fast_cycles,
+        "binding": check.report.binding,
+        "lb_tightness": round(check.lb_tightness, 4),
+        "ub_tightness": round(check.ub_tightness, 4),
+        "components": {b.resource: b.cycles for b in check.report.components},
+        "violations": [dataclasses.asdict(v) for v in check.violations],
+    }
+
+
+def _cmd_bounds(args) -> int:
+    design_keys = _lint_designs(args.designs)
+    targets = _lint_targets(args)
+    rows = []
+    entries = []
+    total_violations = 0
+    for label, shape, suites in targets:
+        checks = cross_check_bounds(shape, design_keys=design_keys)
+        entries.append((label, shape, suites, checks))
+        for check in checks:
+            total_violations += len(check.violations)
+            rows.append((
+                label,
+                f"{shape.m}x{shape.n}x{shape.k}",
+                check.design_key,
+                check.report.lower_bound,
+                check.analytic_cycles,
+                check.fast_cycles,
+                check.report.upper_bound,
+                f"{check.lb_tightness:.3f}",
+                check.report.binding,
+                "ok" if check.ok else "VIOLATION",
+            ))
+    if args.json:
+        print(json.dumps({
+            "scale": args.scale,
+            "designs": design_keys,
+            "programs": [
+                {
+                    "workload": label,
+                    "suites": list(suites),
+                    "m": shape.m, "n": shape.n, "k": shape.k,
+                    "checks": [_bounds_check_json(c) for c in checks],
+                }
+                for label, shape, suites, checks in entries
+            ],
+            "total_violations": total_violations,
+        }, indent=2))
+    else:
+        print(format_table(
+            ["workload", "mnk", "design", "LB", "analytic", "fast", "UB",
+             "LB/fast", "binding", "check"],
+            rows,
+            title="static cycle bounds — repro.analysis.bounds",
+        ))
+        for label, _, _, checks in entries:
+            for check in checks:
+                for violation in check.violations:
+                    print(f"{label}: bound violation: {violation}")
         print(
-            f"{len(targets)} program(s): {total_diags} diagnostic(s), {oracle}"
+            f"{len(targets)} program(s) x {len(design_keys)} design(s): "
+            f"{total_violations} bound violation(s)"
         )
-    return 0 if not (total_diags or total_mismatches) else 1
+    return 0 if not total_violations else 1
 
 
 def _reject_axis_flags_with_plan_file(args) -> None:
@@ -1105,6 +1234,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_plan(args)
         if args.command == "lint":
             return _cmd_lint(args)
+        if args.command == "bounds":
+            return _cmd_bounds(args)
         if args.command == "asm":
             return _cmd_asm(args.source, args.output)
         if args.command == "disasm":

@@ -53,6 +53,7 @@ from repro.engine.scheduler import EngineScheduler, StageTimes
 from repro.physical.energy import EnergyBreakdown, EnergyModel
 from repro.workloads.codegen import CodegenOptions
 from repro.workloads.gemm import GemmShape
+from repro.workloads.tiling import BlockingConfig, MMOrder
 
 #: Documented upper bound on the analytic model's relative cycle error
 #: versus the fast model (counts are exact).  Validated by
@@ -84,9 +85,7 @@ class _Geometry:
     bm: int
     bn: int
 
-    def mm_pairs(self, order) -> List[Tuple[int, int]]:
-        from repro.workloads.tiling import MMOrder
-
+    def mm_pairs(self, order: MMOrder) -> List[Tuple[int, int]]:
         if order is MMOrder.WEIGHT_REUSE:
             return [(i, j) for j in range(self.bn) for i in range(self.bm)]
         return [(i, j) for i in range(self.bm) for j in range(self.bn)]
@@ -115,7 +114,7 @@ class _BlockStructure:
         return sum(self.blocks.values())
 
 
-def _block_structure(shape: GemmShape, blocking) -> _BlockStructure:
+def _block_structure(shape: GemmShape, blocking: BlockingConfig) -> _BlockStructure:
     """Aggregate the block sequence: counts per geometry + boundary pairs.
 
     ``boundary[(g1, g2)]`` counts consecutive-block boundaries whose
@@ -199,13 +198,15 @@ class AnalyticCoreModel:
         self,
         core: CoreConfig = CoreConfig(),
         engine: Optional[EngineConfig] = None,
-    ):
+    ) -> None:
         self.core = core
         self.engine = engine if engine is not None else EngineConfig()
         self.ratio = core.engine_clock_ratio(self.engine.clock_mhz)
-        self._settled_cache: Dict[Tuple[_Geometry, object], Tuple[float, List[StageTimes]]] = {}
+        self._settled_cache: Dict[
+            Tuple[_Geometry, BlockingConfig], Tuple[float, List[StageTimes]]
+        ] = {}
         self._profile_cache: Dict[
-            Tuple[_Geometry, _Geometry, object],
+            Tuple[_Geometry, _Geometry, BlockingConfig],
             Tuple[List[int], List[List[StageTimes]]],
         ] = {}
 
@@ -215,7 +216,7 @@ class AnalyticCoreModel:
         self,
         scheduler: EngineScheduler,
         geom: _Geometry,
-        blocking,
+        blocking: BlockingConfig,
         version: int,
         prev_completes: Optional[Dict[Tuple[int, int], int]],
     ) -> Tuple[List[StageTimes], Dict[Tuple[int, int], int]]:
@@ -239,7 +240,9 @@ class AnalyticCoreModel:
             step.append(times)
         return step, completes
 
-    def _settled(self, geom: _Geometry, blocking) -> Tuple[float, List[StageTimes]]:
+    def _settled(
+        self, geom: _Geometry, blocking: BlockingConfig
+    ) -> Tuple[float, List[StageTimes]]:
         """Settled per-K-step completion delta (and final step pattern)."""
         key = (geom, blocking)
         if key not in self._settled_cache:
@@ -260,7 +263,7 @@ class AnalyticCoreModel:
         return self._settled_cache[key]
 
     def _block_profile(
-        self, prev_geom: _Geometry, geom: _Geometry, blocking
+        self, prev_geom: _Geometry, geom: _Geometry, blocking: BlockingConfig
     ) -> Tuple[List[int], List[List[StageTimes]]]:
         """Per-step deltas for the first K steps of a ``geom`` block.
 
@@ -296,7 +299,11 @@ class AnalyticCoreModel:
         return self._profile_cache[key]
 
     def _block_time(
-        self, prev_geom: _Geometry, geom: _Geometry, k_tiles: int, blocking
+        self,
+        prev_geom: _Geometry,
+        geom: _Geometry,
+        k_tiles: int,
+        blocking: BlockingConfig,
     ) -> float:
         """Engine cycles one ``geom`` block adds after a ``prev_geom`` block."""
         deltas, _ = self._block_profile(prev_geom, geom, blocking)

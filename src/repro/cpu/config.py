@@ -5,7 +5,7 @@ from __future__ import annotations
 import dataclasses
 
 from repro.errors import ConfigError
-from repro.tile.layout import ROW_BYTES, ROWS, TILE_BYTES
+from repro.tile.layout import ROW_BYTES, TILE_BYTES
 from repro.utils.validation import check_positive
 
 
@@ -65,6 +65,18 @@ class CoreConfig:
     def tile_load_latency(self) -> int:
         """Dispatch-to-data latency of a tile load (L1 hit + transfer)."""
         return self.l1_latency + self.tile_transfer_cycles
+
+    def dispatch_floor(self, index: int) -> float:
+        """No-stall lower bound on instruction ``index``'s dispatch timestamp.
+
+        The frontend sustains ``fetch_width`` per cycle after the pipeline
+        fill, so instruction ``i`` (0-based) can never dispatch before
+        ``frontend_latency + (i + 1) / fetch_width`` — the floor the fast
+        model starts from before ROB and port stalls.  The static bound
+        analyzer (:mod:`repro.analysis.bounds`) anchors every dependence
+        chain here.
+        """
+        return self.frontend_latency + (index + 1) / self.fetch_width
 
     def engine_clock_ratio(self, engine_mhz: int) -> int:
         """Core cycles per engine cycle (must divide evenly: 2 GHz / 500 MHz = 4)."""

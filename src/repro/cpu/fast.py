@@ -26,7 +26,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.cpu.config import CoreConfig
-from repro.cpu.memory import IdealMemory
+from repro.cpu.memory import IdealMemory, MemoryModel
 from repro.cpu.result import SimResult
 from repro.engine.config import EngineConfig
 from repro.engine.scheduler import EngineScheduler, StageTimes
@@ -42,15 +42,16 @@ class FastCoreModel:
         self,
         core: CoreConfig = CoreConfig(),
         engine: Optional[EngineConfig] = None,
-        memory: Optional[object] = None,
-    ):
+        memory: Optional[MemoryModel] = None,
+    ) -> None:
         self.core = core
         self.engine = engine if engine is not None else EngineConfig()
         self.ratio = core.engine_clock_ratio(self.engine.clock_mhz)
         # Default: the paper's ideal no-stall memory at the core's L1 latency.
-        self.memory = memory if memory is not None else IdealMemory(
+        self.memory: MemoryModel = memory if memory is not None else IdealMemory(
             l1_latency=core.l1_latency, transfer_cycles=core.tile_transfer_cycles
         )
+        self.last_schedule: Optional[List[StageTimes]] = None
 
     def run(self, program: Program, keep_schedule: bool = False) -> SimResult:
         """Simulate ``program``; returns the end-to-end :class:`SimResult`.
@@ -89,7 +90,7 @@ class FastCoreModel:
         one_store_port = core.store_ports == 1
 
         mm_count = 0
-        schedule: List[StageTimes] = [] if keep_schedule else None
+        schedule: Optional[List[StageTimes]] = [] if keep_schedule else None
         first_wl: Optional[int] = None
         last_complete = 0
 
@@ -101,6 +102,7 @@ class FastCoreModel:
             op = inst.opcode
 
             if op is Opcode.RASA_TL:
+                assert inst.mem is not None and inst.dst is not None
                 if two_load_ports:
                     port = 0 if load_ports[0] <= load_ports[1] else 1
                 else:

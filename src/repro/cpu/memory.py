@@ -16,17 +16,34 @@ a configurable memory-level-parallelism factor) and documented as such.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List
+from typing import Dict, List, Protocol
 
 from repro.errors import ConfigError
-from repro.tile.layout import ROW_BYTES, ROWS
+from repro.tile.layout import ROWS
 from repro.utils.validation import check_positive
+
+
+class MemoryModel(Protocol):
+    """Structural interface of a tile-load memory model.
+
+    Anything with these two methods plugs into the core models'
+    ``memory=`` parameter; :class:`IdealMemory` and
+    :class:`CacheHierarchy` are the in-tree implementations.
+    """
+
+    def tile_load_latency(self, address: int, stride: int, cycle: float) -> int:
+        """Cycles from issue to data-complete for one 16-row tile load."""
+        ...
+
+    def reset(self) -> None:
+        """Clear any accumulated state between runs."""
+        ...
 
 
 class IdealMemory:
     """The paper's memory model: fixed-latency, never stalls the core."""
 
-    def __init__(self, l1_latency: int = 4, transfer_cycles: int = ROWS):
+    def __init__(self, l1_latency: int = 4, transfer_cycles: int = ROWS) -> None:
         check_positive("l1_latency", l1_latency)
         check_positive("transfer_cycles", transfer_cycles)
         self.l1_latency = l1_latency
@@ -66,7 +83,7 @@ class CacheLevelConfig:
 class _CacheLevel:
     """Set-associative LRU tag store (timestamps as recency)."""
 
-    def __init__(self, config: CacheLevelConfig):
+    def __init__(self, config: CacheLevelConfig) -> None:
         self.config = config
         # set index -> {tag: last-use stamp}
         self._sets: List[Dict[int, int]] = [dict() for _ in range(config.num_sets)]
@@ -81,7 +98,7 @@ class _CacheLevel:
         self._stamp += 1
         hit = tag in tags
         if not hit and len(tags) >= self.config.ways:
-            victim = min(tags, key=tags.get)
+            victim = min(tags, key=tags.__getitem__)
             del tags[victim]
         tags[tag] = self._stamp
         return hit
@@ -118,7 +135,7 @@ class CacheHierarchy:
     occupancy.
     """
 
-    def __init__(self, config: HierarchyConfig = HierarchyConfig()):
+    def __init__(self, config: HierarchyConfig = HierarchyConfig()) -> None:
         self.config = config
         self._l1 = _CacheLevel(config.l1)
         self._l2 = _CacheLevel(config.l2)

@@ -14,10 +14,10 @@ test suite asserts the two agree on total cycles within a small tolerance
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.cpu.config import CoreConfig
-from repro.cpu.memory import IdealMemory
+from repro.cpu.memory import IdealMemory, MemoryModel
 from repro.cpu.ooo.frontend import FetchUnit
 from repro.cpu.ooo.ports import ExecutionPorts
 from repro.cpu.ooo.rename import RenameTable
@@ -38,19 +38,18 @@ class OutOfOrderCore:
         self,
         core: CoreConfig = CoreConfig(),
         engine: Optional[EngineConfig] = None,
-        memory: Optional[object] = None,
-    ):
+        memory: Optional[MemoryModel] = None,
+    ) -> None:
         self.core = core
         self.engine = engine if engine is not None else EngineConfig()
         self.ratio = core.engine_clock_ratio(self.engine.clock_mhz)
-        self.memory = memory if memory is not None else IdealMemory(
+        self.memory: MemoryModel = memory if memory is not None else IdealMemory(
             l1_latency=core.l1_latency, transfer_cycles=core.tile_transfer_cycles
         )
 
     def run(self, program: Program, max_cycles: int = 50_000_000) -> SimResult:
         """Simulate ``program``; raises :class:`SimError` on deadlock/timeout."""
         core = self.core
-        ratio = self.ratio
         scheduler = EngineScheduler(self.engine)
         fetch = FetchUnit(core, len(program))
         rob = ReorderBuffer(core)
@@ -65,7 +64,6 @@ class OutOfOrderCore:
         ]
         mm_position = {index: pos for pos, index in enumerate(mm_order)}
         schedule: List[StageTimes] = []
-        transfer = core.tile_transfer_cycles
 
         cycle = 0
         total_dispatched = 0
@@ -100,7 +98,7 @@ class OutOfOrderCore:
             )
             for _ in range(max(0, can_dispatch)):
                 inst = instructions[next_dispatch_index]
-                weight_key = None
+                weight_key: Optional[Tuple[int, int]] = None
                 if inst.opcode is Opcode.RASA_MM:
                     weight_key = (inst.mm_b.index, rename.tile_version(inst.mm_b))
                 uop = Uop(next_dispatch_index, inst, weight_key=weight_key)
@@ -146,7 +144,7 @@ class OutOfOrderCore:
         ports: ExecutionPorts,
         scheduler: EngineScheduler,
         schedule: List[StageTimes],
-        mm_position,
+        mm_position: Dict[int, int],
         next_mm_issue_index: int,
     ) -> bool:
         """Issue ``uop`` at ``cycle`` if its port is free; set completion time."""
@@ -156,6 +154,7 @@ class OutOfOrderCore:
         if op is Opcode.RASA_TL:
             if not ports.load.acquire(cycle, transfer):
                 return False
+            assert uop.inst.mem is not None  # _validate invariant
             uop.complete_cycle = cycle + self.memory.tile_load_latency(
                 uop.inst.mem.address, uop.inst.mem.stride, cycle
             )

@@ -14,7 +14,7 @@ from repro.cpu.config import CoreConfig
 class FetchUnit:
     """Tracks how many program instructions have been fetched by each cycle."""
 
-    def __init__(self, config: CoreConfig, program_length: int):
+    def __init__(self, config: CoreConfig, program_length: int) -> None:
         self._width = config.fetch_width
         self._latency = config.frontend_latency
         self._length = program_length

@@ -10,7 +10,7 @@ from repro.cpu.config import CoreConfig
 class PortGroup:
     """A pool of identical ports, each busy until a given cycle."""
 
-    def __init__(self, count: int, name: str):
+    def __init__(self, count: int, name: str) -> None:
         self._busy_until: List[int] = [0] * count
         self.name = name
 
@@ -29,7 +29,7 @@ class PortGroup:
 class ExecutionPorts:
     """The Skylake-like port complement of :class:`CoreConfig`."""
 
-    def __init__(self, config: CoreConfig):
+    def __init__(self, config: CoreConfig) -> None:
         self.alu = PortGroup(config.alu_ports, "alu")
         self.load = PortGroup(config.load_ports, "load")
         self.store = PortGroup(config.store_ports, "store")

@@ -8,10 +8,10 @@ vanish.  Tile and scalar register spaces rename independently.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.cpu.ooo.uop import Uop
-from repro.isa.instructions import ScalarReg, TileReg
+from repro.isa.instructions import TileReg
 
 
 class RenameTable:

@@ -12,7 +12,7 @@ from repro.cpu.ooo.uop import Uop
 class ReorderBuffer:
     """A ``rob_size``-entry FIFO of in-flight uops retiring in order."""
 
-    def __init__(self, config: CoreConfig):
+    def __init__(self, config: CoreConfig) -> None:
         self._capacity = config.rob_size
         self._retire_width = config.retire_width
         self._entries: Deque[Uop] = deque()
@@ -35,12 +35,10 @@ class ReorderBuffer:
     def retire(self, cycle: int) -> List[Uop]:
         """Retire up to ``retire_width`` completed uops from the head."""
         retired: List[Uop] = []
-        while (
-            len(retired) < self._retire_width
-            and self._entries
-            and self._entries[0].completed
-            and self._entries[0].complete_cycle < cycle
-        ):
+        while len(retired) < self._retire_width and self._entries:
+            complete = self._entries[0].complete_cycle
+            if complete is None or complete >= cycle:
+                break
             uop = self._entries.popleft()
             uop.retired = True
             uop.retire_cycle = cycle

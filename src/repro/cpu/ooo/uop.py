@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.isa.instructions import Instruction
 
@@ -22,7 +22,12 @@ class Uop:
         "weight_key",
     )
 
-    def __init__(self, index: int, inst: Instruction, weight_key=None):
+    def __init__(
+        self,
+        index: int,
+        inst: Instruction,
+        weight_key: Optional[Tuple[int, int]] = None,
+    ) -> None:
         self.index = index
         self.inst = inst
         #: Producer uops this one waits on (filled at rename).
@@ -33,7 +38,7 @@ class Uop:
         self.retired = False
         self.retire_cycle: Optional[int] = None
         #: (B register, program-order version) for rasa_mm weight identity.
-        self.weight_key = weight_key
+        self.weight_key: Optional[Tuple[int, int]] = weight_key
 
     def ready_at(self, cycle: int) -> bool:
         """All producers have completed by ``cycle``."""

@@ -132,6 +132,36 @@ class EngineConfig:
         """The TM-cycle floor on back-to-back rasa_mm throughput (Sec. V)."""
         return self.tile_m
 
+    def min_issue_delta(self, loading: bool) -> int:
+        """Provable floor on the completion advance between consecutive mms.
+
+        In engine cycles: however operand readiness lands, instruction *i*'s
+        DR end trails instruction *i − 1*'s by at least this much.  Follows
+        from :meth:`repro.engine.scheduler.EngineScheduler.schedule_mm`'s
+        policy floors (``prev.dr_end`` / ``prev.fs_end`` / ``prev.ff_start``
+        for BASE / PIPE+WLBP / WLS), the FF-feeder serialization
+        (``ff_start >= prev.ff_end``), and the drain-port serialization the
+        scheduler enforces (``dr_start >= prev.dr_end``), using
+        ``dr_end == ff_start + ff + fs + dr`` for every scheduled mm.
+        :mod:`repro.analysis.bounds` builds its mm-issue throughput lower
+        bound from these deltas.
+
+        Args:
+            loading: whether the instruction loads weights (False: a
+                WLBP/WLS bypass).
+        """
+        stages = self.stages
+        if not loading:
+            if self.wlbp_ff_overlaps_fs:
+                return max(stages.ff, stages.dr)
+            return max(stages.ff + stages.fs, stages.dr)
+        if self.control is ControlPolicy.BASE:
+            return stages.wl + stages.ff + stages.fs + stages.dr
+        if self.control in (ControlPolicy.PIPE, ControlPolicy.WLBP):
+            return max(stages.wl + stages.ff + stages.fs, stages.dr)
+        # WLS: the shadow load needs only the shadow vacated (prev FF start).
+        return max(stages.wl, stages.ff, stages.dr)
+
     def describe(self) -> str:
         return (
             f"{self.phys_rows}x{self.phys_cols} {self.pe.name} PEs, "

@@ -16,7 +16,7 @@ from typing import Dict, List
 
 from repro.engine.config import ControlPolicy, EngineConfig
 from repro.errors import ConfigError
-from repro.systolic.pe import BASELINE_PE, DB_PE, DM_PE, DMDB_PE
+from repro.systolic.pe import BASELINE_PE, DB_PE, DM_PE, DMDB_PE, PESpec
 
 
 @dataclasses.dataclass(frozen=True)
@@ -32,7 +32,7 @@ class DesignPoint:
         return self.key == "baseline"
 
 
-def _design(key: str, label: str, pe, control: ControlPolicy) -> DesignPoint:
+def _design(key: str, label: str, pe: PESpec, control: ControlPolicy) -> DesignPoint:
     return DesignPoint(key=key, label=label, config=EngineConfig(pe=pe, control=control))
 
 

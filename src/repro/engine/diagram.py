@@ -76,6 +76,6 @@ def render_pipeline(
         lines.append(f"{'':<{label_width}}... ({span - max_width} more cycles)")
     lines.append(
         f"{'':<{label_width}}W=WeightLoad F=FeedFirst S=FeedSecond D=Drain "
-        f"+=merge  *=WL bypassed"
+        "+=merge  *=WL bypassed"
     )
     return "\n".join(lines)

@@ -20,11 +20,12 @@ Functional fidelity is selectable per run:
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.engine.config import EngineConfig
 from repro.engine.scheduler import EngineScheduler, StageTimes
 from repro.errors import ConfigError, SimError
+from repro.isa.instructions import Instruction, TileReg
 from repro.isa.opcodes import Opcode
 from repro.isa.program import Program
 from repro.numerics.mac import matmul_bf16_fp32, matmul_bf16_fp32_chained
@@ -85,7 +86,7 @@ class MatrixEngine:
         config: EngineConfig,
         functional: str = "oracle",
         memory: Optional[TileMemory] = None,
-    ):
+    ) -> None:
         if functional not in _FUNCTIONAL_MODES:
             raise ConfigError(
                 f"functional must be one of {_FUNCTIONAL_MODES}, got {functional!r}"
@@ -116,13 +117,14 @@ class MatrixEngine:
 
     # -- single-instruction execution ------------------------------------------------
 
-    def _weight_key(self, inst) -> tuple:
+    def _weight_key(self, inst: Instruction) -> Tuple[int, int]:
         return (inst.mm_b.index, self.regfile.version(inst.mm_b))
 
-    def _execute_mm_functional(self, inst, bypassed: bool) -> None:
+    def _execute_mm_functional(self, inst: Instruction, bypassed: bool) -> None:
         a_tile = self.regfile.read_bf16(inst.mm_a)
         c_tile = self.regfile.read_fp32(inst.mm_c)
         if self.functional == "array":
+            assert self._array is not None  # created when functional == "array"
             # Only reload the array's weights when the schedule says WL ran:
             # if bypass bookkeeping ever diverged from the data, outputs would
             # be computed with stale weights and the oracle check would fail.
@@ -141,7 +143,7 @@ class MatrixEngine:
                 result = matmul_bf16_fp32(a_tile, b_tile, c_tile)
         self.regfile.write_fp32(inst.mm_c, result)
 
-    def _execute_mm(self, inst, stats: EngineStats) -> StageTimes:
+    def _execute_mm(self, inst: Instruction, stats: EngineStats) -> StageTimes:
         key = self._weight_key(inst)
         # Cross-check the architectural dirty-bit protocol against the exact
         # version key: they must always agree, or WLBP would be unsafe.
@@ -181,6 +183,8 @@ class MatrixEngine:
         schedule: List[StageTimes] = []
         for inst in program:
             if inst.opcode is Opcode.RASA_TL:
+                assert inst.mem is not None  # _validate invariant
+                assert isinstance(inst.dst, TileReg)  # _validate invariant
                 if self.functional != "off":
                     tile = self.memory.load_tile(inst.mem.address, inst.mem.stride)
                     self.regfile.write_bytes(inst.dst, tile)
@@ -188,8 +192,11 @@ class MatrixEngine:
                     self.regfile.touch(inst.dst)
                 stats.tile_loads += 1
             elif inst.opcode is Opcode.RASA_TS:
+                assert inst.mem is not None  # _validate invariant
                 if self.functional != "off":
-                    tile = self.regfile.read_bytes(inst.srcs[0])
+                    src = inst.srcs[0]
+                    assert isinstance(src, TileReg)  # _validate invariant
+                    tile = self.regfile.read_bytes(src)
                     self.memory.store_tile(inst.mem.address, tile, inst.mem.stride)
                 stats.tile_stores += 1
             elif inst.opcode is Opcode.RASA_MM:

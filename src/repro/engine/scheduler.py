@@ -27,7 +27,7 @@ policy and workload shape.
 from __future__ import annotations
 
 import dataclasses
-from typing import Hashable, List, Optional, Sequence
+from typing import Hashable, Optional, Sequence
 
 from repro.engine.config import ControlPolicy, EngineConfig
 from repro.errors import ScheduleError
@@ -83,7 +83,7 @@ class EngineScheduler:
     write version), and get back the scheduled stage times.
     """
 
-    def __init__(self, config: EngineConfig):
+    def __init__(self, config: EngineConfig) -> None:
         self.config = config
         self._prev: Optional[StageTimes] = None
         self._resident_weights: Optional[Hashable] = None

@@ -44,7 +44,9 @@ class BatchSweep:
         headers = ["batch"] + list(self.series)
         rows = []
         for batch in self.batches:
-            rows.append([batch] + [f"{self.series[l][batch]:.3f}" for l in self.series])
+            rows.append(
+                [batch] + [f"{self.series[label][batch]:.3f}" for label in self.series]
+            )
         table = format_table(
             headers,
             rows,

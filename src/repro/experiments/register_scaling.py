@@ -25,7 +25,6 @@ from repro.engine.config import ControlPolicy, EngineConfig
 from repro.engine.designs import DESIGNS
 from repro.engine.scheduler import EngineScheduler
 from repro.physical.area import ArrayAreaModel
-from repro.physical.components import NANGATE15
 from repro.utils.tables import format_table
 
 #: Area of architected tile-register storage (µm² per byte, SRAM-ish).

@@ -133,9 +133,11 @@ def disassemble(program: Program) -> str:
     lines = []
     for inst in program:
         if inst.opcode is Opcode.RASA_TL:
+            assert inst.mem is not None  # _validate invariant
             lines.append(f"rasa_tl {inst.dst}, ptr[0x{inst.mem.address:x}"
                          + (f", stride={inst.mem.stride}]" if inst.mem.stride != 64 else "]"))
         elif inst.opcode is Opcode.RASA_TS:
+            assert inst.mem is not None  # _validate invariant
             lines.append(f"rasa_ts ptr[0x{inst.mem.address:x}"
                          + (f", stride={inst.mem.stride}]" if inst.mem.stride != 64 else "]")
                          + f", {inst.srcs[0]}")

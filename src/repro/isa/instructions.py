@@ -15,7 +15,7 @@ Dependency convention (used by both CPU models):
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Tuple, cast
+from typing import Optional, Tuple, Union, cast
 
 from repro.errors import IsaError
 from repro.isa.opcodes import Opcode
@@ -52,6 +52,12 @@ class ScalarReg:
 
     def __str__(self) -> str:
         return f"r{self.index}"
+
+
+#: Either register kind — the static type of ``Instruction.dst``/``srcs``
+#: (both expose ``.index``; :meth:`Instruction._validate` pins the concrete
+#: kind per opcode).
+Reg = Union[TileReg, ScalarReg]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -94,8 +100,8 @@ class Instruction:
     """
 
     opcode: Opcode
-    dst: Optional[object] = None
-    srcs: Tuple[object, ...] = ()
+    dst: Optional[Reg] = None
+    srcs: Tuple[Reg, ...] = ()
     mem: Optional[MemOperand] = None
     tag: str = ""
 

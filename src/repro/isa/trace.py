@@ -31,8 +31,10 @@ def _inst_to_record(inst: Instruction) -> dict:
     if inst.tag:
         record["tag"] = inst.tag
     if inst.opcode is Opcode.RASA_TL:
+        assert inst.dst is not None and inst.mem is not None  # _validate invariant
         record.update(dst=inst.dst.index, addr=inst.mem.address, stride=inst.mem.stride)
     elif inst.opcode is Opcode.RASA_TS:
+        assert inst.mem is not None  # _validate invariant
         record.update(src=inst.srcs[0].index, addr=inst.mem.address, stride=inst.mem.stride)
     elif inst.opcode is Opcode.RASA_MM:
         c, a, b = inst.srcs

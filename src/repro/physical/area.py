@@ -21,7 +21,7 @@ import dataclasses
 from typing import Dict
 
 from repro.engine.config import EngineConfig
-from repro.physical.components import ComponentLibrary, NANGATE15
+from repro.physical.components import NANGATE15, ComponentLibrary
 from repro.systolic.pe import PESpec
 from repro.utils.tables import format_table
 

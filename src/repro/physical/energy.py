@@ -20,7 +20,7 @@ import dataclasses
 from repro.cpu.result import SimResult
 from repro.engine.config import EngineConfig
 from repro.physical.area import ArrayAreaModel
-from repro.physical.components import ComponentLibrary, NANGATE15
+from repro.physical.components import NANGATE15, ComponentLibrary
 from repro.tile.layout import ROWS
 
 

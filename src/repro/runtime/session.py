@@ -57,7 +57,10 @@ import multiprocessing
 import multiprocessing.pool
 import os
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterator, Optional, Sequence
+
+if TYPE_CHECKING:
+    from repro.analysis.bounds import BoundsReport, BoundsSweep
 
 from repro.cpu.result import SimResult
 from repro.errors import ExperimentError, VerificationError
@@ -139,7 +142,7 @@ def _env_workers() -> Optional[int]:
         ) from None
     if workers < 1:
         raise ExperimentError(
-            f"REPRO_SWEEP_WORKERS must be a positive worker count, got "
+            "REPRO_SWEEP_WORKERS must be a positive worker count, got "
             f"{env!r}; use 1 for serial execution or unset it for the "
             "CPU-count default"
         )
@@ -184,6 +187,7 @@ class Session:
         # Lazily created, persists across run() calls.
         self._pool: Optional[multiprocessing.pool.Pool] = None
         self._verified: "set[tuple[GemmShape, CodegenOptions]]" = set()
+        self._bounds_memo: "Dict[Tuple[object, ...], BoundsReport]" = {}
 
     @classmethod
     def from_env(
@@ -255,6 +259,46 @@ class Session:
             simulated=len(misses),
             cache_hits=len(distinct) - len(misses),
         )
+
+    def bounds(self, plan: SweepPlan) -> "BoundsSweep":
+        """Static cycle bounds for every distinct point the plan (shard) owns.
+
+        Returns a :class:`repro.analysis.bounds.BoundsSweep` mapping each
+        owned distinct cache key to its
+        :class:`~repro.analysis.bounds.BoundsReport` — no simulation, no
+        cache: the bounds are pure functions of (program, design, core).
+        Dedup and sharding follow :meth:`run` exactly, so shard sweeps
+        :meth:`~repro.analysis.bounds.BoundsSweep.merge` bit-identically
+        into the unsharded result.  Reports memoize per session on the
+        point's bound identity (design, tile-padded unlabeled shape,
+        codegen, core), mirroring the verify memo.
+        """
+        from repro.analysis import bounds as bounds_analysis  # deferred, like verify
+
+        jobs = plan.expanded_jobs()
+        keys = plan.job_keys()
+        distinct: Dict[str, SweepJob] = {}
+        for key, job in zip(keys, jobs):
+            if key not in distinct:
+                distinct[key] = job
+        if plan.shard_spec is not None:
+            owned = set(plan.shard_keys())
+            distinct = {k: j for k, j in distinct.items() if k in owned}
+        reports: "Dict[str, BoundsReport]" = {}
+        for key, job in distinct.items():
+            identity = (
+                job.design_key,
+                job.shape.tile_padded().unlabeled(),
+                job.codegen,
+                job.core,
+            )
+            if identity not in self._bounds_memo:
+                program = cached_program(job.shape, job.codegen)
+                self._bounds_memo[identity] = bounds_analysis.bound_program(
+                    program, job.design_key, core=job.core
+                )
+            reports[key] = self._bounds_memo[identity]
+        return bounds_analysis.BoundsSweep(reports=reports)
 
     def _verify_jobs(self, jobs: "Iterable[SweepJob]") -> None:
         """Lint every distinct program before simulation (``verify=True``).

@@ -24,7 +24,7 @@ from repro.isa.program import Program
 from repro.tile.hostmem import HostMatrix, layout_gemm_operands
 from repro.tile.memory import TileMemory
 from repro.tile.vnni import pack_b_vnni
-from repro.workloads.gemm import GemmShape, TILE_K, TILE_M, TILE_N
+from repro.workloads.gemm import GemmShape
 from repro.workloads.tiling import Block, BlockingConfig, TileLoopNest
 
 

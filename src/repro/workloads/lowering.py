@@ -125,7 +125,7 @@ def conv_wgrad(inputs: np.ndarray, grad_output: np.ndarray, r: int, s: int) -> n
     """
     if inputs.ndim != 4 or grad_output.ndim != 4:
         raise WorkloadError(
-            f"conv_wgrad expects NCHW inputs and NKXY grads, got "
+            "conv_wgrad expects NCHW inputs and NKXY grads, got "
             f"{inputs.shape} / {grad_output.shape}"
         )
     if inputs.shape[0] != grad_output.shape[0] or inputs.shape[2:] != grad_output.shape[2:]:

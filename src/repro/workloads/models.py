@@ -23,7 +23,7 @@ from typing import Dict, List, Sequence
 
 from repro.errors import WorkloadError
 from repro.workloads.gemm import GemmShape
-from repro.workloads.layers import ConvLayer, FCLayer
+from repro.workloads.layers import ConvLayer
 from repro.workloads.ops import (
     BatchedMatmulOp,
     ConvOp,

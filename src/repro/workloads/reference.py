@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.errors import WorkloadError
 from repro.numerics.mac import matmul_bf16_fp32, matmul_bf16_fp32_chained
-from repro.workloads.gemm import GemmShape, TILE_K
+from repro.workloads.gemm import TILE_K, GemmShape
 
 
 def gemm_reference(

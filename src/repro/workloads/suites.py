@@ -36,8 +36,9 @@ import dataclasses
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.errors import WorkloadError
+from repro.utils.validation import check_positive
 from repro.workloads.gemm import GemmShape
-from repro.workloads.layers import FC_LAYER_NAMES, FCLayer, TABLE1_LAYERS
+from repro.workloads.layers import FC_LAYER_NAMES, TABLE1_LAYERS, FCLayer
 from repro.workloads.models import (
     bert_encoder_ops,
     bert_full_ops,
@@ -46,8 +47,8 @@ from repro.workloads.models import (
     resnet50_ops,
 )
 from repro.workloads.ops import (
-    ConvOp,
     DEFAULT_LOWERING,
+    ConvOp,
     FCOp,
     LoweringConfig,
     Op,
@@ -55,7 +56,6 @@ from repro.workloads.ops import (
     op_kind_counts,
 )
 from repro.workloads.training import conv_training_ops, fc_training_ops
-from repro.utils.validation import check_positive
 
 #: What a registry factory may return: an op sequence (preferred — lowers
 #: through the op IR, role-aware knobs apply) or a pre-lowered

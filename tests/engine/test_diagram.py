@@ -16,7 +16,7 @@ def schedule_for(policy, keys, pe=None):
 
 def test_base_lanes_serialize():
     text = render_pipeline(schedule_for(ControlPolicy.BASE, [0, 1]), max_width=250)
-    lines = [l for l in text.splitlines() if l.startswith("mm")]
+    lines = [ln for ln in text.splitlines() if ln.startswith("mm")]
     assert len(lines) == 2
     # Second lane's W starts after the first lane's D ends.
     first_d_end = max(i for i, ch in enumerate(lines[0]) if ch == "D")
@@ -26,7 +26,7 @@ def test_base_lanes_serialize():
 
 def test_pipe_overlaps_wl_with_drain():
     text = render_pipeline(schedule_for(ControlPolicy.PIPE, [0, 1]), max_width=250)
-    lines = [l for l in text.splitlines() if l.startswith("mm")]
+    lines = [ln for ln in text.splitlines() if ln.startswith("mm")]
     first_d = {i for i, ch in enumerate(lines[0]) if ch == "D"}
     second_w = {i for i, ch in enumerate(lines[1]) if ch == "W"}
     assert first_d & second_w  # the PIPE overlap is visible
@@ -34,7 +34,7 @@ def test_pipe_overlaps_wl_with_drain():
 
 def test_bypassed_lane_has_no_w_and_star():
     text = render_pipeline(schedule_for(ControlPolicy.WLBP, [0, 0]), max_width=250)
-    lines = [l for l in text.splitlines() if l.startswith("mm")]
+    lines = [ln for ln in text.splitlines() if ln.startswith("mm")]
     assert "*" in lines[1]
     assert "W" not in lines[1][8:]
 
@@ -43,7 +43,7 @@ def test_wls_shadow_load_overlaps_previous_ff():
     text = render_pipeline(
         schedule_for(ControlPolicy.WLS, [0, 1], pe=DB_PE), max_width=250
     )
-    lines = [l for l in text.splitlines() if l.startswith("mm")]
+    lines = [ln for ln in text.splitlines() if ln.startswith("mm")]
     first_f = {i for i, ch in enumerate(lines[0]) if ch == "F"}
     second_w = {i for i, ch in enumerate(lines[1]) if ch == "W"}
     assert first_f & second_w  # prefetch during the previous FF

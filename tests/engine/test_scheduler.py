@@ -9,7 +9,7 @@ from repro.engine.config import ControlPolicy, EngineConfig
 from repro.engine.designs import DESIGNS
 from repro.engine.scheduler import EngineScheduler, check_schedule_legality
 from repro.errors import ScheduleError
-from repro.systolic.pe import BASELINE_PE, DB_PE, DM_PE, DMDB_PE
+from repro.systolic.pe import DB_PE, DM_PE, DMDB_PE
 
 
 def run_stream(config, keys, ready=0):

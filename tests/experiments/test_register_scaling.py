@@ -6,7 +6,7 @@ import dataclasses
 
 import pytest
 
-from repro.engine.config import ControlPolicy, EngineConfig
+from repro.engine.config import EngineConfig
 from repro.engine.engine import MatrixEngine
 from repro.errors import ConfigError
 from repro.experiments.register_scaling import (

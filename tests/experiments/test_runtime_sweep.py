@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cpu.config import CoreConfig
 from repro.experiments.runner import ExperimentSettings, run_design, workload_shapes
 from repro.experiments.runtime_sweep import fig5_normalized_runtime
 from repro.workloads.gemm import GemmShape

@@ -14,7 +14,6 @@ from __future__ import annotations
 import pytest
 
 import repro.runtime.plan as plan_module
-
 from repro.cpu.config import CoreConfig
 from repro.cpu.result import SimResult
 from repro.engine.designs import DESIGNS

@@ -104,3 +104,52 @@ def test_benign_imports_pass(lint, tmp_path):
     good = tmp_path / "good.py"
     good.write_text("import dataclasses\nfrom typing import Tuple\nimport math\n")
     assert lint.check_file(good, "repro/fake.py") == []
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "def f(acc=[]):\n    return acc\n",
+        "def f(table={}):\n    return table\n",
+        "def f(seen=set()):\n    return seen\n".replace("set()", "{1}"),
+        "def f(*, acc=[]):\n    return acc\n",
+        "g = lambda acc=[]: acc\n",
+        "def f(xs=[x for x in range(3)]):\n    return xs\n",
+    ],
+)
+def test_mutable_default_flagged_everywhere(lint, tmp_path, source):
+    bad = tmp_path / "bad.py"
+    bad.write_text(source)
+    problems = lint.check_tree_rules(bad, "repro/fake.py")
+    assert len(problems) == 1
+    assert "mutable default" in problems[0]
+
+
+def test_immutable_defaults_pass(lint, tmp_path):
+    good = tmp_path / "good.py"
+    good.write_text(
+        "def f(a=None, b=(), c=0, d='x', e=frozenset()):\n"
+        "    return a, b, c, d, e\n"
+    )
+    assert lint.check_tree_rules(good, "repro/fake.py") == []
+
+
+def test_bare_except_flagged_on_runtime_and_analysis(lint, tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("try:\n    pass\nexcept:\n    pass\n")
+    for module in ("repro/runtime/session.py", "repro/analysis/bounds.py"):
+        problems = lint.check_tree_rules(bad, module)
+        assert len(problems) == 1, module
+        assert "bare 'except:'" in problems[0]
+
+
+def test_bare_except_tolerated_off_the_scoped_paths(lint, tmp_path):
+    source = tmp_path / "elsewhere.py"
+    source.write_text("try:\n    pass\nexcept:\n    pass\n")
+    assert lint.check_tree_rules(source, "repro/cli.py") == []
+
+
+def test_named_except_passes_on_scoped_paths(lint, tmp_path):
+    good = tmp_path / "good.py"
+    good.write_text("try:\n    pass\nexcept Exception:\n    pass\n")
+    assert lint.check_tree_rules(good, "repro/runtime/session.py") == []

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.workloads.layers import FC_LAYER_NAMES, TABLE1_LAYERS, ConvLayer, FCLayer
+from repro.workloads.layers import FC_LAYER_NAMES, TABLE1_LAYERS, ConvLayer
 
 
 def test_table1_complete():

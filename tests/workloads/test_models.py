@@ -46,7 +46,7 @@ class TestResNet50:
     def test_channel_chaining(self):
         # Every block's input channels must equal the previous block's output.
         layers = resnet50_conv_layers()
-        gemms = {l.name: l for l in layers}
+        gemms = {layer.name: layer for layer in layers}
         assert gemms["conv3_1a"].channels == 256
         assert gemms["conv5_1a"].channels == 1024
 

@@ -8,14 +8,14 @@ import pytest
 
 from repro.errors import WorkloadError
 from repro.workloads.gemm import GemmShape
-from repro.workloads.layers import ConvLayer, FCLayer, TABLE1_LAYERS
+from repro.workloads.layers import TABLE1_LAYERS, ConvLayer, FCLayer
 from repro.workloads.models import bert_full_ops
 from repro.workloads.ops import (
+    LOWERINGS,
     BatchedMatmulOp,
     ConvOp,
     FCOp,
     LoweringConfig,
-    LOWERINGS,
     MatmulOp,
     lower,
     lower_ops,

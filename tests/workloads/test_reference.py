@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.numerics.bf16 import quantize_bf16
 from repro.workloads.reference import gemm_reference

@@ -20,7 +20,7 @@ from repro.errors import WorkloadError
 from repro.runtime.cache import cache_key
 from repro.workloads.codegen import CodegenOptions
 from repro.workloads.gemm import GemmShape
-from repro.workloads.ops import BatchedMatmulOp, LoweringConfig
+from repro.workloads.ops import LoweringConfig
 from repro.workloads.suites import (
     SUITES,
     SuiteSpec,

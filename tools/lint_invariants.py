@@ -18,6 +18,19 @@ Two rules, both load-bearing for result-cache correctness:
    produce byte-identical programs and keys.  (The CLI's progress output
    legitimately uses ``time`` — it is outside the scoped set.)
 
+Two more rules apply to the *whole* ``src/repro/`` tree:
+
+3. **No mutable default arguments.**  A ``def f(x, acc=[])`` default is
+   created once and shared across calls; on memoizing paths (session memos,
+   program caches) that aliasing corrupts results silently.  Defaults may
+   not be list/dict/set literals anywhere under ``src/repro/``.
+
+4. **No bare ``except:`` on runtime/analysis paths.**  ``repro.runtime``
+   swallows per-job failures into reports and ``repro.analysis`` turns
+   defects into diagnostics — a bare ``except:`` there also catches
+   ``KeyboardInterrupt``/``SystemExit`` and buries oracle failures.  Catch
+   a named exception (``except Exception`` at minimum) instead.
+
 Run from the repository root::
 
     python tools/lint_invariants.py
@@ -59,6 +72,9 @@ ALLOW_MUTABLE: frozenset = frozenset({
 })
 
 FORBIDDEN_IMPORTS: frozenset = frozenset({"time", "random", "secrets", "uuid"})
+
+#: Module prefixes where a bare ``except:`` would bury oracle failures.
+BARE_EXCEPT_PREFIXES: Tuple[str, ...] = ("repro/runtime/", "repro/analysis/")
 
 
 def _dataclass_frozen(decorator: ast.expr) -> bool:
@@ -117,6 +133,46 @@ def check_file(path: pathlib.Path, module: str) -> List[str]:
     return problems
 
 
+def _mutable_default(node: ast.expr) -> bool:
+    """Whether a default-value node is a shared-across-calls mutable literal."""
+    return isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp))
+
+
+def check_tree_rules(path: pathlib.Path, module: str) -> List[str]:
+    """The repo-wide rules: mutable defaults (everywhere under ``src/repro``)
+    and bare ``except:`` (on the :data:`BARE_EXCEPT_PREFIXES` paths)."""
+    problems: List[str] = []
+    try:
+        shown = path.relative_to(REPO)
+    except ValueError:
+        shown = path
+    check_excepts = module.startswith(BARE_EXCEPT_PREFIXES)
+    tree = ast.parse(path.read_text(), filename=str(path))
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _mutable_default(default):
+                    name = getattr(node, "name", "<lambda>")
+                    problems.append(
+                        f"{shown}:{default.lineno}: mutable default argument "
+                        f"in {name!r} is shared across calls; default to "
+                        "None (or a frozen value) and build inside the body"
+                    )
+        elif check_excepts and isinstance(node, ast.ExceptHandler):
+            if node.type is None:
+                problems.append(
+                    f"{shown}:{node.lineno}: bare 'except:' on a "
+                    "runtime/analysis path also catches KeyboardInterrupt "
+                    "and buries oracle failures; name the exception "
+                    "(at minimum 'except Exception')"
+                )
+    return problems
+
+
 def main(argv: List[str]) -> int:
     problems: List[str] = []
     missing: List[str] = []
@@ -126,12 +182,18 @@ def main(argv: List[str]) -> int:
             missing.append(module)
             continue
         problems.extend(check_file(path, module))
+    tree_files = sorted(SRC.glob("repro/**/*.py"))
+    for path in tree_files:
+        problems.extend(check_tree_rules(path, path.relative_to(SRC).as_posix()))
     for module in missing:
         problems.append(f"{module}: scoped module missing (update the list?)")
     for line in problems:
         print(line)
     if not problems:
-        print(f"lint_invariants: {len(SCOPED_MODULES)} modules clean")
+        print(
+            f"lint_invariants: {len(SCOPED_MODULES)} scoped modules and "
+            f"{len(tree_files)} tree files clean"
+        )
     return 1 if problems else 0
 
 
