@@ -1,0 +1,105 @@
+"""The sweep service end to end, in one process: coordinator + two workers.
+
+``repro.service`` turns the declarative sweep runtime into a long-running,
+crash-tolerant service: a coordinator owns a durable SQLite job store and
+leases shards to pull-model workers, and the shard reports merge back
+bit-identically to a single-shot run.  In production the three pieces are
+three commands on (possibly) three machines::
+
+    repro serve --db jobs.db                 # the coordinator
+    repro submit --workloads table1 --shards 2 --wait   # a client
+    repro worker                             # any number of hosts
+
+This script runs the same flow in-process — an ephemeral-port server, two
+worker threads — submits the Table I layer grid, waits for the merged
+report, prints the cycles grid, and verifies byte-identity against a
+plain ``Session.run``.
+
+Run with: ``PYTHONPATH=src python examples/service_demo.py``
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+from pathlib import Path
+
+from repro.runtime import Session, SweepPlan, SweepReport
+from repro.service import (
+    Coordinator,
+    JobStore,
+    ServiceClient,
+    ServiceConfig,
+    ShardWorker,
+    create_server,
+)
+from repro.utils.tables import format_table
+from repro.workloads.layers import table1_gemms
+
+# 1. Stand up the service: a durable job store, the coordinator policy
+#    (30s leases, 3 attempts per shard, reaper every 0.2s), and the HTTP
+#    API on an OS-assigned port.  `repro serve` does exactly this.
+state_dir = Path(tempfile.mkdtemp(prefix="repro-service-demo-"))
+store = JobStore(state_dir / "service.db")
+coordinator = Coordinator(store, ServiceConfig(reap_interval=0.2))
+server = create_server(coordinator, port=0)
+coordinator.start_reaper()
+threading.Thread(target=server.serve_forever, daemon=True).start()
+print(f"coordinator at {server.url} (job store: {store.path})")
+
+# 2. Declare and submit a plan: the Table I layer grid on two designs.
+#    Submission is idempotent — the plan id is a hash of the canonical
+#    plan JSON and the effective shard fan-out.
+plan = SweepPlan(
+    designs=("baseline", "rasa-dmdb-wls"),
+    workloads=tuple(table1_gemms().items()),
+    scale=16,
+)
+client = ServiceClient(server.url)
+submitted = client.submit(plan, shards=2)
+print(
+    f"plan {submitted['plan_id']}: {submitted['shard_count']} shards over "
+    f"{submitted['distinct_points']} distinct points"
+)
+
+# 3. Two pull-model workers (threads here; processes or hosts in real
+#    deployments — `repro worker` is this loop).  Each claims a leased
+#    shard, simulates it, heartbeats, and streams the report back.
+workers = [
+    ShardWorker(
+        ServiceClient(server.url),
+        session_factory=lambda: Session(cache=None, workers=1),
+        worker_id=f"demo-worker-{i}",
+        poll_interval=0.1,
+        idle_exit=1.0,
+    )
+    for i in range(2)
+]
+threads = [threading.Thread(target=worker.run) for worker in workers]
+for thread in threads:
+    thread.start()
+
+# 4. Wait for the merged report and print the Table I cycles grid.
+client.wait_for_plan(submitted["plan_id"], timeout=600)
+served = client.plan_report(submitted["plan_id"])
+report = SweepReport.from_json(served)
+
+grid = report.grid()  # grid[workload][design] -> SimResult
+designs = list(plan.designs)
+rows = [
+    [name] + [grid[name][design].cycles for design in designs]
+    for name, _ in plan.workloads
+]
+print(format_table(["layer"] + designs, rows, title="Table I grid (cycles)"))
+
+# 5. The service's contract: the served bytes equal a single-shot run.
+with Session(cache=None, workers=1) as session:
+    single_shot = session.run(plan).to_json()
+assert served == single_shot
+print("served merged report is byte-identical to a single-shot Session.run")
+
+for thread in threads:
+    thread.join()
+coordinator.stop()
+server.shutdown()
+store.close()

@@ -44,6 +44,26 @@ Commands:
                                     analytic and fast models (exit 1 on any
                                     violated bound); same target flags as
                                     ``lint``
+- ``serve``                         run the persistent sweep coordinator: a
+                                    stdlib HTTP JSON API over a durable
+                                    SQLite (WAL) job store with an explicit
+                                    shard lifecycle state machine and a
+                                    lease reaper (:mod:`repro.service`)
+- ``submit``                        declare a plan (same axis flags as
+                                    ``sweep``, or ``--plan file``) and post
+                                    it to the coordinator as ``--shards N``
+                                    leased shards; ``--wait -o report.json``
+                                    fetches the merged report — byte-
+                                    identical to a single-shot ``plan run``
+- ``worker``                        pull-model shard worker: claim a leased
+                                    shard, run it through ``Session.run``
+                                    against the shared result cache,
+                                    heartbeat the lease, stream the shard
+                                    report back; survives poisoned shards,
+                                    and killed workers' shards re-queue
+- ``status``                        list submitted plans, or show one plan's
+                                    per-shard lifecycle (state, attempts,
+                                    worker, last error) and fetch its report
 - ``asm`` / ``disasm``              assemble ``.rasa`` text <-> JSONL traces
 
 Every sweep — ``sweep`` and ``plan run`` alike — is declared as a
@@ -87,10 +107,15 @@ from repro.experiments.toy import fig1_toy_example
 from repro.experiments.utilization_sweep import fig2_utilization
 from repro.isa.assembler import assemble, disassemble
 from repro.isa.trace import load_trace, save_trace
-from repro.runtime.cache import ResultCache
+from repro.runtime.cache import ResultCache, default_cache_dir
 from repro.runtime.plan import SweepPlan, SweepReport, _suite_name
 from repro.runtime.registry import FIDELITIES, resolve_backend
 from repro.runtime.session import Session
+from repro.service.client import ServiceClient, validate_port
+from repro.service.coordinator import Coordinator, ServiceConfig
+from repro.service.server import DEFAULT_PORT, create_server
+from repro.service.store import JobStore, ShardState
+from repro.service.worker import ShardWorker
 from repro.utils.tables import format_table
 from repro.workloads.codegen import CodegenOptions, generate_gemm_program
 from repro.workloads.gemm import GemmShape
@@ -240,6 +265,105 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="shard report JSON files (from: plan run -o)")
     merge.add_argument("-o", "--output", type=Path, default=None,
                        help="write the merged report as canonical JSON")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the persistent sweep coordinator: an HTTP JSON API over a "
+             "durable SQLite job store with leased shards and a lease reaper",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=DEFAULT_PORT,
+                       help=f"TCP port (default: {DEFAULT_PORT}; 0 picks a "
+                            "free one and prints it)")
+    serve.add_argument("--db", type=Path, default=None,
+                       help="SQLite job-store path; reopening it resumes "
+                            "in-flight plans (default: <cache dir>/service.db)")
+    serve.add_argument("--lease", type=float, default=30.0,
+                       help="seconds an unheartbeated shard lease lives "
+                            "before the reaper re-queues it (default: 30)")
+    serve.add_argument("--max-attempts", type=int, default=3,
+                       help="claims per shard before it seals FAILED "
+                            "(default: 3)")
+    serve.add_argument("--reap-interval", type=float, default=1.0,
+                       help="seconds between lease-reaper passes (default: 1)")
+
+    submit = sub.add_parser(
+        "submit",
+        help="post a sweep plan to the coordinator as N leased shards "
+             "(same axis flags as sweep, or --plan FILE)",
+    )
+    _add_sweep_axes(submit)
+    submit.add_argument("--plan", dest="plan_file", type=Path, default=None,
+                        help="load the plan from a JSON file instead of flags")
+    submit.add_argument("--shards", type=int, default=2,
+                        help="shard fan-out, clamped to the plan's distinct "
+                             "point count (default: 2)")
+    submit.add_argument("--url", default=None,
+                        help="coordinator URL (default: $REPRO_SERVICE_URL "
+                             f"or http://127.0.0.1:{DEFAULT_PORT})")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until every shard completes, then print "
+                             "the merged tables (or write them with -o)")
+    submit.add_argument("--timeout", type=float, default=None,
+                        help="give up on --wait after this many seconds")
+    submit.add_argument("--poll", type=float, default=0.5,
+                        help="--wait poll interval in seconds (default: 0.5)")
+    submit.add_argument("--id-only", action="store_true",
+                        help="print only the plan id (for scripting)")
+    submit.add_argument("-o", "--output", type=Path, default=None,
+                        help="with --wait: write the merged report JSON, "
+                             "byte-for-byte as the service serves it")
+
+    worker = sub.add_parser(
+        "worker",
+        help="run a pull-model shard worker: claim leased shards from the "
+             "coordinator, simulate them, stream the reports back",
+    )
+    worker.add_argument("--url", default=None,
+                        help="coordinator URL (default: $REPRO_SERVICE_URL "
+                             f"or http://127.0.0.1:{DEFAULT_PORT})")
+    worker.add_argument("--jobs", type=int, default=None,
+                        help="simulation processes per shard "
+                             "(default: CPU count)")
+    worker.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result cache")
+    worker.add_argument("--cache-dir", type=Path, default=None,
+                        help="result-cache directory (default: ~/.cache/repro)")
+    worker.add_argument("--poll", type=float, default=0.5,
+                        help="seconds between claims when the queue is dry "
+                             "(default: 0.5)")
+    worker.add_argument("--idle-exit", type=float, default=None,
+                        help="exit after this many consecutive dry seconds "
+                             "(default: serve forever)")
+    worker.add_argument("--max-shards", type=int, default=None,
+                        help="stop after this many shards (default: unbounded)")
+    worker.add_argument("--worker-id", default=None,
+                        help="lease identity (default: <host>-<pid>)")
+    worker.add_argument("--stall-seconds", type=float, default=0.0,
+                        help="fault injection: sleep between claiming and "
+                             "simulating, so tests can kill the worker "
+                             "mid-shard (default: 0)")
+
+    status = sub.add_parser(
+        "status",
+        help="list submitted plans, or show one plan's per-shard lifecycle "
+             "and fetch its merged report",
+    )
+    status.add_argument("plan_id", nargs="?", default=None,
+                        help="plan id from submit (omit to list every plan)")
+    status.add_argument("--url", default=None,
+                        help="coordinator URL (default: $REPRO_SERVICE_URL "
+                             f"or http://127.0.0.1:{DEFAULT_PORT})")
+    status.add_argument("--wait", action="store_true",
+                        help="block until the plan completes first")
+    status.add_argument("--timeout", type=float, default=None,
+                        help="give up on --wait after this many seconds")
+    status.add_argument("--poll", type=float, default=0.5,
+                        help="--wait poll interval in seconds (default: 0.5)")
+    status.add_argument("-o", "--output", type=Path, default=None,
+                        help="write the merged report JSON, byte-for-byte as "
+                             "served (the plan must be complete)")
 
     lint = sub.add_parser(
         "lint",
@@ -1186,6 +1310,143 @@ def _cmd_plan(args) -> int:
     return _cmd_plan_merge(args)
 
 
+# -- the sweep service (repro.service) ---------------------------------------------
+
+
+def _cmd_serve(args) -> int:
+    validate_port(args.port)
+    db = args.db if args.db is not None else default_cache_dir() / "service.db"
+    config = ServiceConfig(
+        lease_seconds=args.lease,
+        max_attempts=args.max_attempts,
+        reap_interval=args.reap_interval,
+    )
+    store = JobStore(db)
+    coordinator = Coordinator(store, config)
+    server = create_server(coordinator, host=args.host, port=args.port)
+    coordinator.start_reaper()
+    print(
+        f"sweep service at {server.url} — job store {db} "
+        f"(lease {args.lease:g}s, {args.max_attempts} attempt(s)/shard)",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        coordinator.stop()
+        server.server_close()
+        store.close()
+    return 0
+
+
+def _emit_served_report(
+    client: ServiceClient, plan_id: str, output: Optional[Path], quiet: bool
+) -> int:
+    """Fetch the merged report exactly as served: the bytes are the contract."""
+    text = client.plan_report(plan_id)
+    if output is not None:
+        output.write_text(text)
+        if not quiet:
+            print(f"wrote {output}")
+    elif not quiet:
+        _print_report_tables(SweepReport.from_json(text))
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    plan = _plan_from_args(args)
+    client = ServiceClient(args.url)
+    response = client.submit(plan, args.shards)
+    if args.id_only:
+        print(response["plan_id"])
+    else:
+        verb = "submitted" if response["created"] else "already queued"
+        print(
+            f"plan {response['plan_id']} {verb} at {client.url}: "
+            f"{response['shard_count']} shard(s) over "
+            f"{response['distinct_points']} distinct points "
+            f"({response['job_count']} jobs)"
+        )
+    if not args.wait:
+        return 0
+    client.wait_for_plan(
+        response["plan_id"], timeout=args.timeout, poll_interval=args.poll
+    )
+    return _emit_served_report(
+        client, response["plan_id"], args.output, quiet=args.id_only
+    )
+
+
+def _cmd_worker(args) -> int:
+    client = ServiceClient(args.url)
+
+    def _make_session() -> Session:
+        cache = None if args.no_cache else ResultCache(args.cache_dir)
+        return Session(cache=cache, workers=args.jobs)
+
+    worker = ShardWorker(
+        client,
+        session_factory=_make_session,
+        worker_id=args.worker_id,
+        poll_interval=args.poll,
+        idle_exit=args.idle_exit,
+        max_shards=args.max_shards,
+        stall_seconds=args.stall_seconds,
+    )
+    try:
+        worker.run()
+    except KeyboardInterrupt:
+        pass
+    print(
+        f"worker {worker.worker_id}: {worker.completed} shard(s) completed, "
+        f"{worker.failed} failed/rejected"
+    )
+    return 0
+
+
+def _cmd_status(args) -> int:
+    client = ServiceClient(args.url)
+    if args.plan_id is None:
+        plans = client.list_plans()
+        if not plans:
+            print(f"no plans submitted to {client.url}")
+            return 0
+        rows = [(p["plan_id"], p["shard_count"], p["state"]) for p in plans]
+        print(format_table(
+            ["plan", "shards", "state"], rows,
+            title=f"sweep service {client.url}",
+        ))
+        return 0
+    if args.wait:
+        client.wait_for_plan(
+            args.plan_id, timeout=args.timeout, poll_interval=args.poll
+        )
+    status = client.plan_status(args.plan_id)
+    counts = status["counts"]
+    summary = ", ".join(
+        f"{counts[state.value]} {state.value}" for state in ShardState
+    )
+    print(f"plan {args.plan_id}: {status['state']} ({summary})")
+    rows = [
+        (
+            shard["shard_index"],
+            shard["state"],
+            shard["attempts"],
+            shard["worker_id"] or "-",
+            shard["last_error"] or "-",
+        )
+        for shard in status["shards"]
+    ]
+    print(format_table(
+        ["shard", "state", "attempts", "worker", "last error"], rows
+    ))
+    if args.output is not None:
+        return _emit_served_report(client, args.plan_id, args.output, quiet=False)
+    return 0
+
+
 def _cmd_asm(source: Path, output: Path) -> int:
     program = assemble(source.read_text(), name=source.stem)
     save_trace(program, output)
@@ -1232,6 +1493,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_sweep(args)
         if args.command == "plan":
             return _cmd_plan(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "submit":
+            return _cmd_submit(args)
+        if args.command == "worker":
+            return _cmd_worker(args)
+        if args.command == "status":
+            return _cmd_status(args)
         if args.command == "lint":
             return _cmd_lint(args)
         if args.command == "bounds":

@@ -45,3 +45,15 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment driver was given an inconsistent sweep or grid."""
+
+
+class ServiceError(ReproError):
+    """The sweep service rejected a request or could not be reached."""
+
+
+class ServiceLookupError(ServiceError):
+    """A service request named a plan or shard the job store does not hold."""
+
+
+class TransitionError(ServiceError):
+    """A shard lifecycle transition outside the legal-transition matrix."""

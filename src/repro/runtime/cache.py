@@ -19,8 +19,10 @@ identically-shaped q/k/v/attn-out projections collapse to a single cached
 entry.
 
 The store location defaults to ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``;
-writes are atomic (tempfile + rename) and corrupt/alien files are treated
-as an empty cache rather than an error.
+writes are atomic (tempfile + ``os.replace``, so concurrent readers only
+ever see a complete file) and corrupt/partial/alien files load as an empty
+cache with a :class:`RuntimeWarning` rather than an error — sweep-service
+workers sharing one store must degrade to re-simulating, never crash.
 """
 
 from __future__ import annotations
@@ -31,6 +33,7 @@ import hashlib
 import json
 import os
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Any, Dict, Optional
 
@@ -139,14 +142,41 @@ class ResultCache:
         self.misses = 0
 
     def _load(self) -> Dict[str, Dict[str, Any]]:
+        """Read the store, treating damage as an empty cache — with a warning.
+
+        A missing file is the normal cold start and stays silent.  A file
+        that exists but does not parse (a writer was killed mid-write
+        before the atomic rename existed, or the file was truncated or
+        hand-edited) or parses to something other than the store schema
+        warns and yields an empty cache: concurrent service workers must
+        degrade to re-simulating, never crash.  The next flush rewrites
+        the file atomically and the store heals.
+        """
         try:
-            raw = json.loads(self.path.read_text())
-        except (OSError, ValueError):
+            text = self.path.read_text()
+        except OSError:
+            return {}  # no store yet: the normal cold start
+        try:
+            raw = json.loads(text)
+        except ValueError:
+            self._warn_damaged("is corrupt or partially written")
+            return {}
+        if not isinstance(raw, dict) or raw.get("format") != 1:
+            self._warn_damaged("has an unrecognized format")
             return {}
         entries = raw.get("results")
-        if raw.get("format") != 1 or not isinstance(entries, dict):
+        if not isinstance(entries, dict):
+            self._warn_damaged("has no result section")
             return {}
         return entries
+
+    def _warn_damaged(self, what: str) -> None:
+        warnings.warn(
+            f"result cache {self.path} {what}; treating it as empty "
+            "(it will be rewritten on the next flush)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -1,0 +1,303 @@
+"""The sweep coordinator: policy on top of the durable job store.
+
+A :class:`Coordinator` turns the :class:`repro.service.store.JobStore`
+primitives into the service's semantics:
+
+- **submit** — validate the posted :class:`repro.runtime.plan.SweepPlan`
+  (it must be unsharded), canonicalize it, clamp the requested fan-out to
+  the plan's distinct-point count, and enqueue one PENDING row per shard.
+  Submission is idempotent on (canonical plan JSON, effective shard count).
+- **claim / heartbeat / complete / fail** — the worker-facing lease
+  protocol.  ``complete`` validates the posted shard report against the
+  stored plan (right plan, right shard) and re-canonicalizes it, so the
+  bytes the store holds never depend on a client's JSON formatting.
+- **merge on completion** — the moment the last shard completes, the shard
+  reports merge (:meth:`repro.runtime.plan.SweepReport.merge`) and the
+  merged canonical JSON is persisted on the plan row.  Because shard
+  merging is bit-identical to an unsharded run, the served report is
+  byte-for-byte what ``Session.run(plan)`` would have produced.
+- **retry budget** — worker-reported failures and expired leases both
+  re-queue the shard (ACTIVE → PENDING) until the shard has been claimed
+  ``max_attempts`` times; after that it seals FAILED.
+- **reaper** — :meth:`reap` is one pass over expired leases;
+  :meth:`start_reaper` runs it on a daemon thread every
+  ``reap_interval`` seconds, which is what lets SIGKILLed workers'
+  shards flow back into the queue.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ServiceError, TransitionError
+from repro.runtime.plan import SweepPlan, SweepReport
+from repro.service.store import JobStore, ShardRow, ShardState
+
+
+class ServiceConfig:
+    """Coordinator policy knobs (validated at construction)."""
+
+    def __init__(
+        self,
+        lease_seconds: float = 30.0,
+        max_attempts: int = 3,
+        reap_interval: float = 1.0,
+    ) -> None:
+        if lease_seconds <= 0:
+            raise ServiceError(
+                f"lease must be a positive number of seconds, got {lease_seconds!r}"
+            )
+        if max_attempts < 1:
+            raise ServiceError(
+                f"max attempts must be a positive integer, got {max_attempts!r}"
+            )
+        if reap_interval <= 0:
+            raise ServiceError(
+                f"reap interval must be positive seconds, got {reap_interval!r}"
+            )
+        self.lease_seconds = lease_seconds
+        self.max_attempts = max_attempts
+        self.reap_interval = reap_interval
+
+
+class Coordinator:
+    """Serve one job store: submission, leases, retries, merged reports."""
+
+    def __init__(
+        self, store: JobStore, config: Optional[ServiceConfig] = None
+    ) -> None:
+        self.store = store
+        self.config = config if config is not None else ServiceConfig()
+        self._reaper: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    # -- submission ------------------------------------------------------------------
+
+    def submit(self, plan_text: str, shards: int) -> Dict[str, Any]:
+        """Validate, canonicalize and enqueue a plan; idempotent."""
+        if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
+            raise ServiceError(
+                f"shards must be a positive integer, got {shards!r}"
+            )
+        plan = SweepPlan.from_json(plan_text)  # ExperimentError on bad JSON
+        if plan.shard_spec is not None:
+            raise ServiceError(
+                "submit the unsharded plan; the service shards it "
+                f"(got shard {plan.shard_spec[0]}/{plan.shard_spec[1]})"
+            )
+        canonical = plan.to_json()
+        distinct = len(plan.distinct_keys())
+        effective = min(shards, distinct)
+        row, created = self.store.submit_plan(canonical, effective, time.time())
+        return {
+            "plan_id": row.plan_id,
+            "shard_count": row.shard_count,
+            "distinct_points": distinct,
+            "job_count": plan.job_count(),
+            "created": created,
+        }
+
+    # -- the worker-facing lease protocol --------------------------------------------
+
+    def claim(self, worker_id: str) -> Optional[Dict[str, Any]]:
+        """Lease the oldest PENDING shard, or ``None`` when the queue is dry."""
+        shard = self.store.claim_shard(
+            worker_id, self.config.lease_seconds, time.time()
+        )
+        if shard is None:
+            return None
+        plan = self.store.get_plan(shard.plan_id)
+        return {
+            "shard_id": shard.shard_id,
+            "plan_id": shard.plan_id,
+            "shard_index": shard.shard_index,
+            "shard_count": shard.shard_count,
+            "attempts": shard.attempts,
+            "lease_seconds": self.config.lease_seconds,
+            "lease_deadline": shard.lease_deadline,
+            "plan": plan.plan_json,
+        }
+
+    def heartbeat(self, shard_id: int, worker_id: str) -> Dict[str, Any]:
+        deadline = self.store.heartbeat_shard(
+            shard_id, worker_id, self.config.lease_seconds, time.time()
+        )
+        return {"shard_id": shard_id, "lease_deadline": deadline}
+
+    def complete(
+        self, shard_id: int, worker_id: str, report_text: str
+    ) -> Dict[str, Any]:
+        """Accept a shard report, seal the shard, merge the plan when done."""
+        shard = self.store.get_shard(shard_id)
+        self._check_lease(shard, worker_id)  # before bothering to parse
+        plan_row = self.store.get_plan(shard.plan_id)
+        report = SweepReport.from_json(report_text)  # ExperimentError if bad
+        spec = report.plan.shard_spec
+        expected = (shard.shard_index, shard.shard_count)
+        if report.plan.unsharded().to_json() != plan_row.plan_json:
+            raise ServiceError(
+                f"shard {shard_id} report is for a different plan than "
+                f"{shard.plan_id!r}"
+            )
+        if spec != expected and not (spec is None and shard.shard_count == 1):
+            raise ServiceError(
+                f"shard {shard_id} report covers shard "
+                f"{'none' if spec is None else '%d/%d' % spec}, expected "
+                f"{expected[0]}/{expected[1]}"
+            )
+        self.store.complete_shard(shard_id, worker_id, report.to_json())
+        done = self._merge_if_complete(shard.plan_id)
+        return {"shard_id": shard_id, "plan_id": shard.plan_id, "done": done}
+
+    def fail(self, shard_id: int, worker_id: str, error: str) -> Dict[str, Any]:
+        """Record a worker-reported failure: re-queue or seal FAILED."""
+        shard = self.store.get_shard(shard_id)
+        self._check_lease(shard, worker_id)
+        outcome = self._retry_or_fail(shard, f"worker {worker_id!r}: {error}")
+        return {
+            "shard_id": shard_id,
+            "plan_id": shard.plan_id,
+            "state": outcome.value,
+            "attempts": shard.attempts,
+        }
+
+    # -- plan status -----------------------------------------------------------------
+
+    def plan_status(self, plan_id: str) -> Dict[str, Any]:
+        plan = self.store.get_plan(plan_id)
+        shards = self.store.shards(plan_id)
+        counts = {state: 0 for state in ShardState}
+        for shard in shards:
+            counts[shard.state] += 1
+        if counts[ShardState.FAILED]:
+            state = "failed"
+        elif counts[ShardState.COMPLETED] == len(shards):
+            state = "completed"
+        else:
+            state = "running"
+        return {
+            "plan_id": plan_id,
+            "state": state,
+            "shard_count": plan.shard_count,
+            "submitted_at": plan.submitted_at,
+            "counts": {s.value: n for s, n in counts.items()},
+            "report_available": plan.report_json is not None,
+            "shards": [
+                {
+                    "shard_id": shard.shard_id,
+                    "shard_index": shard.shard_index,
+                    "state": shard.state.value,
+                    "attempts": shard.attempts,
+                    "worker_id": shard.worker_id,
+                    "lease_deadline": shard.lease_deadline,
+                    "last_error": shard.last_error,
+                }
+                for shard in shards
+            ],
+        }
+
+    def plan_report(self, plan_id: str) -> str:
+        """The merged canonical report JSON of a fully completed plan."""
+        plan = self.store.get_plan(plan_id)
+        if plan.report_json is None:
+            status = self.plan_status(plan_id)
+            raise ServiceError(
+                f"plan {plan_id!r} has no merged report yet "
+                f"(state: {status['state']}, counts: {status['counts']})"
+            )
+        return plan.report_json
+
+    def list_plans(self) -> List[Dict[str, Any]]:
+        return [
+            {
+                "plan_id": row.plan_id,
+                "shard_count": row.shard_count,
+                "submitted_at": row.submitted_at,
+                "state": self.plan_status(row.plan_id)["state"],
+            }
+            for row in self.store.list_plans()
+        ]
+
+    # -- lease reaping ---------------------------------------------------------------
+
+    def reap(self, now: Optional[float] = None) -> List[Tuple[int, str]]:
+        """One pass: re-queue (or seal) every ACTIVE shard past its deadline."""
+        if now is None:
+            now = time.time()
+        outcomes: List[Tuple[int, str]] = []
+        for shard in self.store.expired_shards(now):
+            state = self._retry_or_fail(
+                shard,
+                f"lease expired (worker {shard.worker_id!r}, "
+                f"attempt {shard.attempts})",
+            )
+            outcomes.append((shard.shard_id, state.value))
+        return outcomes
+
+    def start_reaper(self) -> None:
+        """Run :meth:`reap` every ``reap_interval`` seconds on a daemon thread."""
+        if self._reaper is not None:
+            return
+        self._stop.clear()
+
+        def _loop() -> None:
+            while not self._stop.wait(self.config.reap_interval):
+                try:
+                    self.reap()
+                except Exception:  # the reaper must outlive transient errors
+                    pass
+
+        self._reaper = threading.Thread(
+            target=_loop, name="lease-reaper", daemon=True
+        )
+        self._reaper.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._reaper is not None:
+            self._reaper.join(timeout=5.0)
+            self._reaper = None
+
+    # -- internals -------------------------------------------------------------------
+
+    @staticmethod
+    def _check_lease(shard: ShardRow, worker_id: str) -> None:
+        """Advisory zombie check on an already-read row; the store repeats
+        it under its lock, so a racing expiry still cannot slip through."""
+        if shard.state is ShardState.ACTIVE and shard.worker_id != worker_id:
+            raise TransitionError(
+                f"shard {shard.shard_id} lease is held by "
+                f"{shard.worker_id!r}, not {worker_id!r}; the lease expired "
+                "and was re-assigned"
+            )
+
+    def _retry_or_fail(self, shard: ShardRow, error: str) -> ShardState:
+        """The bounded retry budget: attempts are claims, not failures."""
+        if shard.attempts >= self.config.max_attempts:
+            self.store.fail_shard(
+                shard.shard_id,
+                f"{error}; retry budget exhausted "
+                f"({shard.attempts}/{self.config.max_attempts} attempts)",
+            )
+            return ShardState.FAILED
+        self.store.requeue_shard(shard.shard_id, f"{error}; re-queued")
+        return ShardState.PENDING
+
+    def _merge_if_complete(self, plan_id: str) -> bool:
+        """Merge and persist the plan report once every shard is COMPLETED."""
+        plan_row = self.store.get_plan(plan_id)
+        if plan_row.report_json is not None:
+            return True
+        shards = self.store.shards(plan_id)
+        if any(shard.state is not ShardState.COMPLETED for shard in shards):
+            return False
+        reports = [
+            SweepReport.from_json(shard.report_json)
+            for shard in shards
+            if shard.report_json is not None
+        ]
+        merged = reports[0].merge(*reports[1:])
+        self.store.store_plan_report(plan_id, merged.to_json())
+        return True

@@ -1,0 +1,424 @@
+"""Durable SQLite job store behind the sweep service.
+
+One coordinator process owns one :class:`JobStore`.  The store holds the
+submitted plans (their canonical :meth:`repro.runtime.plan.SweepPlan.to_json`
+text), one row per shard of each plan, and the full lifecycle of every
+shard as an **explicit legal-transition matrix**:
+
+.. code-block:: text
+
+    PENDING   → ACTIVE       (claim: a worker leases the shard)
+    ACTIVE    → PENDING      (retry: worker-reported failure or lease expiry,
+                              while the retry budget lasts)
+    ACTIVE    → COMPLETED    (the worker streamed back its shard report)
+    ACTIVE    → FAILED       (retry budget exhausted)
+
+``COMPLETED`` and ``FAILED`` are terminal and sealed — every transition out
+of them (and every other pair not listed) raises
+:class:`repro.errors.TransitionError`.  All mutators funnel through one
+:func:`check_transition` gate, so the matrix cannot be bypassed.
+
+Durability is SQLite in WAL mode: every transition commits before the call
+returns, so a coordinator that dies mid-run restarts with the exact shard
+states it last acknowledged.  ``ACTIVE`` rows whose worker died simply keep
+their lease deadline; the reaper re-queues them once the deadline passes.
+
+Leases carry a ``worker_id``: ``complete``/``fail``/``heartbeat`` from a
+worker that no longer holds the lease (it expired and the shard was
+re-queued or re-claimed) are rejected, so a zombie worker can never corrupt
+a shard another worker owns.
+
+Concurrency model: the store is single-process (HTTP handler threads plus
+the reaper thread inside the coordinator), serialized by one lock around
+the shared connection.  Workers on other hosts go through the HTTP API,
+never the file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import sqlite3
+import threading
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Tuple, Union
+
+from repro.errors import ServiceError, ServiceLookupError, TransitionError
+
+
+class ShardState(enum.Enum):
+    """Lifecycle states of one shard of one submitted plan."""
+
+    PENDING = "PENDING"
+    ACTIVE = "ACTIVE"
+    COMPLETED = "COMPLETED"
+    FAILED = "FAILED"
+
+
+#: The full legal-transition matrix.  Anything not listed here is illegal;
+#: terminal states map to the empty set (sealed).
+LEGAL_TRANSITIONS: Dict[ShardState, FrozenSet[ShardState]] = {
+    ShardState.PENDING: frozenset({ShardState.ACTIVE}),
+    ShardState.ACTIVE: frozenset(
+        {ShardState.PENDING, ShardState.COMPLETED, ShardState.FAILED}
+    ),
+    ShardState.COMPLETED: frozenset(),
+    ShardState.FAILED: frozenset(),
+}
+
+#: States no transition leaves.
+TERMINAL_STATES: FrozenSet[ShardState] = frozenset(
+    state for state, targets in LEGAL_TRANSITIONS.items() if not targets
+)
+
+
+def check_transition(old: ShardState, new: ShardState) -> None:
+    """Raise :class:`TransitionError` unless ``old → new`` is in the matrix.
+
+    Self-transitions are illegal too — every legal edge changes state, so a
+    repeated ``complete`` (or a double claim) always surfaces as an error
+    instead of silently rewriting a row.
+    """
+    if new not in LEGAL_TRANSITIONS[old]:
+        sealed = " (terminal states are sealed)" if old in TERMINAL_STATES else ""
+        raise TransitionError(
+            f"illegal shard transition {old.value} -> {new.value}{sealed}"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class PlanRow:
+    """One submitted plan: identity, canonical JSON, and shard fan-out."""
+
+    plan_id: str
+    plan_json: str
+    shard_count: int
+    submitted_at: float
+    report_json: Optional[str] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardRow:
+    """One shard's lifecycle row."""
+
+    shard_id: int
+    plan_id: str
+    shard_index: int
+    shard_count: int
+    state: ShardState
+    attempts: int
+    worker_id: Optional[str]
+    lease_deadline: Optional[float]
+    report_json: Optional[str]
+    last_error: Optional[str]
+
+
+def plan_identity(plan_json: str, shard_count: int) -> str:
+    """Deterministic plan id: hash of (canonical plan JSON, shard count).
+
+    Submitting the same plan with the same fan-out twice is idempotent —
+    the second submit returns the existing job instead of duplicating the
+    work queue.
+    """
+    blob = f"{shard_count}:{plan_json}".encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS plans (
+    plan_id      TEXT PRIMARY KEY,
+    plan_json    TEXT NOT NULL,
+    shard_count  INTEGER NOT NULL,
+    submitted_at REAL NOT NULL,
+    report_json  TEXT
+);
+CREATE TABLE IF NOT EXISTS shards (
+    shard_id       INTEGER PRIMARY KEY AUTOINCREMENT,
+    plan_id        TEXT NOT NULL REFERENCES plans(plan_id),
+    shard_index    INTEGER NOT NULL,
+    state          TEXT NOT NULL DEFAULT 'PENDING',
+    attempts       INTEGER NOT NULL DEFAULT 0,
+    worker_id      TEXT,
+    lease_deadline REAL,
+    report_json    TEXT,
+    last_error     TEXT,
+    UNIQUE (plan_id, shard_index)
+);
+CREATE INDEX IF NOT EXISTS shards_by_state ON shards(state);
+"""
+
+
+class JobStore:
+    """SQLite-backed plan/shard store with the lifecycle matrix enforced.
+
+    Every public method is one atomic, committed step; reopening the same
+    path resumes exactly where the previous process stopped.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        if self.path.parent and not self.path.parent.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(str(self.path), check_same_thread=False)
+        self._conn.row_factory = sqlite3.Row
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        with self._lock, self._conn:
+            self._conn.executescript(_SCHEMA)
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "JobStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- plans ---------------------------------------------------------------------
+
+    def submit_plan(
+        self, plan_json: str, shard_count: int, now: float
+    ) -> Tuple[PlanRow, bool]:
+        """Insert a plan and its shard rows; idempotent on the plan identity.
+
+        Returns ``(row, created)`` — ``created`` is ``False`` when the very
+        same (plan, shard count) was already submitted.
+        """
+        if shard_count < 1:
+            raise ServiceError(
+                f"shard count must be a positive integer, got {shard_count!r}"
+            )
+        plan_id = plan_identity(plan_json, shard_count)
+        with self._lock, self._conn:
+            existing = self._conn.execute(
+                "SELECT * FROM plans WHERE plan_id = ?", (plan_id,)
+            ).fetchone()
+            if existing is not None:
+                return _plan_row(existing), False
+            self._conn.execute(
+                "INSERT INTO plans (plan_id, plan_json, shard_count, submitted_at)"
+                " VALUES (?, ?, ?, ?)",
+                (plan_id, plan_json, shard_count, now),
+            )
+            self._conn.executemany(
+                "INSERT INTO shards (plan_id, shard_index, state) VALUES (?, ?, ?)",
+                [
+                    (plan_id, index, ShardState.PENDING.value)
+                    for index in range(shard_count)
+                ],
+            )
+        return (
+            PlanRow(
+                plan_id=plan_id,
+                plan_json=plan_json,
+                shard_count=shard_count,
+                submitted_at=now,
+            ),
+            True,
+        )
+
+    def get_plan(self, plan_id: str) -> PlanRow:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM plans WHERE plan_id = ?", (plan_id,)
+            ).fetchone()
+        if row is None:
+            raise ServiceLookupError(f"unknown plan {plan_id!r}")
+        return _plan_row(row)
+
+    def list_plans(self) -> List[PlanRow]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT * FROM plans ORDER BY submitted_at, plan_id"
+            ).fetchall()
+        return [_plan_row(row) for row in rows]
+
+    def store_plan_report(self, plan_id: str, report_json: str) -> None:
+        """Persist the merged report of a fully completed plan."""
+        with self._lock, self._conn:
+            cursor = self._conn.execute(
+                "UPDATE plans SET report_json = ? WHERE plan_id = ?",
+                (report_json, plan_id),
+            )
+        if cursor.rowcount != 1:
+            raise ServiceLookupError(f"unknown plan {plan_id!r}")
+
+    # -- shard reads ----------------------------------------------------------------
+
+    def shards(self, plan_id: str) -> List[ShardRow]:
+        self.get_plan(plan_id)  # raises ServiceLookupError on unknown ids
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT s.*, p.shard_count FROM shards s"
+                " JOIN plans p ON p.plan_id = s.plan_id"
+                " WHERE s.plan_id = ? ORDER BY s.shard_index",
+                (plan_id,),
+            ).fetchall()
+        return [_shard_row(row) for row in rows]
+
+    def get_shard(self, shard_id: int) -> ShardRow:
+        with self._lock:
+            row = self._fetch_shard(shard_id)
+        return _shard_row(row)
+
+    def state_counts(self, plan_id: str) -> Dict[ShardState, int]:
+        """``{state: shard count}`` with every state present (zeros kept)."""
+        counts = {state: 0 for state in ShardState}
+        for shard in self.shards(plan_id):
+            counts[shard.state] += 1
+        return counts
+
+    def expired_shards(self, now: float) -> List[ShardRow]:
+        """Every ACTIVE shard whose lease deadline has passed."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT s.*, p.shard_count FROM shards s"
+                " JOIN plans p ON p.plan_id = s.plan_id"
+                " WHERE s.state = ? AND s.lease_deadline < ?"
+                " ORDER BY s.shard_id",
+                (ShardState.ACTIVE.value, now),
+            ).fetchall()
+        return [_shard_row(row) for row in rows]
+
+    # -- shard transitions -----------------------------------------------------------
+
+    def claim_shard(
+        self, worker_id: str, lease_seconds: float, now: float
+    ) -> Optional[ShardRow]:
+        """Lease the oldest PENDING shard: PENDING → ACTIVE, attempts += 1.
+
+        Returns ``None`` when nothing is pending (terminal and leased
+        shards are never handed out).
+        """
+        if not worker_id:
+            raise ServiceError("claim needs a non-empty worker id")
+        deadline = now + lease_seconds
+        with self._lock, self._conn:
+            row = self._conn.execute(
+                "SELECT s.*, p.shard_count FROM shards s"
+                " JOIN plans p ON p.plan_id = s.plan_id"
+                " WHERE s.state = ? ORDER BY s.shard_id LIMIT 1",
+                (ShardState.PENDING.value,),
+            ).fetchone()
+            if row is None:
+                return None
+            check_transition(ShardState(row["state"]), ShardState.ACTIVE)
+            self._conn.execute(
+                "UPDATE shards SET state = ?, attempts = attempts + 1,"
+                " worker_id = ?, lease_deadline = ? WHERE shard_id = ?",
+                (ShardState.ACTIVE.value, worker_id, deadline, row["shard_id"]),
+            )
+            updated = self._fetch_shard(row["shard_id"])
+        return _shard_row(updated)
+
+    def heartbeat_shard(
+        self, shard_id: int, worker_id: str, lease_seconds: float, now: float
+    ) -> float:
+        """Extend an ACTIVE lease the worker still holds; returns the deadline."""
+        deadline = now + lease_seconds
+        with self._lock, self._conn:
+            row = self._fetch_shard(shard_id)
+            self._check_lease(row, worker_id)
+            self._conn.execute(
+                "UPDATE shards SET lease_deadline = ? WHERE shard_id = ?",
+                (deadline, shard_id),
+            )
+        return deadline
+
+    def complete_shard(
+        self, shard_id: int, worker_id: str, report_json: str
+    ) -> ShardRow:
+        """ACTIVE → COMPLETED with the shard's report attached."""
+        with self._lock, self._conn:
+            row = self._fetch_shard(shard_id)
+            self._check_lease(row, worker_id)
+            check_transition(ShardState(row["state"]), ShardState.COMPLETED)
+            self._conn.execute(
+                "UPDATE shards SET state = ?, report_json = ?, last_error = NULL,"
+                " worker_id = NULL, lease_deadline = NULL WHERE shard_id = ?",
+                (ShardState.COMPLETED.value, report_json, shard_id),
+            )
+            updated = self._fetch_shard(shard_id)
+        return _shard_row(updated)
+
+    def requeue_shard(self, shard_id: int, error: Optional[str]) -> ShardRow:
+        """ACTIVE → PENDING (retry), releasing the lease and recording why."""
+        with self._lock, self._conn:
+            row = self._fetch_shard(shard_id)
+            check_transition(ShardState(row["state"]), ShardState.PENDING)
+            self._conn.execute(
+                "UPDATE shards SET state = ?, worker_id = NULL,"
+                " lease_deadline = NULL, last_error = ? WHERE shard_id = ?",
+                (ShardState.PENDING.value, error, shard_id),
+            )
+            updated = self._fetch_shard(shard_id)
+        return _shard_row(updated)
+
+    def fail_shard(self, shard_id: int, error: str) -> ShardRow:
+        """ACTIVE → FAILED (terminal): the retry budget is spent."""
+        with self._lock, self._conn:
+            row = self._fetch_shard(shard_id)
+            check_transition(ShardState(row["state"]), ShardState.FAILED)
+            self._conn.execute(
+                "UPDATE shards SET state = ?, worker_id = NULL,"
+                " lease_deadline = NULL, last_error = ? WHERE shard_id = ?",
+                (ShardState.FAILED.value, error, shard_id),
+            )
+            updated = self._fetch_shard(shard_id)
+        return _shard_row(updated)
+
+    # -- internals -----------------------------------------------------------------
+
+    def _fetch_shard(self, shard_id: int) -> sqlite3.Row:
+        """Caller holds the lock (or tolerates a read-only race)."""
+        row = self._conn.execute(
+            "SELECT s.*, p.shard_count FROM shards s"
+            " JOIN plans p ON p.plan_id = s.plan_id"
+            " WHERE s.shard_id = ?",
+            (shard_id,),
+        ).fetchone()
+        if row is None:
+            raise ServiceLookupError(f"unknown shard {shard_id!r}")
+        return row
+
+    @staticmethod
+    def _check_lease(row: sqlite3.Row, worker_id: str) -> None:
+        """Reject lease operations from a worker that no longer holds it."""
+        if (
+            ShardState(row["state"]) is ShardState.ACTIVE
+            and row["worker_id"] != worker_id
+        ):
+            raise TransitionError(
+                f"shard {row['shard_id']} lease is held by "
+                f"{row['worker_id']!r}, not {worker_id!r}; the lease expired "
+                "and was re-assigned"
+            )
+
+
+def _plan_row(row: sqlite3.Row) -> PlanRow:
+    return PlanRow(
+        plan_id=row["plan_id"],
+        plan_json=row["plan_json"],
+        shard_count=row["shard_count"],
+        submitted_at=row["submitted_at"],
+        report_json=row["report_json"],
+    )
+
+
+def _shard_row(row: sqlite3.Row) -> ShardRow:
+    return ShardRow(
+        shard_id=row["shard_id"],
+        plan_id=row["plan_id"],
+        shard_index=row["shard_index"],
+        shard_count=row["shard_count"],
+        state=ShardState(row["state"]),
+        attempts=row["attempts"],
+        worker_id=row["worker_id"],
+        lease_deadline=row["lease_deadline"],
+        report_json=row["report_json"],
+        last_error=row["last_error"],
+    )

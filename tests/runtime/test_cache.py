@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
+import warnings
 
 import pytest
 
@@ -128,12 +130,14 @@ class TestResultCache:
     def test_corrupt_file_treated_as_empty(self, tmp_path):
         path = tmp_path / "simresults.json"
         path.write_text("{this is not json")
-        cache = ResultCache(tmp_path)
+        with pytest.warns(RuntimeWarning):
+            cache = ResultCache(tmp_path)
         assert len(cache) == 0
 
     def test_alien_format_treated_as_empty(self, tmp_path):
         (tmp_path / "simresults.json").write_text(json.dumps({"format": 99}))
-        assert len(ResultCache(tmp_path)) == 0
+        with pytest.warns(RuntimeWarning):
+            assert len(ResultCache(tmp_path)) == 0
 
     def test_stale_field_set_dropped(self, tmp_path):
         key = cache_key("baseline", SHAPE, CORE, CODEGEN)
@@ -178,3 +182,102 @@ class TestResultCache:
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
         cache = ResultCache()
         assert cache.directory == tmp_path / "custom"
+
+
+class TestDamagedStores:
+    """Corrupt/partial stores warn and load empty — they never crash.
+
+    Sweep-service workers share one on-disk store; a worker SIGKILLed
+    mid-write (or a hand-edited file) must degrade to re-simulating.
+    """
+
+    def test_corrupt_file_warns(self, tmp_path):
+        (tmp_path / "simresults.json").write_text("{this is not json")
+        with pytest.warns(RuntimeWarning, match="corrupt or partially written"):
+            cache = ResultCache(tmp_path)
+        assert len(cache) == 0
+
+    def test_truncated_flush_warns(self, tmp_path):
+        """A store cut off mid-write (the pre-atomic-rename failure mode)."""
+        cache = ResultCache(tmp_path)
+        cache.put(cache_key("baseline", SHAPE, CORE, CODEGEN), RESULT)
+        cache.flush()
+        full = cache.path.read_text()
+        cache.path.write_text(full[: len(full) // 2])
+        with pytest.warns(RuntimeWarning, match="corrupt or partially written"):
+            assert len(ResultCache(tmp_path)) == 0
+
+    def test_valid_json_that_is_not_an_object_warns(self, tmp_path):
+        (tmp_path / "simresults.json").write_text("[1, 2, 3]")
+        with pytest.warns(RuntimeWarning, match="unrecognized format"):
+            assert len(ResultCache(tmp_path)) == 0
+
+    def test_alien_format_number_warns(self, tmp_path):
+        (tmp_path / "simresults.json").write_text(json.dumps({"format": 99}))
+        with pytest.warns(RuntimeWarning, match="unrecognized format"):
+            assert len(ResultCache(tmp_path)) == 0
+
+    def test_missing_results_section_warns(self, tmp_path):
+        blob = {"format": 1, "results": ["not", "a", "mapping"]}
+        (tmp_path / "simresults.json").write_text(json.dumps(blob))
+        with pytest.warns(RuntimeWarning, match="no result section"):
+            assert len(ResultCache(tmp_path)) == 0
+
+    def test_missing_file_stays_silent(self, tmp_path):
+        """A cold start is normal, not damage — no warning allowed."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            cache = ResultCache(tmp_path / "never-flushed")
+        assert len(cache) == 0
+
+    def test_damaged_store_heals_on_the_next_flush(self, tmp_path):
+        (tmp_path / "simresults.json").write_text("garbage")
+        with pytest.warns(RuntimeWarning):
+            cache = ResultCache(tmp_path)
+        key = cache_key("baseline", SHAPE, CORE, CODEGEN)
+        cache.put(key, RESULT)
+        with pytest.warns(RuntimeWarning):  # flush re-reads for the merge
+            cache.flush()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            healed = ResultCache(tmp_path)
+        assert healed.get(key) == RESULT
+
+
+class TestAtomicFlush:
+    def test_failed_replace_leaves_the_store_intact(self, tmp_path, monkeypatch):
+        """The write is all-or-nothing: a dying writer never truncates."""
+        key = cache_key("baseline", SHAPE, CORE, CODEGEN)
+        first = ResultCache(tmp_path)
+        first.put(key, RESULT)
+        first.flush()
+        before = first.path.read_text()
+
+        second = ResultCache(tmp_path)
+        second.put(cache_key("rasa-pipe", SHAPE, CORE, CODEGEN), RESULT)
+
+        def exploding_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.runtime.cache.os.replace", exploding_replace)
+        with pytest.raises(OSError, match="disk full"):
+            second.flush()
+        assert second.path.read_text() == before  # untouched
+        assert list(tmp_path.glob("*.tmp")) == []  # temp file cleaned up
+
+    def test_flush_goes_through_a_rename(self, tmp_path, monkeypatch):
+        """Readers can never observe a half-written store file."""
+        calls = []
+        real_replace = os.replace
+
+        def recording_replace(src, dst):
+            calls.append((str(src), str(dst)))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr("repro.runtime.cache.os.replace", recording_replace)
+        cache = ResultCache(tmp_path)
+        cache.put(cache_key("baseline", SHAPE, CORE, CODEGEN), RESULT)
+        cache.flush()
+        ((src, dst),) = calls
+        assert src.endswith(".tmp")
+        assert dst == str(cache.path)

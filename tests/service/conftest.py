@@ -1,0 +1,68 @@
+"""Shared fixtures for the sweep-service tests.
+
+``live_service`` is the full stack short-fused for tests: an in-thread
+HTTP server over a real on-disk job store, with a 2-second lease and a
+fast reaper, plus a client already pointed at the ephemeral port.
+"""
+
+from __future__ import annotations
+
+import threading
+from types import SimpleNamespace
+
+import pytest
+
+from repro.runtime.plan import SweepPlan
+from repro.service import (
+    Coordinator,
+    JobStore,
+    ServiceClient,
+    ServiceConfig,
+    create_server,
+)
+from repro.workloads.gemm import GemmShape
+
+
+def tiny_plan(shapes: int = 2, fidelity: str = "analytic") -> SweepPlan:
+    """A fast deterministic plan: 2 designs x ``shapes`` distinct GEMMs."""
+    workloads = tuple(
+        (f"g{i}", GemmShape(m=16 * (i + 1), n=16, k=32, name=f"g{i}"))
+        for i in range(shapes)
+    )
+    return SweepPlan(
+        designs=("baseline", "rasa-dmdb-wls"),
+        workloads=workloads,
+        fidelity=fidelity,
+    )
+
+
+@pytest.fixture
+def job_store(tmp_path):
+    store = JobStore(tmp_path / "service.db")
+    yield store
+    store.close()
+
+
+@pytest.fixture
+def live_service(tmp_path):
+    store = JobStore(tmp_path / "service.db")
+    coordinator = Coordinator(
+        store,
+        ServiceConfig(lease_seconds=2.0, max_attempts=3, reap_interval=0.05),
+    )
+    server = create_server(coordinator, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    coordinator.start_reaper()
+    yield SimpleNamespace(
+        store=store,
+        coordinator=coordinator,
+        server=server,
+        url=server.url,
+        client=ServiceClient(server.url, timeout=10.0),
+    )
+    coordinator.stop()
+    server.shutdown()
+    thread.join(timeout=5.0)
+    server.server_close()
+    store.close()

@@ -1,0 +1,152 @@
+"""CLI tests for serve/submit/worker/status (in-process ``cli.main``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import cli
+from repro.runtime.session import Session
+
+from tests.service.conftest import tiny_plan
+
+
+@pytest.fixture
+def plan_file(tmp_path):
+    path = tmp_path / "plan.json"
+    path.write_text(tiny_plan().to_json())
+    return path
+
+
+class TestErrorConvention:
+    """Malformed service addresses: one ``error:`` line, exit code 1."""
+
+    def test_malformed_env_url(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_SERVICE_URL", "not-a-url")
+        assert cli.main(["status"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: malformed REPRO_SERVICE_URL")
+        assert err.count("\n") == 1
+
+    def test_malformed_env_port(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_SERVICE_URL", "http://host:99999")
+        assert cli.main(["submit", "--id-only"]) == 1
+        assert capsys.readouterr().err.startswith("error: malformed")
+
+    def test_malformed_url_flag(self, capsys):
+        assert cli.main(["worker", "--url", "http://h:80/api"]) == 1
+        assert "drop the path" in capsys.readouterr().err
+
+    def test_out_of_range_serve_port(self, capsys):
+        assert cli.main(["serve", "--port", "70000"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: port must be an integer in [0, 65535]")
+
+    def test_unreachable_service(self, capsys):
+        assert cli.main(["status", "--url", "http://127.0.0.1:9"]) == 1
+        assert "cannot reach sweep service" in capsys.readouterr().err
+
+
+class TestAgainstALiveService:
+    def test_submit_id_only_is_bare(self, live_service, capsys, plan_file):
+        code = cli.main([
+            "submit", "--plan", str(plan_file), "--shards", "2",
+            "--url", live_service.url, "--id-only",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out.strip()
+        assert out == live_service.client.list_plans()[0]["plan_id"]
+
+    def test_submit_rejects_axis_flags_with_plan_file(
+        self, live_service, capsys, plan_file
+    ):
+        code = cli.main([
+            "submit", "--plan", str(plan_file), "--scale", "4",
+            "--url", live_service.url,
+        ])
+        assert code == 1
+        assert "--scale" in capsys.readouterr().err
+
+    def test_worker_drains_the_queue_and_status_reports(
+        self, live_service, capsys, plan_file, tmp_path
+    ):
+        assert cli.main([
+            "submit", "--plan", str(plan_file), "--shards", "2",
+            "--url", live_service.url, "--id-only",
+        ]) == 0
+        plan_id = capsys.readouterr().out.strip()
+
+        assert cli.main([
+            "worker", "--url", live_service.url, "--jobs", "1",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--poll", "0.02", "--idle-exit", "0.3",
+        ]) == 0
+        assert "2 shard(s) completed" in capsys.readouterr().out
+
+        served = tmp_path / "served.json"
+        assert cli.main([
+            "status", plan_id, "--url", live_service.url, "-o", str(served),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert f"plan {plan_id}: completed" in out
+        assert "2 COMPLETED" in out
+
+        with Session(cache=None, workers=1) as session:
+            single = session.run(tiny_plan()).to_json()
+        assert served.read_text() == single
+
+    def test_submit_wait_writes_the_served_bytes(
+        self, live_service, capsys, plan_file, tmp_path
+    ):
+        import threading
+
+        def drain():
+            cli.main([
+                "worker", "--url", live_service.url, "--jobs", "1",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--poll", "0.02", "--idle-exit", "2",
+            ])
+
+        worker = threading.Thread(target=drain)
+        worker.start()
+        served = tmp_path / "served.json"
+        try:
+            code = cli.main([
+                "submit", "--plan", str(plan_file), "--shards", "2",
+                "--url", live_service.url, "--wait", "--timeout", "120",
+                "--poll", "0.05", "-o", str(served),
+            ])
+        finally:
+            worker.join(timeout=120.0)
+        assert code == 0
+        with Session(cache=None, workers=1) as session:
+            assert served.read_text() == session.run(tiny_plan()).to_json()
+
+    def test_status_without_id_lists_plans(self, live_service, capsys, plan_file):
+        assert cli.main([
+            "status", "--url", live_service.url,
+        ]) == 0
+        assert "no plans submitted" in capsys.readouterr().out
+        cli.main([
+            "submit", "--plan", str(plan_file), "--shards", "2",
+            "--url", live_service.url, "--id-only",
+        ])
+        plan_id = capsys.readouterr().out.strip()
+        assert cli.main(["status", "--url", live_service.url]) == 0
+        listing = capsys.readouterr().out
+        assert plan_id in listing
+        assert "running" in listing
+
+    def test_status_report_before_completion_is_an_error(
+        self, live_service, capsys, plan_file, tmp_path
+    ):
+        cli.main([
+            "submit", "--plan", str(plan_file), "--shards", "2",
+            "--url", live_service.url, "--id-only",
+        ])
+        plan_id = capsys.readouterr().out.strip()
+        code = cli.main([
+            "status", plan_id, "--url", live_service.url,
+            "-o", str(tmp_path / "served.json"),
+        ])
+        assert code == 1
+        assert "no merged report yet" in capsys.readouterr().err

@@ -1,0 +1,70 @@
+"""Client-side tests: URL/port validation and transport error surfacing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import ServiceClient, service_url, validate_port
+
+
+class TestServiceUrl:
+    def test_default_when_nothing_is_set(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVICE_URL", raising=False)
+        assert service_url() == "http://127.0.0.1:8035"
+
+    def test_env_var_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_URL", "http://sweep-host:9000")
+        assert service_url() == "http://sweep-host:9000"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_URL", "http://wrong:1")
+        assert service_url("https://right:2") == "https://right:2"
+
+    def test_trailing_slash_is_tolerated(self):
+        assert service_url("http://h:80/") == "http://h:80"
+
+    @pytest.mark.parametrize(
+        "raw,match",
+        [
+            ("not-a-url", "scheme"),
+            ("ftp://host:21", "scheme"),
+            ("http://", "no host"),
+            ("http://host:port", "malformed"),
+            ("http://host:99999", "malformed"),
+            ("http://host:0", "port 0"),
+            ("http://host:80/api", "drop the path"),
+            ("http://host:80?x=1", "drop the path"),
+        ],
+    )
+    def test_malformed_urls_raise_one_liners(self, raw, match):
+        with pytest.raises(ServiceError, match=match) as excinfo:
+            service_url(raw)
+        assert "\n" not in str(excinfo.value)
+
+    def test_env_var_named_in_the_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_URL", "garbage")
+        with pytest.raises(ServiceError, match="REPRO_SERVICE_URL"):
+            service_url()
+
+
+class TestValidatePort:
+    @pytest.mark.parametrize("port", [0, 1, 8035, 65535])
+    def test_accepts_the_full_range(self, port):
+        assert validate_port(port) == port
+
+    @pytest.mark.parametrize("port", [-1, 65536, 10**6, True, "8035"])
+    def test_rejects_junk(self, port):
+        with pytest.raises(ServiceError, match=r"\[0, 65535\]"):
+            validate_port(port)
+
+
+class TestTransport:
+    def test_unreachable_service_is_one_clear_error(self):
+        client = ServiceClient("http://127.0.0.1:9", timeout=0.5)
+        with pytest.raises(ServiceError, match="cannot reach sweep service"):
+            client.healthz()
+
+    def test_client_validates_its_url_eagerly(self):
+        with pytest.raises(ServiceError, match="malformed"):
+            ServiceClient("not-a-url")

@@ -1,0 +1,192 @@
+"""Coordinator policy tests: submission, retries, reaping, merging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceError, TransitionError
+from repro.runtime.plan import SweepReport
+from repro.runtime.session import Session
+from repro.service import Coordinator, ServiceConfig, ShardState
+
+from tests.service.conftest import tiny_plan
+
+
+@pytest.fixture
+def coordinator(job_store):
+    return Coordinator(
+        job_store, ServiceConfig(lease_seconds=10.0, max_attempts=2)
+    )
+
+
+def run_shard(lease) -> str:
+    """Simulate one leased shard exactly as a worker would."""
+    from repro.runtime.plan import SweepPlan
+
+    plan = SweepPlan.from_json(lease["plan"])
+    if lease["shard_count"] > 1:
+        plan = plan.shard(lease["shard_index"], lease["shard_count"])
+    with Session(cache=None, workers=1) as session:
+        return session.run(plan).to_json()
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs,match",
+        [
+            ({"lease_seconds": 0}, "lease"),
+            ({"lease_seconds": -1}, "lease"),
+            ({"max_attempts": 0}, "attempts"),
+            ({"reap_interval": 0}, "reap"),
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs, match):
+        with pytest.raises(ServiceError, match=match):
+            ServiceConfig(**kwargs)
+
+
+class TestSubmit:
+    def test_clamps_fanout_to_distinct_points(self, coordinator):
+        plan = tiny_plan(shapes=2)  # 2 designs x 2 shapes = 4 points
+        response = coordinator.submit(plan.to_json(), 64)
+        assert response["shard_count"] == 4
+        assert response["distinct_points"] == 4
+
+    def test_idempotent(self, coordinator):
+        plan = tiny_plan().to_json()
+        first = coordinator.submit(plan, 2)
+        second = coordinator.submit(plan, 2)
+        assert first["plan_id"] == second["plan_id"]
+        assert (first["created"], second["created"]) == (True, False)
+
+    def test_rejects_presharded_plans(self, coordinator):
+        shard = tiny_plan().shard(0, 2)
+        with pytest.raises(ServiceError, match="unsharded"):
+            coordinator.submit(shard.to_json(), 2)
+
+    def test_rejects_non_positive_shards(self, coordinator):
+        with pytest.raises(ServiceError, match="positive"):
+            coordinator.submit(tiny_plan().to_json(), 0)
+
+    def test_canonicalizes_posted_json(self, coordinator):
+        """Reformatted-but-equal plan JSON maps to the same plan id."""
+        plan = tiny_plan()
+        pretty = plan.to_json(indent=2)
+        assert coordinator.submit(pretty, 2)["plan_id"] == (
+            coordinator.submit(plan.to_json(), 2)["plan_id"]
+        )
+
+
+class TestCompleteValidation:
+    def test_rejects_report_for_a_different_plan(self, coordinator):
+        coordinator.submit(tiny_plan(shapes=1).to_json(), 1)
+        lease = coordinator.claim("w1")
+        alien = tiny_plan(shapes=3)
+        with Session(cache=None, workers=1) as session:
+            report = session.run(alien).to_json()
+        with pytest.raises(ServiceError, match="different plan"):
+            coordinator.complete(lease["shard_id"], "w1", report)
+
+    def test_rejects_report_for_the_wrong_shard(self, coordinator):
+        plan = tiny_plan()
+        coordinator.submit(plan.to_json(), 2)
+        lease = coordinator.claim("w1")  # shard 0
+        wrong = plan.shard(1, 2)
+        with Session(cache=None, workers=1) as session:
+            report = session.run(wrong).to_json()
+        with pytest.raises(ServiceError, match="expected 0/2"):
+            coordinator.complete(lease["shard_id"], "w1", report)
+
+    def test_recanonicalizes_worker_formatting(self, coordinator, job_store):
+        """Stored shard bytes never depend on a client's JSON style."""
+        plan = tiny_plan(shapes=1)
+        coordinator.submit(plan.to_json(), 1)
+        lease = coordinator.claim("w1")
+        canonical = run_shard(lease)
+        pretty = SweepReport.from_json(canonical).to_json(indent=2)
+        coordinator.complete(lease["shard_id"], "w1", pretty)
+        shard = job_store.get_shard(lease["shard_id"])
+        assert shard.report_json == canonical
+
+
+class TestMergeOnCompletion:
+    def test_served_report_is_byte_identical_to_single_shot(self, coordinator):
+        plan = tiny_plan()
+        response = coordinator.submit(plan.to_json(), 2)
+        for worker in ("w1", "w2"):
+            lease = coordinator.claim(worker)
+            done = coordinator.complete(
+                lease["shard_id"], worker, run_shard(lease)
+            )
+        assert done["done"] is True
+        with Session(cache=None, workers=1) as session:
+            single = session.run(plan).to_json()
+        assert coordinator.plan_report(response["plan_id"]) == single
+
+    def test_report_unavailable_until_every_shard_lands(self, coordinator):
+        response = coordinator.submit(tiny_plan().to_json(), 2)
+        lease = coordinator.claim("w1")
+        coordinator.complete(lease["shard_id"], "w1", run_shard(lease))
+        with pytest.raises(ServiceError, match="no merged report yet"):
+            coordinator.plan_report(response["plan_id"])
+        assert coordinator.plan_status(response["plan_id"])["state"] == "running"
+
+
+class TestRetryBudget:
+    def test_fail_requeues_until_budget_exhausted(self, coordinator):
+        """max_attempts=2: first failure re-queues, second seals FAILED."""
+        response = coordinator.submit(tiny_plan(shapes=1).to_json(), 1)
+        lease = coordinator.claim("w1")
+        first = coordinator.fail(lease["shard_id"], "w1", "boom")
+        assert first["state"] == "PENDING"
+
+        lease = coordinator.claim("w2")
+        assert lease["attempts"] == 2
+        second = coordinator.fail(lease["shard_id"], "w2", "boom again")
+        assert second["state"] == "FAILED"
+        status = coordinator.plan_status(response["plan_id"])
+        assert status["state"] == "failed"
+        (shard,) = status["shards"]
+        assert "retry budget exhausted (2/2 attempts)" in shard["last_error"]
+
+    def test_fail_from_a_zombie_worker_is_rejected(self, coordinator):
+        coordinator.submit(tiny_plan(shapes=1).to_json(), 1)
+        lease = coordinator.claim("w1")
+        with pytest.raises(TransitionError, match="held by 'w1', not 'w2'"):
+            coordinator.fail(lease["shard_id"], "w2", "not mine")
+
+
+class TestReaper:
+    def test_reap_requeues_expired_leases(self, coordinator):
+        """A dead worker's shard flows back into the queue at deadline."""
+        coordinator.submit(tiny_plan(shapes=1).to_json(), 1)
+        lease = coordinator.claim("w1")
+        assert coordinator.reap(now=lease["lease_deadline"] - 1.0) == []
+        outcomes = coordinator.reap(now=lease["lease_deadline"] + 1.0)
+        assert outcomes == [(lease["shard_id"], "PENDING")]
+        again = coordinator.claim("w2")
+        assert again["shard_id"] == lease["shard_id"]
+        assert again["attempts"] == 2
+
+    def test_reap_seals_after_the_budget(self, coordinator, job_store):
+        coordinator.submit(tiny_plan(shapes=1).to_json(), 1)
+        lease = coordinator.claim("w1")
+        coordinator.reap(now=lease["lease_deadline"] + 1.0)
+        lease = coordinator.claim("w1")  # attempt 2 of 2
+        outcomes = coordinator.reap(now=lease["lease_deadline"] + 1.0)
+        assert outcomes == [(lease["shard_id"], "FAILED")]
+        shard = job_store.get_shard(lease["shard_id"])
+        assert shard.state is ShardState.FAILED
+        assert "lease expired" in shard.last_error
+
+    def test_heartbeat_holds_off_the_reaper(self, coordinator, job_store):
+        coordinator.submit(tiny_plan(shapes=1).to_json(), 1)
+        lease = coordinator.claim("w1")
+        beat = coordinator.heartbeat(lease["shard_id"], "w1")
+        assert beat["shard_id"] == lease["shard_id"]
+        # Extend the lease far out (store-level, injectable clock): the
+        # reaper must respect the *heartbeated* deadline, not the original.
+        job_store.heartbeat_shard(
+            lease["shard_id"], "w1", 10.0, now=lease["lease_deadline"] + 100.0
+        )
+        assert coordinator.reap(now=lease["lease_deadline"] + 1.0) == []

@@ -1,0 +1,125 @@
+"""HTTP API tests: routes, error-status mapping, verbatim report bytes."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import ServiceError, ServiceLookupError, TransitionError
+from repro.runtime.session import Session
+
+from tests.service.conftest import tiny_plan
+
+
+def http(url, method="GET", payload=None):
+    """Raw request, returning (status, parsed body) without raising."""
+    data = None if payload is None else json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(url, data=data, method=method)
+    try:
+        with urllib.request.urlopen(request, timeout=10.0) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode("utf-8"))
+
+
+class TestRoutes:
+    def test_healthz(self, live_service):
+        assert live_service.client.healthz() == {"status": "ok"}
+
+    def test_full_flow_over_http(self, live_service):
+        """submit -> claim -> complete -> merged report, all through HTTP."""
+        client = live_service.client
+        plan = tiny_plan()
+        response = client.submit(plan, 2)
+        assert response["created"] is True
+
+        while (lease := client.claim("w1")) is not None:
+            from repro.runtime.plan import SweepPlan
+
+            shard_plan = SweepPlan.from_json(lease["plan"]).shard(
+                lease["shard_index"], lease["shard_count"]
+            )
+            with Session(cache=None, workers=1) as session:
+                client.complete(
+                    lease["shard_id"], "w1", session.run(shard_plan).to_json()
+                )
+
+        status = client.plan_status(response["plan_id"])
+        assert status["state"] == "completed"
+        with Session(cache=None, workers=1) as session:
+            assert client.plan_report(response["plan_id"]) == (
+                session.run(plan).to_json()
+            )
+
+    def test_plan_accepts_inline_json_object(self, live_service):
+        """POST /plans takes the plan as an embedded object, not only text."""
+        plan_doc = json.loads(tiny_plan().to_json())
+        status, body = http(
+            f"{live_service.url}/plans",
+            method="POST",
+            payload={"plan": plan_doc, "shards": 2},
+        )
+        assert status == 200
+        assert body["shard_count"] == 2
+
+    def test_claim_on_a_dry_queue_returns_null(self, live_service):
+        assert live_service.client.claim("w1") is None
+
+    def test_list_plans(self, live_service):
+        assert live_service.client.list_plans() == []
+        response = live_service.client.submit(tiny_plan(), 2)
+        (entry,) = live_service.client.list_plans()
+        assert entry["plan_id"] == response["plan_id"]
+        assert entry["state"] == "running"
+
+
+class TestErrorMapping:
+    def test_unknown_plan_is_404(self, live_service):
+        with pytest.raises(ServiceLookupError, match="unknown plan"):
+            live_service.client.plan_status("nope")
+
+    def test_unknown_route_is_404(self, live_service):
+        status, body = http(f"{live_service.url}/frobnicate")
+        assert status == 404
+        assert "no such route" in body["error"]
+
+    def test_malformed_plan_is_400(self, live_service):
+        with pytest.raises(ServiceError) as excinfo:
+            live_service.client.submit("{not json", 2)
+        assert not isinstance(excinfo.value, (ServiceLookupError, TransitionError))
+
+    def test_non_json_body_is_400(self, live_service):
+        status, body = http(
+            f"{live_service.url}/shards/claim", method="POST", payload=None
+        )
+        assert status == 400  # empty body has no "worker"
+        assert "worker" in body["error"]
+
+    def test_zombie_complete_is_409(self, live_service):
+        client = live_service.client
+        client.submit(tiny_plan(shapes=1), 1)
+        lease = client.claim("w1")
+        live_service.store.requeue_shard(lease["shard_id"], "expired")
+        client.claim("w2")
+        with pytest.raises(TransitionError, match="held by 'w2'"):
+            client.complete(lease["shard_id"], "w1", "{}")
+
+    def test_sealed_transition_is_409_over_http(self, live_service):
+        client = live_service.client
+        client.submit(tiny_plan(shapes=1), 1)
+        lease = client.claim("w1")
+        from repro.runtime.plan import SweepPlan
+
+        with Session(cache=None, workers=1) as session:
+            report = session.run(SweepPlan.from_json(lease["plan"])).to_json()
+        client.complete(lease["shard_id"], "w1", report)
+        status, body = http(
+            f"{live_service.url}/shards/{lease['shard_id']}/fail",
+            method="POST",
+            payload={"worker": "w1", "error": "too late"},
+        )
+        assert status == 409
+        assert "sealed" in body["error"]

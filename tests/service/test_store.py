@@ -1,0 +1,221 @@
+"""Job-store tests: the lifecycle matrix, leases, and durability."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.errors import ServiceError, ServiceLookupError, TransitionError
+from repro.service import (
+    JobStore,
+    LEGAL_TRANSITIONS,
+    ShardState,
+    TERMINAL_STATES,
+    check_transition,
+)
+
+PLAN_JSON = '{"designs":["baseline"],"format":1}'  # stores don't parse plans
+
+
+def submit(store: JobStore, shards: int = 2, text: str = PLAN_JSON):
+    row, created = store.submit_plan(text, shards, now=100.0)
+    return row
+
+
+class TestTransitionMatrix:
+    """Every one of the 16 (old, new) pairs, checked against the matrix."""
+
+    @pytest.mark.parametrize(
+        "old,new", list(itertools.product(ShardState, ShardState))
+    )
+    def test_every_pair(self, old, new):
+        if new in LEGAL_TRANSITIONS[old]:
+            check_transition(old, new)  # must not raise
+        else:
+            with pytest.raises(TransitionError, match=f"{old.value} -> {new.value}"):
+                check_transition(old, new)
+
+    def test_exactly_four_legal_edges(self):
+        legal = [
+            (old, new)
+            for old in ShardState
+            for new in LEGAL_TRANSITIONS[old]
+        ]
+        assert sorted((o.value, n.value) for o, n in legal) == [
+            ("ACTIVE", "COMPLETED"),
+            ("ACTIVE", "FAILED"),
+            ("ACTIVE", "PENDING"),
+            ("PENDING", "ACTIVE"),
+        ]
+
+    def test_self_transitions_all_illegal(self):
+        for state in ShardState:
+            with pytest.raises(TransitionError):
+                check_transition(state, state)
+
+    def test_terminal_states_are_sealed(self):
+        assert TERMINAL_STATES == {ShardState.COMPLETED, ShardState.FAILED}
+        with pytest.raises(TransitionError, match="sealed"):
+            check_transition(ShardState.COMPLETED, ShardState.PENDING)
+
+
+class TestPlans:
+    def test_submit_is_idempotent(self, job_store):
+        first, created_first = job_store.submit_plan(PLAN_JSON, 2, now=1.0)
+        second, created_second = job_store.submit_plan(PLAN_JSON, 2, now=2.0)
+        assert (created_first, created_second) == (True, False)
+        assert first.plan_id == second.plan_id
+        assert len(job_store.shards(first.plan_id)) == 2
+
+    def test_different_fanout_is_a_different_plan(self, job_store):
+        one, _ = job_store.submit_plan(PLAN_JSON, 1, now=1.0)
+        two, _ = job_store.submit_plan(PLAN_JSON, 2, now=1.0)
+        assert one.plan_id != two.plan_id
+
+    def test_rejects_non_positive_fanout(self, job_store):
+        with pytest.raises(ServiceError, match="positive"):
+            job_store.submit_plan(PLAN_JSON, 0, now=1.0)
+
+    def test_unknown_ids_raise_lookup_errors(self, job_store):
+        with pytest.raises(ServiceLookupError, match="unknown plan"):
+            job_store.get_plan("nope")
+        with pytest.raises(ServiceLookupError, match="unknown shard"):
+            job_store.get_shard(77)
+        with pytest.raises(ServiceLookupError):
+            job_store.store_plan_report("nope", "{}")
+
+    def test_wal_mode_is_on(self, job_store):
+        mode = job_store._conn.execute("PRAGMA journal_mode").fetchone()[0]
+        assert mode == "wal"
+
+
+class TestLeaseProtocol:
+    def test_claim_hands_out_oldest_pending_and_counts_attempts(self, job_store):
+        plan = submit(job_store, shards=2)
+        first = job_store.claim_shard("w1", lease_seconds=30.0, now=10.0)
+        second = job_store.claim_shard("w2", lease_seconds=30.0, now=10.0)
+        assert (first.shard_index, second.shard_index) == (0, 1)
+        assert first.state is ShardState.ACTIVE
+        assert first.attempts == 1
+        assert first.worker_id == "w1"
+        assert first.lease_deadline == 40.0
+        assert job_store.claim_shard("w3", 30.0, now=10.0) is None  # queue dry
+        assert plan.plan_id == first.plan_id
+
+    def test_claim_needs_a_worker_id(self, job_store):
+        submit(job_store)
+        with pytest.raises(ServiceError, match="worker id"):
+            job_store.claim_shard("", 30.0, now=0.0)
+
+    def test_heartbeat_extends_the_lease(self, job_store):
+        submit(job_store, shards=1)
+        shard = job_store.claim_shard("w1", 30.0, now=0.0)
+        deadline = job_store.heartbeat_shard(shard.shard_id, "w1", 30.0, now=25.0)
+        assert deadline == 55.0
+        assert job_store.get_shard(shard.shard_id).lease_deadline == 55.0
+
+    def test_zombie_worker_is_rejected(self, job_store):
+        """A worker that lost its lease cannot heartbeat or complete."""
+        submit(job_store, shards=1)
+        shard = job_store.claim_shard("w1", 1.0, now=0.0)
+        job_store.requeue_shard(shard.shard_id, "lease expired")
+        job_store.claim_shard("w2", 30.0, now=5.0)  # re-assigned
+        with pytest.raises(TransitionError, match="held by 'w2', not 'w1'"):
+            job_store.heartbeat_shard(shard.shard_id, "w1", 30.0, now=6.0)
+        with pytest.raises(TransitionError, match="held by 'w2', not 'w1'"):
+            job_store.complete_shard(shard.shard_id, "w1", "{}")
+
+    def test_expired_shards_only_past_deadline(self, job_store):
+        submit(job_store, shards=2)
+        job_store.claim_shard("w1", 10.0, now=0.0)  # deadline 10
+        job_store.claim_shard("w2", 50.0, now=0.0)  # deadline 50
+        expired = job_store.expired_shards(now=20.0)
+        assert [s.worker_id for s in expired] == ["w1"]
+        assert job_store.expired_shards(now=5.0) == []
+
+
+class TestShardTransitionsViaStore:
+    def test_complete_seals_and_clears_the_lease(self, job_store):
+        submit(job_store, shards=1)
+        shard = job_store.claim_shard("w1", 30.0, now=0.0)
+        done = job_store.complete_shard(shard.shard_id, "w1", '{"r":1}')
+        assert done.state is ShardState.COMPLETED
+        assert done.report_json == '{"r":1}'
+        assert done.worker_id is None
+        assert done.lease_deadline is None
+        with pytest.raises(TransitionError, match="sealed"):
+            job_store.complete_shard(shard.shard_id, "w1", "{}")
+
+    def test_requeue_then_reclaim(self, job_store):
+        submit(job_store, shards=1)
+        shard = job_store.claim_shard("w1", 30.0, now=0.0)
+        back = job_store.requeue_shard(shard.shard_id, "worker died")
+        assert back.state is ShardState.PENDING
+        assert back.worker_id is None
+        assert back.last_error == "worker died"
+        again = job_store.claim_shard("w2", 30.0, now=1.0)
+        assert again.shard_id == shard.shard_id
+        assert again.attempts == 2
+
+    def test_cannot_requeue_pending_or_complete_pending(self, job_store):
+        plan = submit(job_store, shards=1)
+        shard = job_store.shards(plan.plan_id)[0]
+        with pytest.raises(TransitionError, match="PENDING -> PENDING"):
+            job_store.requeue_shard(shard.shard_id, None)
+        with pytest.raises(TransitionError, match="PENDING -> COMPLETED"):
+            job_store.complete_shard(shard.shard_id, "w1", "{}")
+        with pytest.raises(TransitionError, match="PENDING -> FAILED"):
+            job_store.fail_shard(shard.shard_id, "boom")
+
+    def test_failed_is_terminal_and_never_reclaimed(self, job_store):
+        submit(job_store, shards=1)
+        shard = job_store.claim_shard("w1", 30.0, now=0.0)
+        dead = job_store.fail_shard(shard.shard_id, "budget spent")
+        assert dead.state is ShardState.FAILED
+        assert dead.last_error == "budget spent"
+        assert job_store.claim_shard("w2", 30.0, now=1.0) is None
+        with pytest.raises(TransitionError, match="sealed"):
+            job_store.requeue_shard(shard.shard_id, None)
+
+    def test_state_counts(self, job_store):
+        plan = submit(job_store, shards=3)
+        job_store.claim_shard("w1", 30.0, now=0.0)
+        counts = job_store.state_counts(plan.plan_id)
+        assert counts[ShardState.PENDING] == 2
+        assert counts[ShardState.ACTIVE] == 1
+        assert counts[ShardState.COMPLETED] == 0
+        assert counts[ShardState.FAILED] == 0
+
+
+class TestDurability:
+    def test_reopen_resumes_exact_states(self, tmp_path):
+        """Crash-resume: a new process over the same file sees everything."""
+        path = tmp_path / "service.db"
+        store = JobStore(path)
+        plan = submit(store, shards=2)
+        shard = store.claim_shard("w1", 30.0, now=0.0)
+        store.complete_shard(shard.shard_id, "w1", '{"r":1}')
+        store.store_plan_report(plan.plan_id, '{"merged":1}')
+        store.close()  # the coordinator "dies" here
+
+        reopened = JobStore(path)
+        assert reopened.get_plan(plan.plan_id).report_json == '{"merged":1}'
+        states = [s.state for s in reopened.shards(plan.plan_id)]
+        assert states == [ShardState.COMPLETED, ShardState.PENDING]
+        # ...and the queue keeps serving where it left off.
+        nxt = reopened.claim_shard("w2", 30.0, now=1.0)
+        assert nxt.shard_index == 1
+        reopened.close()
+
+    def test_active_lease_survives_restart_for_the_reaper(self, tmp_path):
+        path = tmp_path / "service.db"
+        store = JobStore(path)
+        submit(store, shards=1)
+        store.claim_shard("w1", 10.0, now=0.0)
+        store.close()
+
+        reopened = JobStore(path)
+        expired = reopened.expired_shards(now=99.0)
+        assert [s.worker_id for s in expired] == ["w1"]
+        reopened.close()

@@ -1,0 +1,148 @@
+"""Shard-worker tests: the claim/run/report loop, retries, lost leases."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.runtime.session import Session
+from repro.service import ServiceClient, ShardWorker, default_worker_id
+
+from tests.service.conftest import tiny_plan
+
+
+def make_session():
+    return Session(cache=None, workers=1)
+
+
+def run_workers(url, count, **kwargs):
+    workers = [
+        ShardWorker(
+            ServiceClient(url, timeout=10.0),
+            session_factory=make_session,
+            worker_id=f"w{i}",
+            poll_interval=0.02,
+            idle_exit=0.3,
+            log=lambda message: None,
+            **kwargs,
+        )
+        for i in range(count)
+    ]
+    threads = [threading.Thread(target=worker.run) for worker in workers]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120.0)
+    return workers
+
+
+class TestWorkerLoop:
+    def test_two_workers_complete_a_plan_byte_identically(self, live_service):
+        plan = tiny_plan()
+        response = live_service.client.submit(plan, 2)
+        workers = run_workers(live_service.url, 2)
+        assert sum(worker.completed for worker in workers) == 2
+        assert live_service.client.plan_status(response["plan_id"])[
+            "state"
+        ] == "completed"
+        with Session(cache=None, workers=1) as session:
+            assert live_service.client.plan_report(response["plan_id"]) == (
+                session.run(plan).to_json()
+            )
+
+    def test_idle_exit_returns_promptly_on_a_dry_queue(self, live_service):
+        (worker,) = run_workers(live_service.url, 1)
+        assert (worker.completed, worker.failed) == (0, 0)
+
+    def test_default_worker_id_is_host_pid(self):
+        import os
+        import socket
+
+        assert default_worker_id() == f"{socket.gethostname()}-{os.getpid()}"
+
+
+class TestPoisonedShards:
+    def test_simulation_error_consumes_the_retry_budget(self, live_service):
+        """A shard that always fails seals FAILED without killing workers."""
+
+        class ExplodingSession:
+            def run(self, plan):
+                raise ExperimentError("injected simulation failure")
+
+            def close(self):
+                pass
+
+        response = live_service.client.submit(tiny_plan(shapes=1), 1)
+        worker = ShardWorker(
+            ServiceClient(live_service.url, timeout=10.0),
+            session_factory=ExplodingSession,
+            worker_id="poisoned",
+            poll_interval=0.02,
+            idle_exit=0.5,
+            log=lambda message: None,
+        )
+        worker.run()
+        assert worker.completed == 0
+        assert worker.failed == 3  # max_attempts claims, all failed
+        status = live_service.client.plan_status(response["plan_id"])
+        assert status["state"] == "failed"
+        (shard,) = status["shards"]
+        assert "injected simulation failure" in shard["last_error"]
+        assert "retry budget exhausted" in shard["last_error"]
+
+
+class TestLostLeases:
+    def test_stalled_worker_loses_the_shard_and_moves_on(self, live_service):
+        """Fault injection: worker A stalls past its lease; the reaper
+        re-queues the shard, worker B completes it, and A's late report
+        is rejected (409) without crashing A.  The served report is still
+        byte-identical to the single-shot run."""
+        plan = tiny_plan(shapes=1)  # 2 distinct points, 1 shard
+        response = live_service.client.submit(plan, 1)
+
+        staller = ShardWorker(
+            ServiceClient(live_service.url, timeout=10.0),
+            session_factory=make_session,
+            worker_id="staller",
+            poll_interval=0.02,
+            idle_exit=0.3,
+            max_shards=1,
+            stall_seconds=4.0,  # lease is 2s and stalls don't heartbeat...
+            log=lambda message: None,
+        )
+        # ...except they do: the heartbeat thread keeps even a stalled
+        # worker alive.  Kill its heartbeats the way SIGKILL would — by
+        # making them fail — so the lease really expires mid-stall.
+        staller.client.heartbeat = lambda *a, **k: None
+
+        stall_thread = threading.Thread(target=staller.run)
+        stall_thread.start()
+        try:
+            _wait_for_requeue(live_service, response["plan_id"])
+            rescuers = run_workers(live_service.url, 1)
+            assert rescuers[0].completed == 1
+        finally:
+            stall_thread.join(timeout=120.0)
+        assert staller.completed == 0
+        assert staller.failed == 1  # its complete() came back 409
+        with Session(cache=None, workers=1) as session:
+            assert live_service.client.plan_report(response["plan_id"]) == (
+                session.run(plan).to_json()
+            )
+
+
+def _wait_for_requeue(live_service, plan_id, timeout=30.0):
+    """Block until the reaper has re-queued the stalled shard."""
+    import time
+
+    start = time.monotonic()
+    while time.monotonic() - start < timeout:
+        status = live_service.client.plan_status(plan_id)
+        (shard,) = status["shards"]
+        if shard["state"] == "PENDING" and shard["attempts"] == 1:
+            assert "lease expired" in shard["last_error"]
+            return
+        time.sleep(0.05)
+    pytest.fail("reaper never re-queued the stalled shard")
