@@ -553,6 +553,9 @@ def cross_check_bounds(
     counters, which collapse onto the two policy classes — so the fast
     model runs once per requested design.  Per design the check asserts
 
+    - the vectorized ``fast`` result equal, field for field, to the scalar
+      ``fast-ref`` reference (the vectorization equality oracle — any
+      drift is a bug in the numpy kernel or the pre-decode),
     - ``LB <= fast <= UB`` exactly (a violation in either direction is a
       bug in the bounds, the scheduler, or the fast model), and
     - the analytic estimate within its documented
@@ -569,11 +572,21 @@ def cross_check_bounds(
     for key in keys:
         report = bound_program(program, key, core=core)
         fast = resolve_backend(key, fidelity="fast", core=core).prepare(program).run()
+        fast_ref = (
+            resolve_backend(key, fidelity="fast-ref", core=core)
+            .prepare(program)
+            .run()
+        )
         analytic = resolve_backend(key, fidelity="analytic", core=core).run_shape(
             shape, codegen
         )
         lb, ub = report.lower_bound, report.upper_bound
         violations: List[BoundViolation] = []
+        if fast != fast_ref:
+            violations.append(BoundViolation(
+                key, "fast-ref-mismatch",
+                f"vectorized fast {fast} != scalar reference {fast_ref}",
+            ))
         if lb > fast.cycles:
             violations.append(BoundViolation(
                 key, "lb-exceeds-fast",

@@ -202,18 +202,24 @@ class VerifierReport:
 
 @dataclasses.dataclass(frozen=True)
 class CounterMismatch:
-    """One field where the static, analytic, and fast counts disagree."""
+    """One field where the static, analytic, and fast counts disagree.
+
+    ``fast`` is the vectorized kernel and ``fast_ref`` the scalar
+    reference model; the two must always agree exactly.
+    """
 
     design_key: str
     field: str
     static: int
     analytic: int
     fast: int
+    fast_ref: int
 
     def __str__(self) -> str:
         return (
             f"{self.design_key}: {self.field}: static={self.static} "
-            f"analytic={self.analytic} fast={self.fast}"
+            f"analytic={self.analytic} fast={self.fast} "
+            f"fast-ref={self.fast_ref}"
         )
 
 
@@ -611,17 +617,21 @@ def cross_check_counters(
     design_keys: Optional[Sequence[str]] = None,
     core: Optional[CoreConfig] = None,
 ) -> Tuple[CounterMismatch, ...]:
-    """The three-way counter oracle: static vs analytic vs fast, per design.
+    """The four-way counter oracle: static vs analytic vs fast vs fast-ref.
 
     Counts depend on a design only through its control policy's
-    ``bypasses_on_reuse``, so the fast simulation is memoized per policy
-    class within one call; every requested design is still compared
-    field-for-field.  Returns the (ideally empty) mismatch tuple.
+    ``bypasses_on_reuse``, so the fast and fast-ref simulations are
+    memoized per policy class within one call; every requested design is
+    still compared field-for-field.  ``fast-ref`` is the scalar model the
+    vectorized kernel must replicate bit for bit; comparing both here
+    keeps the vectorization honest on every oracle path.  Returns the
+    (ideally empty) mismatch tuple.
     """
     keys = list(design_keys) if design_keys is not None else list(DESIGNS)
     kernel = build_gemm_kernel(shape, codegen)
     counters = static_counters(kernel.program)
     fast_by_policy: Dict[bool, object] = {}
+    fast_ref_by_policy: Dict[bool, object] = {}
     mismatches: List[CounterMismatch] = []
     for key in keys:
         design = get_design(key)
@@ -636,13 +646,21 @@ def cross_check_counters(
                 .prepare(kernel.program)
                 .run()
             )
+            fast_ref_by_policy[bypasses] = (
+                resolve_backend(key, fidelity="fast-ref", core=core)
+                .prepare(kernel.program)
+                .run()
+            )
         fast = fast_by_policy[bypasses]
+        fast_ref = fast_ref_by_policy[bypasses]
         for field in ("instructions", "mm_count", "weight_loads", "bypass_count"):
             s = getattr(static, field)
             a = getattr(analytic, field)
             f = getattr(fast, field)
-            if not (s == a == f):
+            fr = getattr(fast_ref, field)
+            if not (s == a == f == fr):
                 mismatches.append(CounterMismatch(
-                    design_key=key, field=field, static=s, analytic=a, fast=f,
+                    design_key=key, field=field, static=s, analytic=a,
+                    fast=f, fast_ref=fr,
                 ))
     return tuple(mismatches)

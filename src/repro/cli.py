@@ -299,6 +299,9 @@ def _build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--shards", type=int, default=2,
                         help="shard fan-out, clamped to the plan's distinct "
                              "point count (default: 2)")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="claim-queue priority: higher-priority plans' "
+                             "shards are leased first (default: 0)")
     submit.add_argument("--url", default=None,
                         help="coordinator URL (default: $REPRO_SERVICE_URL "
                              f"or http://127.0.0.1:{DEFAULT_PORT})")
@@ -1358,16 +1361,18 @@ def _emit_served_report(
 def _cmd_submit(args) -> int:
     plan = _plan_from_args(args)
     client = ServiceClient(args.url)
-    response = client.submit(plan, args.shards)
+    response = client.submit(plan, args.shards, args.priority)
     if args.id_only:
         print(response["plan_id"])
     else:
         verb = "submitted" if response["created"] else "already queued"
+        priority = response.get("priority", 0)
+        note = f" (priority {priority})" if priority else ""
         print(
             f"plan {response['plan_id']} {verb} at {client.url}: "
             f"{response['shard_count']} shard(s) over "
             f"{response['distinct_points']} distinct points "
-            f"({response['job_count']} jobs)"
+            f"({response['job_count']} jobs){note}"
         )
     if not args.wait:
         return 0
@@ -1406,6 +1411,21 @@ def _cmd_worker(args) -> int:
     return 0
 
 
+def _shard_progress_cell(shard) -> str:
+    """``done/total`` from heartbeat-reported progress, or ``-``.
+
+    COMPLETED shards show their full total even if the final heartbeat
+    never landed (completion implies every point ran).
+    """
+    completed = shard.get("progress_completed")
+    total = shard.get("progress_total")
+    if shard["state"] == "COMPLETED" and total is not None:
+        return f"{total}/{total}"
+    if completed is None or total is None:
+        return "-"
+    return f"{completed}/{total}"
+
+
 def _cmd_status(args) -> int:
     client = ServiceClient(args.url)
     if args.plan_id is None:
@@ -1413,9 +1433,12 @@ def _cmd_status(args) -> int:
         if not plans:
             print(f"no plans submitted to {client.url}")
             return 0
-        rows = [(p["plan_id"], p["shard_count"], p["state"]) for p in plans]
+        rows = [
+            (p["plan_id"], p["shard_count"], p.get("priority", 0), p["state"])
+            for p in plans
+        ]
         print(format_table(
-            ["plan", "shards", "state"], rows,
+            ["plan", "shards", "priority", "state"], rows,
             title=f"sweep service {client.url}",
         ))
         return 0
@@ -1434,13 +1457,14 @@ def _cmd_status(args) -> int:
             shard["shard_index"],
             shard["state"],
             shard["attempts"],
+            _shard_progress_cell(shard),
             shard["worker_id"] or "-",
             shard["last_error"] or "-",
         )
         for shard in status["shards"]
     ]
     print(format_table(
-        ["shard", "state", "attempts", "worker", "last error"], rows
+        ["shard", "state", "attempts", "progress", "worker", "last error"], rows
     ))
     if args.output is not None:
         return _emit_served_report(client, args.plan_id, args.output, quiet=False)

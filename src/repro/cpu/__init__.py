@@ -18,6 +18,13 @@ streams against a RASA :class:`repro.engine.config.EngineConfig`:
 from repro.cpu.config import CoreConfig
 from repro.cpu.result import SimResult
 from repro.cpu.fast import FastCoreModel
+from repro.cpu.fastvec import FastVecCoreModel
 from repro.cpu.ooo.core import OutOfOrderCore
 
-__all__ = ["CoreConfig", "SimResult", "FastCoreModel", "OutOfOrderCore"]
+__all__ = [
+    "CoreConfig",
+    "SimResult",
+    "FastCoreModel",
+    "FastVecCoreModel",
+    "OutOfOrderCore",
+]

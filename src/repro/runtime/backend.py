@@ -22,8 +22,12 @@ Four fidelities exist, cheapest first:
 - ``"engine"`` — engine-bound :class:`repro.engine.engine.MatrixEngine`
   execution: operands always ready, optional functional data movement
   (``"array"`` / ``"oracle"`` / ``"off"``);
-- ``"fast"``   — :class:`repro.cpu.fast.FastCoreModel`, the O(n)
-  timestamp-propagation core model (the default for sweeps);
+- ``"fast"``   — :class:`repro.cpu.fastvec.FastVecCoreModel`, the
+  vectorized O(n) timestamp-propagation core model (the default for
+  sweeps), bit-identical to the scalar reference;
+- ``"fast-ref"`` — :class:`repro.cpu.fast.FastCoreModel`, the scalar
+  per-instruction reference the vectorized kernel is cross-checked
+  against (the oracle tier; same results, slower);
 - ``"ooo"``    — :class:`repro.cpu.ooo.core.OutOfOrderCore`, the
   cycle-accurate validation model.
 """
@@ -35,6 +39,7 @@ from typing import Optional, Protocol, runtime_checkable
 from repro.cpu.analytic import AnalyticCoreModel
 from repro.cpu.config import CoreConfig
 from repro.cpu.fast import FastCoreModel
+from repro.cpu.fastvec import FastVecCoreModel
 from repro.cpu.ooo.core import OutOfOrderCore
 from repro.cpu.result import SimResult
 from repro.engine.config import EngineConfig
@@ -151,9 +156,31 @@ class AnalyticBackend:
 
 
 class FastCoreBackend(_BaseBackend):
-    """Adapter over the O(n) timestamp-propagation core model."""
+    """Adapter over the vectorized O(n) timestamp-propagation core model.
+
+    The vectorized kernel shares one :class:`repro.cpu.decode.DecodedProgram`
+    per distinct program across every design and is bit-identical to the
+    scalar reference (``"fast-ref"``), so existing ``"fast"`` cache entries
+    stay valid.
+    """
 
     fidelity = "fast"
+
+    def _execute(self, program: Program) -> SimResult:
+        model = FastVecCoreModel(core=self.core, engine=self.engine)
+        return model.run(program)
+
+
+class FastRefBackend(_BaseBackend):
+    """Adapter over the scalar per-instruction reference model.
+
+    Kept as its own fidelity so the cross-check oracles
+    (:func:`repro.analysis.bounds.cross_check_bounds`,
+    :func:`repro.analysis.verifier.cross_check_counters`, the hypothesis
+    property suite) can assert ``fast == fast-ref`` end to end.
+    """
+
+    fidelity = "fast-ref"
 
     def _execute(self, program: Program) -> SimResult:
         model = FastCoreModel(core=self.core, engine=self.engine)

@@ -27,6 +27,7 @@ from repro.runtime.backend import (
     AnalyticBackend,
     EngineBackend,
     FastCoreBackend,
+    FastRefBackend,
     OoOCoreBackend,
     SimBackend,
 )
@@ -73,6 +74,18 @@ def _fast_factory(engine: EngineConfig, core: CoreConfig, functional: str) -> Si
             "requires fidelity='engine'"
         )
     return FastCoreBackend(engine, core)
+
+
+@register_backend("fast-ref")
+def _fast_ref_factory(
+    engine: EngineConfig, core: CoreConfig, functional: str
+) -> SimBackend:
+    if functional != "off":
+        raise ConfigError(
+            "the 'fast-ref' fidelity is timing-only; functional execution "
+            "requires fidelity='engine'"
+        )
+    return FastRefBackend(engine, core)
 
 
 @register_backend("ooo")

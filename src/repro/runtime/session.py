@@ -57,7 +57,7 @@ import multiprocessing
 import multiprocessing.pool
 import os
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, Iterator, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, Optional, Sequence
 
 if TYPE_CHECKING:
     from repro.analysis.bounds import BoundsReport, BoundsSweep
@@ -215,7 +215,11 @@ class Session:
 
     # -- execution -----------------------------------------------------------------
 
-    def run(self, plan: SweepPlan) -> SweepReport:
+    def run(
+        self,
+        plan: SweepPlan,
+        progress: Optional[Callable[[int, int], None]] = None,
+    ) -> SweepReport:
         """Execute a plan (or the shard of it the plan owns).
 
         Each job's key (a canonical-JSON SHA-256) is computed exactly once
@@ -224,6 +228,14 @@ class Session:
         precomputed keys.  Results completed before a mid-run crash are
         already in the cache — write-back streams per result and flushes
         in a ``finally``.
+
+        Args:
+            plan: the declarative sweep description.
+            progress: optional ``(completed, total)`` callback over the
+                run's *distinct* points — called once after the cache scan
+                and once per simulated result, from this thread.  The
+                service worker forwards it into heartbeat payloads so a
+                nearly-done shard is visible before a reaper requeue.
         """
         jobs = plan.expanded_jobs()  # one expansion + one hash per job, ever
         keys = plan.job_keys()
@@ -245,11 +257,18 @@ class Session:
             else:
                 misses[key] = job
         miss_keys = list(misses)
+        total = len(distinct)
+        completed = len(results)
+        if progress is not None:
+            progress(completed, total)
         try:
             for index, result in self._simulate(list(misses.values())):
                 results[miss_keys[index]] = result
                 if self.cache is not None:
                     self.cache.put(miss_keys[index], result)
+                completed += 1
+                if progress is not None:
+                    progress(completed, total)
         finally:
             if self.cache is not None:
                 self.cache.flush()

@@ -138,9 +138,15 @@ class ServiceClient:
     def healthz(self) -> Dict[str, Any]:
         return self._json("GET", "/healthz")
 
-    def submit(self, plan: Union[SweepPlan, str], shards: int) -> Dict[str, Any]:
+    def submit(
+        self, plan: Union[SweepPlan, str], shards: int, priority: int = 0
+    ) -> Dict[str, Any]:
         text = plan.to_json() if isinstance(plan, SweepPlan) else plan
-        return self._json("POST", "/plans", {"plan": text, "shards": shards})
+        return self._json(
+            "POST",
+            "/plans",
+            {"plan": text, "shards": shards, "priority": priority},
+        )
 
     def claim(self, worker_id: str) -> Optional[Dict[str, Any]]:
         shard = self._json("POST", "/shards/claim", {"worker": worker_id})["shard"]
@@ -148,10 +154,18 @@ class ServiceClient:
             raise ServiceError("service returned a malformed shard lease")
         return shard
 
-    def heartbeat(self, shard_id: int, worker_id: str) -> Dict[str, Any]:
-        return self._json(
-            "POST", f"/shards/{shard_id}/heartbeat", {"worker": worker_id}
-        )
+    def heartbeat(
+        self,
+        shard_id: int,
+        worker_id: str,
+        completed: Optional[int] = None,
+        total: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"worker": worker_id}
+        if completed is not None and total is not None:
+            payload["completed"] = completed
+            payload["total"] = total
+        return self._json("POST", f"/shards/{shard_id}/heartbeat", payload)
 
     def complete(
         self, shard_id: int, worker_id: str, report_json: str

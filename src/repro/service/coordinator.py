@@ -75,12 +75,21 @@ class Coordinator:
 
     # -- submission ------------------------------------------------------------------
 
-    def submit(self, plan_text: str, shards: int) -> Dict[str, Any]:
-        """Validate, canonicalize and enqueue a plan; idempotent."""
+    def submit(
+        self, plan_text: str, shards: int, priority: int = 0
+    ) -> Dict[str, Any]:
+        """Validate, canonicalize and enqueue a plan; idempotent.
+
+        ``priority`` steers the claim queue (higher drains first) without
+        entering the plan identity — resubmitting an existing plan returns
+        it with its original priority.
+        """
         if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
             raise ServiceError(
                 f"shards must be a positive integer, got {shards!r}"
             )
+        if isinstance(priority, bool) or not isinstance(priority, int):
+            raise ServiceError(f"priority must be an integer, got {priority!r}")
         plan = SweepPlan.from_json(plan_text)  # ExperimentError on bad JSON
         if plan.shard_spec is not None:
             raise ServiceError(
@@ -90,13 +99,16 @@ class Coordinator:
         canonical = plan.to_json()
         distinct = len(plan.distinct_keys())
         effective = min(shards, distinct)
-        row, created = self.store.submit_plan(canonical, effective, time.time())
+        row, created = self.store.submit_plan(
+            canonical, effective, time.time(), priority
+        )
         return {
             "plan_id": row.plan_id,
             "shard_count": row.shard_count,
             "distinct_points": distinct,
             "job_count": plan.job_count(),
             "created": created,
+            "priority": row.priority,
         }
 
     # -- the worker-facing lease protocol --------------------------------------------
@@ -120,9 +132,33 @@ class Coordinator:
             "plan": plan.plan_json,
         }
 
-    def heartbeat(self, shard_id: int, worker_id: str) -> Dict[str, Any]:
+    def heartbeat(
+        self,
+        shard_id: int,
+        worker_id: str,
+        completed: Optional[int] = None,
+        total: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Extend a lease, optionally recording shard progress.
+
+        ``completed``/``total`` (distinct points done out of the shard's
+        total) come from the worker's :meth:`Session.run` progress callback
+        and surface in :meth:`plan_status` / ``repro status``.
+        """
+        for name, value in (("completed", completed), ("total", total)):
+            if value is not None and (
+                isinstance(value, bool) or not isinstance(value, int) or value < 0
+            ):
+                raise ServiceError(
+                    f"progress {name} must be a non-negative integer, got {value!r}"
+                )
         deadline = self.store.heartbeat_shard(
-            shard_id, worker_id, self.config.lease_seconds, time.time()
+            shard_id,
+            worker_id,
+            self.config.lease_seconds,
+            time.time(),
+            completed,
+            total,
         )
         return {"shard_id": shard_id, "lease_deadline": deadline}
 
@@ -182,6 +218,7 @@ class Coordinator:
             "state": state,
             "shard_count": plan.shard_count,
             "submitted_at": plan.submitted_at,
+            "priority": plan.priority,
             "counts": {s.value: n for s, n in counts.items()},
             "report_available": plan.report_json is not None,
             "shards": [
@@ -193,6 +230,8 @@ class Coordinator:
                     "worker_id": shard.worker_id,
                     "lease_deadline": shard.lease_deadline,
                     "last_error": shard.last_error,
+                    "progress_completed": shard.progress_completed,
+                    "progress_total": shard.progress_total,
                 }
                 for shard in shards
             ],
@@ -215,6 +254,7 @@ class Coordinator:
                 "plan_id": row.plan_id,
                 "shard_count": row.shard_count,
                 "submitted_at": row.submitted_at,
+                "priority": row.priority,
                 "state": self.plan_status(row.plan_id)["state"],
             }
             for row in self.store.list_plans()

@@ -12,11 +12,13 @@ Routes (all bodies and responses are JSON):
     GET  /plans                   list submitted plans
     GET  /plans/{id}              plan status: state, per-shard lifecycle rows
     GET  /plans/{id}/report       merged canonical report JSON (verbatim bytes)
-    POST /plans                   {"plan": <plan doc|text>, "shards": N}
+    POST /plans                   {"plan": <plan doc|text>, "shards": N,
+                                   "priority": P}
     POST /shards/claim            {"worker": id} → shard lease or {"shard": null}
     POST /shards/{id}/complete    {"worker": id, "report": <report doc|text>}
     POST /shards/{id}/fail        {"worker": id, "error": msg}
-    POST /shards/{id}/heartbeat   {"worker": id}
+    POST /shards/{id}/heartbeat   {"worker": id, "completed": C, "total": T}
+                                  (progress fields optional)
 
 Error mapping: :class:`repro.errors.TransitionError` → 409 (lease lost /
 illegal lifecycle step), :class:`repro.errors.ServiceLookupError` → 404,
@@ -112,8 +114,15 @@ class _Handler(BaseHTTPRequestHandler):
                     raise ServiceError(
                         f'"shards" must be an integer, got {shards!r}'
                     )
+                priority = body.get("priority", 0)
+                if not isinstance(priority, int) or isinstance(priority, bool):
+                    raise ServiceError(
+                        f'"priority" must be an integer, got {priority!r}'
+                    )
                 plan_text = _json_text(body["plan"], '"plan"')
-                self._reply(200, coordinator.submit(plan_text, shards))
+                self._reply(
+                    200, coordinator.submit(plan_text, shards, priority)
+                )
             elif parts == ["shards", "claim"]:
                 shard = coordinator.claim(self._worker(body))
                 self._reply(200, {"shard": shard})
@@ -141,7 +150,13 @@ class _Handler(BaseHTTPRequestHandler):
                     )
                 elif action == "heartbeat":
                     self._reply(
-                        200, coordinator.heartbeat(shard_id, self._worker(body))
+                        200,
+                        coordinator.heartbeat(
+                            shard_id,
+                            self._worker(body),
+                            self._progress_field(body, "completed"),
+                            self._progress_field(body, "total"),
+                        ),
                     )
                 else:
                     self._reply(
@@ -171,6 +186,17 @@ class _Handler(BaseHTTPRequestHandler):
         if not worker or not isinstance(worker, str):
             raise ServiceError('request needs a non-empty "worker" id')
         return worker
+
+    @staticmethod
+    def _progress_field(body: Dict[str, Any], name: str) -> Optional[int]:
+        value = body.get(name)
+        if value is None:
+            return None
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise ServiceError(
+                f'"{name}" must be a non-negative integer, got {value!r}'
+            )
+        return value
 
     @staticmethod
     def _shard_id(raw: str) -> int:

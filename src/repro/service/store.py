@@ -89,18 +89,32 @@ def check_transition(old: ShardState, new: ShardState) -> None:
 
 @dataclasses.dataclass(frozen=True)
 class PlanRow:
-    """One submitted plan: identity, canonical JSON, and shard fan-out."""
+    """One submitted plan: identity, canonical JSON, and shard fan-out.
+
+    ``priority`` orders competing plans in the claim queue (higher first;
+    ties fall back to shard id, i.e. submission order).  It is scheduling
+    policy, not work identity — it is deliberately *not* part of
+    :func:`plan_identity`, so resubmitting the same plan at a different
+    priority is still idempotent.
+    """
 
     plan_id: str
     plan_json: str
     shard_count: int
     submitted_at: float
     report_json: Optional[str] = None
+    priority: int = 0
 
 
 @dataclasses.dataclass(frozen=True)
 class ShardRow:
-    """One shard's lifecycle row."""
+    """One shard's lifecycle row.
+
+    ``progress_completed``/``progress_total`` are the worker's last
+    heartbeat-reported distinct-point progress (``None`` until the first
+    report, and reset on requeue — a fresh claim starts from an honest
+    blank slate).
+    """
 
     shard_id: int
     plan_id: str
@@ -112,6 +126,8 @@ class ShardRow:
     lease_deadline: Optional[float]
     report_json: Optional[str]
     last_error: Optional[str]
+    progress_completed: Optional[int] = None
+    progress_total: Optional[int] = None
 
 
 def plan_identity(plan_json: str, shard_count: int) -> str:
@@ -131,22 +147,34 @@ CREATE TABLE IF NOT EXISTS plans (
     plan_json    TEXT NOT NULL,
     shard_count  INTEGER NOT NULL,
     submitted_at REAL NOT NULL,
-    report_json  TEXT
+    report_json  TEXT,
+    priority     INTEGER NOT NULL DEFAULT 0
 );
 CREATE TABLE IF NOT EXISTS shards (
-    shard_id       INTEGER PRIMARY KEY AUTOINCREMENT,
-    plan_id        TEXT NOT NULL REFERENCES plans(plan_id),
-    shard_index    INTEGER NOT NULL,
-    state          TEXT NOT NULL DEFAULT 'PENDING',
-    attempts       INTEGER NOT NULL DEFAULT 0,
-    worker_id      TEXT,
-    lease_deadline REAL,
-    report_json    TEXT,
-    last_error     TEXT,
+    shard_id           INTEGER PRIMARY KEY AUTOINCREMENT,
+    plan_id            TEXT NOT NULL REFERENCES plans(plan_id),
+    shard_index        INTEGER NOT NULL,
+    state              TEXT NOT NULL DEFAULT 'PENDING',
+    attempts           INTEGER NOT NULL DEFAULT 0,
+    worker_id          TEXT,
+    lease_deadline     REAL,
+    report_json        TEXT,
+    last_error         TEXT,
+    progress_completed INTEGER,
+    progress_total     INTEGER,
     UNIQUE (plan_id, shard_index)
 );
 CREATE INDEX IF NOT EXISTS shards_by_state ON shards(state);
 """
+
+#: Columns added after the v1 schema shipped; an existing store file gains
+#: them in place on open (SQLite ``ALTER TABLE ADD COLUMN`` is metadata-only,
+#: so migration is cheap and idempotent).
+_MIGRATIONS: Tuple[Tuple[str, str, str], ...] = (
+    ("plans", "priority", "INTEGER NOT NULL DEFAULT 0"),
+    ("shards", "progress_completed", "INTEGER"),
+    ("shards", "progress_total", "INTEGER"),
+)
 
 
 class JobStore:
@@ -167,6 +195,15 @@ class JobStore:
         self._conn.execute("PRAGMA synchronous=NORMAL")
         with self._lock, self._conn:
             self._conn.executescript(_SCHEMA)
+            for table, column, decl in _MIGRATIONS:
+                present = {
+                    info["name"]
+                    for info in self._conn.execute(f"PRAGMA table_info({table})")
+                }
+                if column not in present:
+                    self._conn.execute(
+                        f"ALTER TABLE {table} ADD COLUMN {column} {decl}"
+                    )
 
     def close(self) -> None:
         with self._lock:
@@ -181,17 +218,21 @@ class JobStore:
     # -- plans ---------------------------------------------------------------------
 
     def submit_plan(
-        self, plan_json: str, shard_count: int, now: float
+        self, plan_json: str, shard_count: int, now: float, priority: int = 0
     ) -> Tuple[PlanRow, bool]:
         """Insert a plan and its shard rows; idempotent on the plan identity.
 
         Returns ``(row, created)`` — ``created`` is ``False`` when the very
-        same (plan, shard count) was already submitted.
+        same (plan, shard count) was already submitted.  ``priority`` orders
+        the claim queue (higher first) but is not part of the identity;
+        resubmitting an existing plan keeps its original priority.
         """
         if shard_count < 1:
             raise ServiceError(
                 f"shard count must be a positive integer, got {shard_count!r}"
             )
+        if isinstance(priority, bool) or not isinstance(priority, int):
+            raise ServiceError(f"priority must be an integer, got {priority!r}")
         plan_id = plan_identity(plan_json, shard_count)
         with self._lock, self._conn:
             existing = self._conn.execute(
@@ -200,9 +241,10 @@ class JobStore:
             if existing is not None:
                 return _plan_row(existing), False
             self._conn.execute(
-                "INSERT INTO plans (plan_id, plan_json, shard_count, submitted_at)"
-                " VALUES (?, ?, ?, ?)",
-                (plan_id, plan_json, shard_count, now),
+                "INSERT INTO plans"
+                " (plan_id, plan_json, shard_count, submitted_at, priority)"
+                " VALUES (?, ?, ?, ?, ?)",
+                (plan_id, plan_json, shard_count, now, priority),
             )
             self._conn.executemany(
                 "INSERT INTO shards (plan_id, shard_index, state) VALUES (?, ?, ?)",
@@ -217,6 +259,7 @@ class JobStore:
                 plan_json=plan_json,
                 shard_count=shard_count,
                 submitted_at=now,
+                priority=priority,
             ),
             True,
         )
@@ -289,10 +332,12 @@ class JobStore:
     def claim_shard(
         self, worker_id: str, lease_seconds: float, now: float
     ) -> Optional[ShardRow]:
-        """Lease the oldest PENDING shard: PENDING → ACTIVE, attempts += 1.
+        """Lease the best PENDING shard: PENDING → ACTIVE, attempts += 1.
 
-        Returns ``None`` when nothing is pending (terminal and leased
-        shards are never handed out).
+        "Best" means highest plan priority first, then lowest shard id
+        (submission order) as the tie-break, so equal-priority plans drain
+        first-come-first-served.  Returns ``None`` when nothing is pending
+        (terminal and leased shards are never handed out).
         """
         if not worker_id:
             raise ServiceError("claim needs a non-empty worker id")
@@ -301,7 +346,8 @@ class JobStore:
             row = self._conn.execute(
                 "SELECT s.*, p.shard_count FROM shards s"
                 " JOIN plans p ON p.plan_id = s.plan_id"
-                " WHERE s.state = ? ORDER BY s.shard_id LIMIT 1",
+                " WHERE s.state = ?"
+                " ORDER BY p.priority DESC, s.shard_id LIMIT 1",
                 (ShardState.PENDING.value,),
             ).fetchone()
             if row is None:
@@ -316,17 +362,36 @@ class JobStore:
         return _shard_row(updated)
 
     def heartbeat_shard(
-        self, shard_id: int, worker_id: str, lease_seconds: float, now: float
+        self,
+        shard_id: int,
+        worker_id: str,
+        lease_seconds: float,
+        now: float,
+        completed: Optional[int] = None,
+        total: Optional[int] = None,
     ) -> float:
-        """Extend an ACTIVE lease the worker still holds; returns the deadline."""
+        """Extend an ACTIVE lease the worker still holds; returns the deadline.
+
+        When the worker reports progress (``completed`` distinct points out
+        of ``total``) it is recorded on the shard row for ``repro status``;
+        a heartbeat without progress leaves the last report in place.
+        """
         deadline = now + lease_seconds
         with self._lock, self._conn:
             row = self._fetch_shard(shard_id)
             self._check_lease(row, worker_id)
-            self._conn.execute(
-                "UPDATE shards SET lease_deadline = ? WHERE shard_id = ?",
-                (deadline, shard_id),
-            )
+            if completed is not None and total is not None:
+                self._conn.execute(
+                    "UPDATE shards SET lease_deadline = ?,"
+                    " progress_completed = ?, progress_total = ?"
+                    " WHERE shard_id = ?",
+                    (deadline, completed, total, shard_id),
+                )
+            else:
+                self._conn.execute(
+                    "UPDATE shards SET lease_deadline = ? WHERE shard_id = ?",
+                    (deadline, shard_id),
+                )
         return deadline
 
     def complete_shard(
@@ -352,7 +417,9 @@ class JobStore:
             check_transition(ShardState(row["state"]), ShardState.PENDING)
             self._conn.execute(
                 "UPDATE shards SET state = ?, worker_id = NULL,"
-                " lease_deadline = NULL, last_error = ? WHERE shard_id = ?",
+                " lease_deadline = NULL, last_error = ?,"
+                " progress_completed = NULL, progress_total = NULL"
+                " WHERE shard_id = ?",
                 (ShardState.PENDING.value, error, shard_id),
             )
             updated = self._fetch_shard(shard_id)
@@ -406,6 +473,7 @@ def _plan_row(row: sqlite3.Row) -> PlanRow:
         shard_count=row["shard_count"],
         submitted_at=row["submitted_at"],
         report_json=row["report_json"],
+        priority=row["priority"],
     )
 
 
@@ -421,4 +489,6 @@ def _shard_row(row: sqlite3.Row) -> ShardRow:
         lease_deadline=row["lease_deadline"],
         report_json=row["report_json"],
         last_error=row["last_error"],
+        progress_completed=row["progress_completed"],
+        progress_total=row["progress_total"],
     )

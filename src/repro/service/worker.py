@@ -10,7 +10,9 @@ number of them (any host) at one coordinator and each loops
    :meth:`repro.runtime.session.Session.run` against the worker's
    (typically shared) :class:`repro.runtime.cache.ResultCache`;
 3. heartbeat the lease from a side thread while the shard simulates, so
-   long shards never expire under a live worker;
+   long shards never expire under a live worker; each beat carries the
+   shard's distinct-point progress (from :meth:`Session.run`'s progress
+   callback), which ``repro status`` renders per shard;
 4. ``complete`` with the shard :class:`SweepReport`'s canonical JSON.
 
 Crash behavior is the whole point: a worker that dies (SIGKILL, OOM, host
@@ -35,7 +37,7 @@ import os
 import socket
 import threading
 import time
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.errors import ReproError, ServiceError
 from repro.runtime.plan import SweepPlan
@@ -46,6 +48,29 @@ from repro.service.client import ServiceClient
 def default_worker_id() -> str:
     """``host-pid`` — unique per worker process, stable within one."""
     return f"{socket.gethostname()}-{os.getpid()}"
+
+
+class _ShardProgress:
+    """Latest (completed, total) hand-off from Session.run to the beater.
+
+    :meth:`update` is the :meth:`repro.runtime.session.Session.run`
+    progress callback (simulation thread); :meth:`read` is polled by the
+    heartbeat thread.  A lock keeps the pair coherent.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._completed: Optional[int] = None
+        self._total: Optional[int] = None
+
+    def update(self, completed: int, total: int) -> None:
+        with self._lock:
+            self._completed = completed
+            self._total = total
+
+    def read(self) -> Tuple[Optional[int], Optional[int]]:
+        with self._lock:
+            return self._completed, self._total
 
 
 class ShardWorker:
@@ -128,7 +153,10 @@ class ShardWorker:
             f"shard {shard['shard_index']}/{shard['shard_count']} "
             f"of plan {shard['plan_id']}"
         )
-        stop_beating = self._start_heartbeat(shard_id, shard["lease_seconds"])
+        progress = _ShardProgress()
+        stop_beating = self._start_heartbeat(
+            shard_id, shard["lease_seconds"], progress
+        )
         try:
             if self.stall_seconds > 0:  # fault injection: die here, mid-shard
                 time.sleep(self.stall_seconds)
@@ -136,7 +164,7 @@ class ShardWorker:
             if shard["shard_count"] > 1:
                 plan = plan.shard(shard["shard_index"], shard["shard_count"])
             start = time.perf_counter()
-            report = session.run(plan)
+            report = session.run(plan, progress=progress.update)
             elapsed = time.perf_counter() - start
         except ReproError as exc:
             self.failed += 1
@@ -170,16 +198,26 @@ class ShardWorker:
             )
 
     def _start_heartbeat(
-        self, shard_id: int, lease_seconds: float
+        self,
+        shard_id: int,
+        lease_seconds: float,
+        progress: "_ShardProgress",
     ) -> threading.Event:
-        """Extend the lease on a daemon thread until the event is set."""
+        """Extend the lease on a daemon thread until the event is set.
+
+        Each beat reads the latest simulation progress and reports it
+        alongside the lease extension.
+        """
         stop = threading.Event()
         interval = max(float(lease_seconds) / 3.0, 0.05)
 
         def _beat() -> None:
             while not stop.wait(interval):
+                completed, total = progress.read()
                 try:
-                    self.client.heartbeat(shard_id, self.worker_id)
+                    self.client.heartbeat(
+                        shard_id, self.worker_id, completed, total
+                    )
                 except ServiceError:
                     return  # lease lost or server gone; complete() will say so
 

@@ -76,6 +76,37 @@ class TestSubmit:
             coordinator.submit(plan.to_json(), 2)["plan_id"]
         )
 
+    def test_priority_flows_to_claims_and_status(self, coordinator):
+        low = coordinator.submit(tiny_plan(shapes=1).to_json(), 1, priority=0)
+        high = coordinator.submit(tiny_plan(shapes=2).to_json(), 1, priority=9)
+        lease = coordinator.claim("w1")
+        assert lease["plan_id"] == high["plan_id"]
+        assert coordinator.plan_status(high["plan_id"])["priority"] == 9
+        assert coordinator.plan_status(low["plan_id"])["priority"] == 0
+        listed = {p["plan_id"]: p["priority"] for p in coordinator.list_plans()}
+        assert listed == {low["plan_id"]: 0, high["plan_id"]: 9}
+
+    def test_rejects_non_integer_priority(self, coordinator):
+        with pytest.raises(ServiceError, match="priority"):
+            coordinator.submit(tiny_plan().to_json(), 2, priority="urgent")
+
+
+class TestProgressHeartbeats:
+    def test_progress_surfaces_in_plan_status(self, coordinator):
+        submitted = coordinator.submit(tiny_plan(shapes=2).to_json(), 1)
+        lease = coordinator.claim("w1")
+        coordinator.heartbeat(lease["shard_id"], "w1", completed=2, total=4)
+        shard = coordinator.plan_status(submitted["plan_id"])["shards"][0]
+        assert (shard["progress_completed"], shard["progress_total"]) == (2, 4)
+
+    def test_rejects_malformed_progress(self, coordinator):
+        coordinator.submit(tiny_plan(shapes=1).to_json(), 1)
+        lease = coordinator.claim("w1")
+        with pytest.raises(ServiceError, match="completed"):
+            coordinator.heartbeat(lease["shard_id"], "w1", completed=-1, total=4)
+        with pytest.raises(ServiceError, match="total"):
+            coordinator.heartbeat(lease["shard_id"], "w1", completed=1, total="x")
+
 
 class TestCompleteValidation:
     def test_rejects_report_for_a_different_plan(self, coordinator):

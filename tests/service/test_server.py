@@ -74,6 +74,21 @@ class TestRoutes:
         (entry,) = live_service.client.list_plans()
         assert entry["plan_id"] == response["plan_id"]
         assert entry["state"] == "running"
+        assert entry["priority"] == 0
+
+    def test_priority_round_trips_over_http(self, live_service):
+        client = live_service.client
+        response = client.submit(tiny_plan(), 2, priority=4)
+        assert response["priority"] == 4
+        assert client.plan_status(response["plan_id"])["priority"] == 4
+
+    def test_heartbeat_carries_progress_over_http(self, live_service):
+        client = live_service.client
+        response = client.submit(tiny_plan(), 1)
+        lease = client.claim("w1")
+        client.heartbeat(lease["shard_id"], "w1", completed=1, total=4)
+        shard = client.plan_status(response["plan_id"])["shards"][0]
+        assert (shard["progress_completed"], shard["progress_total"]) == (1, 4)
 
 
 class TestErrorMapping:
@@ -90,6 +105,27 @@ class TestErrorMapping:
         with pytest.raises(ServiceError) as excinfo:
             live_service.client.submit("{not json", 2)
         assert not isinstance(excinfo.value, (ServiceLookupError, TransitionError))
+
+    def test_bad_priority_is_400(self, live_service):
+        status, body = http(
+            f"{live_service.url}/plans",
+            method="POST",
+            payload={"plan": tiny_plan().to_json(), "priority": "urgent"},
+        )
+        assert status == 400
+        assert "priority" in body["error"]
+
+    def test_bad_progress_is_400(self, live_service):
+        client = live_service.client
+        client.submit(tiny_plan(shapes=1), 1)
+        lease = client.claim("w1")
+        status, body = http(
+            f"{live_service.url}/shards/{lease['shard_id']}/heartbeat",
+            method="POST",
+            payload={"worker": "w1", "completed": -1, "total": 4},
+        )
+        assert status == 400
+        assert "completed" in body["error"]
 
     def test_non_json_body_is_400(self, live_service):
         status, body = http(

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import itertools
+import sqlite3
 
 import pytest
 
@@ -186,6 +187,151 @@ class TestShardTransitionsViaStore:
         assert counts[ShardState.ACTIVE] == 1
         assert counts[ShardState.COMPLETED] == 0
         assert counts[ShardState.FAILED] == 0
+
+
+class TestPriorityScheduling:
+    """Plan priority steers the claim queue without entering identity."""
+
+    def test_higher_priority_plan_drains_first(self, job_store):
+        low, _ = job_store.submit_plan('{"p":"low"}', 2, now=1.0, priority=0)
+        high, _ = job_store.submit_plan('{"p":"high"}', 2, now=2.0, priority=7)
+        order = [
+            job_store.claim_shard(f"w{i}", 30.0, now=3.0).plan_id
+            for i in range(4)
+        ]
+        assert order == [high.plan_id] * 2 + [low.plan_id] * 2
+
+    def test_equal_priority_is_submission_order(self, job_store):
+        first, _ = job_store.submit_plan('{"p":"a"}', 1, now=1.0, priority=3)
+        second, _ = job_store.submit_plan('{"p":"b"}', 1, now=2.0, priority=3)
+        assert job_store.claim_shard("w1", 30.0, now=3.0).plan_id == first.plan_id
+        assert job_store.claim_shard("w2", 30.0, now=3.0).plan_id == second.plan_id
+
+    def test_negative_priority_yields_to_default(self, job_store):
+        back, _ = job_store.submit_plan('{"p":"bg"}', 1, now=1.0, priority=-5)
+        normal, _ = job_store.submit_plan('{"p":"n"}', 1, now=2.0)
+        assert job_store.claim_shard("w1", 30.0, now=3.0).plan_id == normal.plan_id
+
+    def test_priority_is_not_identity(self, job_store):
+        """Resubmitting at a new priority is idempotent and keeps the old."""
+        first, created = job_store.submit_plan(PLAN_JSON, 2, now=1.0, priority=4)
+        again, created_again = job_store.submit_plan(
+            PLAN_JSON, 2, now=2.0, priority=99
+        )
+        assert (created, created_again) == (True, False)
+        assert again.plan_id == first.plan_id
+        assert again.priority == 4
+
+    def test_priority_must_be_an_integer(self, job_store):
+        with pytest.raises(ServiceError, match="priority"):
+            job_store.submit_plan(PLAN_JSON, 1, now=1.0, priority="high")
+        with pytest.raises(ServiceError, match="priority"):
+            job_store.submit_plan(PLAN_JSON, 1, now=1.0, priority=True)
+
+    def test_retried_shard_rejoins_at_its_plan_priority(self, job_store):
+        """A re-queued high-priority shard outranks pending low-priority work."""
+        job_store.submit_plan('{"p":"low"}', 1, now=1.0, priority=0)
+        high, _ = job_store.submit_plan('{"p":"high"}', 1, now=2.0, priority=5)
+        shard = job_store.claim_shard("w1", 30.0, now=3.0)
+        assert shard.plan_id == high.plan_id
+        job_store.requeue_shard(shard.shard_id, "lease expired")
+        assert job_store.claim_shard("w2", 30.0, now=4.0).plan_id == high.plan_id
+
+
+class TestProgressHeartbeats:
+    def test_heartbeat_records_progress(self, job_store):
+        submit(job_store, shards=1)
+        shard = job_store.claim_shard("w1", 30.0, now=0.0)
+        assert (shard.progress_completed, shard.progress_total) == (None, None)
+        job_store.heartbeat_shard(
+            shard.shard_id, "w1", 30.0, now=5.0, completed=3, total=12
+        )
+        row = job_store.get_shard(shard.shard_id)
+        assert (row.progress_completed, row.progress_total) == (3, 12)
+
+    def test_plain_heartbeat_keeps_last_progress(self, job_store):
+        submit(job_store, shards=1)
+        shard = job_store.claim_shard("w1", 30.0, now=0.0)
+        job_store.heartbeat_shard(
+            shard.shard_id, "w1", 30.0, now=5.0, completed=3, total=12
+        )
+        deadline = job_store.heartbeat_shard(shard.shard_id, "w1", 30.0, now=9.0)
+        assert deadline == 39.0
+        row = job_store.get_shard(shard.shard_id)
+        assert (row.progress_completed, row.progress_total) == (3, 12)
+
+    def test_requeue_resets_progress(self, job_store):
+        """A fresh claim must not inherit the dead worker's progress."""
+        submit(job_store, shards=1)
+        shard = job_store.claim_shard("w1", 30.0, now=0.0)
+        job_store.heartbeat_shard(
+            shard.shard_id, "w1", 30.0, now=5.0, completed=9, total=12
+        )
+        back = job_store.requeue_shard(shard.shard_id, "lease expired")
+        assert (back.progress_completed, back.progress_total) == (None, None)
+
+    def test_zombie_progress_report_is_rejected(self, job_store):
+        submit(job_store, shards=1)
+        shard = job_store.claim_shard("w1", 1.0, now=0.0)
+        job_store.requeue_shard(shard.shard_id, "lease expired")
+        job_store.claim_shard("w2", 30.0, now=5.0)
+        with pytest.raises(TransitionError, match="held by 'w2'"):
+            job_store.heartbeat_shard(
+                shard.shard_id, "w1", 30.0, now=6.0, completed=1, total=2
+            )
+
+
+class TestSchemaMigration:
+    def test_v1_store_gains_priority_and_progress_columns(self, tmp_path):
+        """Opening a pre-priority DB migrates it in place, data intact."""
+        path = tmp_path / "v1.db"
+        conn = sqlite3.connect(path)
+        conn.executescript(
+            """
+            CREATE TABLE plans (
+                plan_id TEXT PRIMARY KEY, plan_json TEXT NOT NULL,
+                shard_count INTEGER NOT NULL, submitted_at REAL NOT NULL,
+                report_json TEXT
+            );
+            CREATE TABLE shards (
+                shard_id INTEGER PRIMARY KEY AUTOINCREMENT,
+                plan_id TEXT NOT NULL, shard_index INTEGER NOT NULL,
+                state TEXT NOT NULL DEFAULT 'PENDING',
+                attempts INTEGER NOT NULL DEFAULT 0,
+                worker_id TEXT, lease_deadline REAL,
+                report_json TEXT, last_error TEXT,
+                UNIQUE (plan_id, shard_index)
+            );
+            """
+        )
+        conn.execute(
+            "INSERT INTO plans VALUES ('old-plan', '{}', 1, 5.0, NULL)"
+        )
+        conn.execute(
+            "INSERT INTO shards (plan_id, shard_index) VALUES ('old-plan', 0)"
+        )
+        conn.commit()
+        conn.close()
+
+        store = JobStore(path)
+        plan = store.get_plan("old-plan")
+        assert plan.priority == 0
+        shard = store.shards("old-plan")[0]
+        assert (shard.progress_completed, shard.progress_total) == (None, None)
+        claimed = store.claim_shard("w1", 30.0, now=6.0)
+        assert claimed.plan_id == "old-plan"
+        store.heartbeat_shard(
+            claimed.shard_id, "w1", 30.0, now=7.0, completed=1, total=1
+        )
+        assert store.get_shard(claimed.shard_id).progress_completed == 1
+        store.close()
+
+    def test_migration_is_idempotent_across_reopens(self, tmp_path):
+        path = tmp_path / "twice.db"
+        JobStore(path).close()
+        store = JobStore(path)  # second open must not re-add columns
+        store.submit_plan(PLAN_JSON, 1, now=1.0, priority=2)
+        store.close()
 
 
 class TestDurability:

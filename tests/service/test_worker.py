@@ -62,13 +62,48 @@ class TestWorkerLoop:
 
         assert default_worker_id() == f"{socket.gethostname()}-{os.getpid()}"
 
+    def test_heartbeats_report_simulation_progress(self, live_service):
+        """A slow shard's heartbeats carry (completed, total) to the
+        coordinator, where plan status exposes them per shard."""
+        import time
+
+        class SlowSession(Session):
+            # Pace the run so at least one heartbeat (every ~0.67s at the
+            # test lease of 2s) fires while progress is partial.
+            def run(self, plan, progress=None):
+                def paced(completed, total):
+                    if progress is not None:
+                        progress(completed, total)
+                    time.sleep(0.3)
+
+                return super().run(plan, progress=paced)
+
+        response = live_service.client.submit(tiny_plan(shapes=2), 1)
+        worker = ShardWorker(
+            ServiceClient(live_service.url, timeout=10.0),
+            session_factory=lambda: SlowSession(cache=None, workers=1),
+            worker_id="slowpoke",
+            poll_interval=0.02,
+            idle_exit=0.3,
+            max_shards=1,
+            log=lambda message: None,
+        )
+        worker.run()
+        assert worker.completed == 1
+        status = live_service.client.plan_status(response["plan_id"])
+        (shard,) = status["shards"]
+        assert shard["state"] == "COMPLETED"
+        # 2 designs x 2 shapes = 4 distinct points in the single shard.
+        assert shard["progress_total"] == 4
+        assert 0 <= shard["progress_completed"] <= 4
+
 
 class TestPoisonedShards:
     def test_simulation_error_consumes_the_retry_budget(self, live_service):
         """A shard that always fails seals FAILED without killing workers."""
 
         class ExplodingSession:
-            def run(self, plan):
+            def run(self, plan, progress=None):
                 raise ExperimentError("injected simulation failure")
 
             def close(self):

@@ -60,6 +60,8 @@ SCOPED_MODULES: Tuple[str, ...] = (
     "repro/workloads/layers.py",
     "repro/workloads/training.py",
     "repro/cpu/config.py",
+    "repro/cpu/decode.py",
+    "repro/cpu/fastvec.py",
     "repro/engine/config.py",
     "repro/engine/designs.py",
     "repro/runtime/plan.py",
